@@ -1,0 +1,122 @@
+"""Ablation: what the return-marker discipline buys (DESIGN.md ablations).
+
+The paper's central type-system addition is the return marker ``q``.  This
+battery takes well-typed programs and applies marker-violating mutations;
+the typechecker must reject *every* mutant, and (where the mutant is
+runnable at all) the machine exhibits the misbehaviour the discipline
+prevents.  Each entry documents one rule:
+
+* overwrite the marker register (``mv``/``aop`` guards);
+* free the marker's stack slot (``sfree`` guard);
+* ``ret`` through a register that is not the marker;
+* ``jmp`` to a block with a different marker (intra-component discipline);
+* ``call`` with the wrong relocated index (the i + k - j arithmetic);
+* ``halt`` under a non-``end`` marker.
+"""
+
+import pytest
+
+from repro.errors import FTTypeError
+from repro.papers_examples.fig3_call_to_call import build, cont_type
+from repro.tal.syntax import (
+    Aop, Call, Component, DeltaBind, Halt, HCode, Jmp, KIND_EPS, KIND_ZETA,
+    Loc, Mv, NIL_STACK, QEnd, QIdx, QReg, RegFileTy, Ret, Salloc, Sfree,
+    Sld, Sst, StackTy, TInt, TyApp, WInt, WLoc, seq,
+)
+from repro.tal.typecheck import check_program, InstrState, TalTypechecker
+
+ZE = (DeltaBind(KIND_ZETA, "z"), DeltaBind(KIND_EPS, "e"))
+
+
+def _marker_state():
+    cont = cont_type()
+    return InstrState(ZE, RegFileTy.of(ra=cont), StackTy((), "z"),
+                      QReg("ra"))
+
+
+MUTANTS = [
+    ("overwrite marker register",
+     lambda ck: ck.step_instruction(_marker_state(), Mv("ra", WInt(0)))),
+    ("arith into marker register",
+     lambda ck: ck.step_instruction(
+         _marker_state().__class__(
+             ZE, RegFileTy.of(ra=cont_type(), r2=TInt()),
+             StackTy((), "z"), QReg("ra")),
+         Aop("add", "ra", "r2", WInt(1)))),
+    ("free the marker slot",
+     lambda ck: ck.step_instruction(
+         InstrState(ZE, RegFileTy(), StackTy((cont_type(),), "z"),
+                    QIdx(0)),
+         Sfree(1))),
+    ("overwrite the marker slot",
+     lambda ck: ck.step_instruction(
+         InstrState(ZE, RegFileTy.of(r1=TInt()),
+                    StackTy((cont_type(),), "z"), QIdx(0)),
+         Sst(0, "r1"))),
+    ("ret through a non-marker register",
+     lambda ck: ck.check_terminator(
+         InstrState(ZE, RegFileTy.of(ra=cont_type(), r2=cont_type(),
+                                     r1=TInt()),
+                    StackTy((), "z"), QReg("ra")),
+         Ret("r2", "r1"))),
+    ("halt without an end marker",
+     lambda ck: ck.check_terminator(
+         InstrState(ZE, RegFileTy.of(ra=cont_type(), r1=TInt()),
+                    StackTy((), "z"), QReg("ra")),
+         Halt(TInt(), StackTy((), "z"), "r1"))),
+]
+
+
+def test_ablation_every_marker_rule_fires(record):
+    checker = TalTypechecker()
+    for name, mutate in MUTANTS:
+        with pytest.raises(FTTypeError):
+            mutate(checker)
+        record(f"ablation: {name!r} rejected")
+
+
+def test_ablation_fig3_call_relocation(record):
+    """Mutating fig 3's call relocation index must be rejected."""
+    comp = build()
+    heap = dict(comp.heap)
+    l1 = heap[Loc("l1")]
+    bad_term = Call(l1.instrs.term.u, l1.instrs.term.sigma, QIdx(1))
+    heap[Loc("l1")] = HCode(l1.delta, l1.chi, l1.sigma, l1.q,
+                            seq(*l1.instrs.instrs, bad_term))
+    broken = Component(comp.instrs, tuple(heap.items()))
+    with pytest.raises(FTTypeError):
+        check_program(broken, TInt())
+    record("ablation: wrong i + k - j relocation rejected")
+
+
+def test_ablation_jmp_marker_discipline(record):
+    """A jmp to a block whose marker differs is rejected (this is what
+    makes jmp *intra*-component)."""
+    target = Loc("l")
+    block = HCode((), RegFileTy.of(r1=TInt()), NIL_STACK,
+                  QEnd(TInt(), NIL_STACK),
+                  seq(Halt(TInt(), NIL_STACK, "r1")))
+    comp = Component(
+        seq(Mv("r1", WInt(1)), Jmp(WLoc(target))), ((target, block),))
+    # checked against a *different* end marker
+    with pytest.raises(FTTypeError):
+        from repro.tal.typecheck import check_component
+        from repro.tal.syntax import TUnit
+
+        check_component(comp, q=QEnd(TUnit(), NIL_STACK))
+    record("ablation: cross-marker jmp rejected")
+
+
+def test_bench_ablation_battery(benchmark):
+    checker = TalTypechecker()
+
+    def battery():
+        rejected = 0
+        for _, mutate in MUTANTS:
+            try:
+                mutate(checker)
+            except FTTypeError:
+                rejected += 1
+        return rejected
+
+    assert benchmark(battery) == len(MUTANTS)

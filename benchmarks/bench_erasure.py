@@ -1,0 +1,40 @@
+"""Ablation: erasure invariance at scale -- T evaluation is independent
+of type annotations (the static-discipline property behind Fig 2)."""
+
+from repro.papers_examples.fig3_call_to_call import build as build_fig3
+from repro.tal.erasure import erase_types
+from repro.tal.machine import run_component
+
+from tests.strategies import random_t_program
+
+
+def test_erasure_battery(record):
+    agreed = 0
+    for seed in range(150):
+        comp = random_t_program(seed)
+        original, _ = run_component(comp)
+        erased, _ = run_component(erase_types(comp))
+        assert erased.word == original.word
+        agreed += 1
+    record(f"erasure: {agreed}/150 random programs agree with their "
+           "type-erased versions")
+
+
+def test_bench_typed_execution(benchmark):
+    comp = build_fig3()
+
+    def run():
+        halted, _ = run_component(comp)
+        return halted.word
+
+    benchmark(run)
+
+
+def test_bench_erased_execution(benchmark):
+    comp = erase_types(build_fig3())
+
+    def run():
+        halted, _ = run_component(comp)
+        return halted.word
+
+    benchmark(run)

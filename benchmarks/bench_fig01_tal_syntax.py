@@ -1,0 +1,69 @@
+"""Fig 1 (T syntax): every syntactic category is constructible, printable,
+and parseable; benchmark the construct/print/parse cycle."""
+
+from repro.surface.parser import parse_component, parse_ttype
+from repro.papers_examples.fig3_call_to_call import build, cont_type
+from repro.tal.syntax import (
+    Aop, Call, CodeType, Component, DeltaBind, Fold, Halt, HCode, HTuple,
+    Jmp, Loc, Mv, NIL_STACK, Pack, QEnd, QEps, QIdx, QReg, RegFileTy,
+    RegOp, Ret, Salloc, seq, Sfree, Sld, Sst, St, StackTy, TBox, TExists,
+    TInt, TRec, TRef, TupleTy, TUnit, TVar, TyApp, UnfoldI, Unpack, WInt,
+    WLoc, WUnit,
+)
+
+
+def _menagerie():
+    """One value of every Fig 1 category."""
+    return {
+        "value types": [
+            TVar("a"), TUnit(), TInt(), TExists("a", TVar("a")),
+            TRec("a", TRef((TVar("a"),))), TRef((TInt(),)),
+            TBox(TupleTy((TInt(), TUnit()))), cont_type(),
+        ],
+        "word values": [
+            WUnit(), WInt(-3), WLoc(Loc("l")),
+            Pack(TInt(), WInt(1), TExists("a", TVar("a"))),
+            Fold(TRec("a", TInt()), WInt(2)),
+            TyApp(WLoc(Loc("l")), (TInt(), NIL_STACK, QIdx(0))),
+        ],
+        "markers": [QReg("ra"), QIdx(3), QEps("e"),
+                    QEnd(TInt(), NIL_STACK)],
+        "instructions": [
+            Aop("add", "r1", "r2", WInt(1)), Mv("r1", WUnit()),
+            Salloc(2), Sfree(1), Sld("r1", 0), Sst(0, "r1"),
+            St("r1", 0, "r2"), Unpack("a", "r1", RegOp("r2")),
+            UnfoldI("r1", RegOp("r2")),
+        ],
+        "terminators": [
+            Jmp(WLoc(Loc("l"))),
+            Call(WLoc(Loc("l")), NIL_STACK, QEnd(TInt(), NIL_STACK)),
+            Ret("ra", "r1"), Halt(TInt(), NIL_STACK, "r1"),
+        ],
+    }
+
+
+def test_fig01_all_categories_print_and_types_reparse(record):
+    zoo = _menagerie()
+    for category, items in zoo.items():
+        record(f"fig1 {category}: {len(items)} forms")
+        for item in items:
+            assert str(item)
+    for ty in zoo["value types"]:
+        assert parse_ttype(str(ty)) == ty
+
+
+def test_fig01_component_category(record):
+    comp = build()
+    assert isinstance(comp, Component)
+    assert parse_component(str(comp)) == comp
+    record(f"fig1 component: {len(comp.heap)} blocks, "
+           f"{len(comp.instrs.instrs) + 1} entry instructions")
+
+
+def test_bench_construct_print_parse(benchmark):
+    def cycle():
+        comp = build()
+        return parse_component(str(comp))
+
+    result = benchmark(cycle)
+    assert isinstance(result, Component)

@@ -1,0 +1,48 @@
+"""Fig 2 (T typing rules): reproduce the section-3 judgment table and
+benchmark the typechecker over the paper's T programs."""
+
+from repro.papers_examples import fig3_call_to_call, sec3_sequences
+from repro.tal.syntax import NIL_STACK, QEnd, StackTy, TInt, TUnit
+from repro.tal.typecheck import check_component, check_program
+
+
+def test_fig02_sequence_table(record):
+    """The inline example:  mv r1,42 => r1:int;nil  salloc 1 => ...unit::nil
+    sst 0,r1 => ...int::nil"""
+    states = sec3_sequences.sequence_example_states()
+    expected = [
+        ("(start)", ".", "nil"),
+        ("mv r1, 42", "r1: int", "nil"),
+        ("salloc 1", "r1: int", "unit :: nil"),
+        ("sst 0, r1", "r1: int", "int :: nil"),
+    ]
+    for (label, st), (want_label, want_chi, want_sigma) in zip(states,
+                                                               expected):
+        record(f"fig2 {label:12s} => {st.chi} ; {st.sigma}")
+        assert label == want_label
+        assert str(st.chi) == want_chi
+        assert str(st.sigma) == want_sigma
+
+
+def test_fig02_jmp_and_call_examples(record):
+    ty, _ = check_component(sec3_sequences.build_jmp_program(),
+                            q=QEnd(TUnit(), NIL_STACK))
+    record(f"fig2 jmp example types at {ty}")
+    ty, _ = check_program(sec3_sequences.build_call_program(), TInt())
+    record(f"fig2 call example types at {ty}")
+
+
+def test_bench_fig02_typechecker(benchmark):
+    comp = fig3_call_to_call.build()
+
+    def check():
+        return check_program(comp, TInt())
+
+    ty, sigma = benchmark(check)
+    assert ty == TInt() and sigma == NIL_STACK
+
+
+def test_bench_fig02_sequence_states(benchmark):
+    states = benchmark(sec3_sequences.sequence_example_states)
+    assert len(states) == 4
+    assert str(states[-1][1].sigma) == "int :: nil"

@@ -1,0 +1,29 @@
+"""Fig 3 (the call-to-call program): typecheck, execute, and verify the
+halt value; benchmark the machine."""
+
+from repro.papers_examples.fig3_call_to_call import build, EXPECTED_RESULT
+from repro.tal.machine import run_component
+from repro.tal.syntax import TInt, WInt
+from repro.tal.typecheck import check_program
+
+
+def test_fig03_program(record):
+    comp = build()
+    ty, sigma = check_program(comp, TInt())
+    record(f"fig3 component : {ty} ; {sigma}")
+    halted, machine = run_component(comp)
+    record(f"fig3 halts with {halted.word} in {machine.steps} steps, "
+           f"stack depth {machine.memory.depth}")
+    assert halted.word == WInt(EXPECTED_RESULT)
+    assert machine.memory.depth == 0
+
+
+def test_bench_fig03_execution(benchmark):
+    comp = build()
+
+    def run():
+        halted, _ = run_component(comp)
+        return halted
+
+    halted = benchmark(run)
+    assert halted.word == WInt(EXPECTED_RESULT)

@@ -1,0 +1,50 @@
+"""Fig 4 (control-flow diagram of Fig 3): regenerate the jump-level table
+and check each arrow, register state, and stack state against the figure."""
+
+from repro.analysis.trace import control_flow_table, format_table
+from repro.papers_examples.fig3_call_to_call import build
+from repro.tal.machine import run_component
+
+#: The figure's arrows: (kind, target, r1-if-shown, stack depth).
+FIG4_ARROWS = [
+    ("call", "l1", None, 0),      # f -> l1,  ra=l1ret, empty stack
+    ("call", "l2", None, 1),      # l1 -> l2, ra=l2ret, l1ret :: nil
+    ("jmp", "l2aux", "1", 1),     # r1=1, l1ret :: nil
+    ("ret", "l2ret", "2", 1),     # r1=2, l1ret :: nil
+    ("ret", "l1ret", "2", 0),     # r1=2, empty stack
+    ("halt", "", "2", 0),         # r1=2, empty stack
+]
+
+
+def _rows():
+    _, machine = run_component(build(), trace=True)
+    return control_flow_table(machine.trace)
+
+
+def test_fig04_arrows(record):
+    rows = _rows()
+    record(format_table(rows, title="fig 4 control flow"))
+    assert len(rows) == len(FIG4_ARROWS)
+    for row, (kind, target, r1, depth) in zip(rows, FIG4_ARROWS):
+        assert row.kind == kind
+        assert row.target == target
+        assert len(row.stack) == depth
+        if r1 is not None:
+            assert dict(row.regs).get("r1") == r1
+
+
+def test_fig04_continuation_registers(record):
+    rows = _rows()
+    # at the first call ra holds l1ret; at the second, l2ret instantiated
+    assert dict(rows[0].regs)["ra"].startswith("l1ret")
+    assert dict(rows[1].regs)["ra"].startswith("l2ret")
+    record("fig4 continuation registers match the figure")
+
+
+def test_bench_fig04_trace_reconstruction(benchmark):
+    def regenerate():
+        _, machine = run_component(build(), trace=True)
+        return control_flow_table(machine.trace)
+
+    rows = benchmark(regenerate)
+    assert [r.kind for r in rows] == [k for k, *_ in FIG4_ARROWS]

@@ -1,0 +1,57 @@
+"""Fig 5 (F syntax): category coverage, evaluation-context behaviour, and
+parser/printer throughput on F programs."""
+
+from repro.f.eval import evaluate
+from repro.f.syntax import (
+    App, BinOp, FArrow, FInt, Fold, FRec, FTupleT, FTVar, FUnit, If0, IntE,
+    is_value, Lam, Proj, TupleE, Unfold, UnitE, Var,
+)
+from repro.papers_examples.fig11_jit import build_source
+from repro.surface.parser import parse_fexpr
+
+
+def test_fig05_all_forms(record):
+    mu = FRec("a", FInt())
+    forms = [
+        Var("x"), UnitE(), IntE(3), BinOp("*", IntE(2), IntE(3)),
+        If0(IntE(0), IntE(1), IntE(2)),
+        Lam((("x", FInt()),), Var("x")),
+        App(Lam((("x", FInt()),), Var("x")), (IntE(1),)),
+        Fold(mu, IntE(1)), Unfold(Fold(mu, IntE(1))),
+        TupleE((IntE(1), UnitE())), Proj(0, TupleE((IntE(1),))),
+    ]
+    record(f"fig5: {len(forms)} expression forms constructed")
+    values = [f for f in forms if is_value(f)]
+    record(f"fig5: {len(values)} of them are values")
+    assert len(values) == 5
+    for f in forms:
+        assert parse_fexpr(str(f)) == f
+
+
+def test_fig05_left_to_right_cbv(record):
+    # (1 + 2) evaluated before (3 * 4) in <_, _>
+    e = TupleE((BinOp("+", IntE(1), IntE(2)), BinOp("*", IntE(3), IntE(4))))
+    from repro.f.eval import step
+
+    first = step(e)
+    assert first == TupleE((IntE(3), BinOp("*", IntE(3), IntE(4))))
+    record("fig5: evaluation contexts are left-to-right call-by-value")
+
+
+def test_bench_fig05_parse_print(benchmark):
+    source = str(build_source())
+
+    def round_trip():
+        return parse_fexpr(source)
+
+    e = benchmark(round_trip)
+    assert str(e) == source
+
+
+def test_bench_fig05_evaluation(benchmark):
+    prog = build_source()
+
+    def run():
+        return evaluate(prog)
+
+    assert benchmark(run) == IntE(2)

@@ -1,0 +1,54 @@
+"""Fig 7 (FT typing): the combined judgment over the paper's mixed
+programs, including the import postcondition the figure displays."""
+
+from repro.ft.typecheck import check_ft_expr, FTTypechecker
+from repro.papers_examples import (
+    fig11_jit, fig16_two_blocks, fig17_factorial, import_example, push7,
+)
+from repro.tal.syntax import NIL_STACK, RegFileTy, TInt
+from repro.tal.typecheck import InstrState
+
+
+def test_fig07_import_postcondition(record):
+    """import r1, nil TF int (1+1) => . ; r1: int ; nil ; end{int; nil}"""
+    checker = FTTypechecker()
+    st = InstrState((), RegFileTy(), NIL_STACK, import_example.MARKER)
+    out = checker.step_instruction(
+        st, import_example.build_import_instruction())
+    record(f"fig7 import postcondition: {out}")
+    assert str(out.chi) == "r1: int"
+    assert out.sigma == NIL_STACK
+    assert out.q == import_example.MARKER
+
+
+def test_fig07_paper_program_types(record):
+    cases = [
+        ("push7", push7.build(), "(int) [; int] -> unit"),
+        ("f1", fig16_two_blocks.build_f1(), "(int) -> int"),
+        ("factT", fig17_factorial.build_fact_t(), "(int) -> int"),
+        ("jit", fig11_jit.build_jit(), "int"),
+    ]
+    for name, program, expected in cases:
+        ty, _ = check_ft_expr(program)
+        record(f"fig7 {name}: {ty}")
+        assert str(ty) == expected
+
+
+def test_bench_fig07_mixed_typechecking(benchmark):
+    program = fig11_jit.build_jit()
+
+    def check():
+        return check_ft_expr(program)
+
+    ty, _ = benchmark(check)
+    assert str(ty) == "int"
+
+
+def test_bench_fig07_stack_lambda_typechecking(benchmark):
+    program = push7.build()
+
+    def check():
+        return check_ft_expr(program)
+
+    ty, _ = benchmark(check)
+    assert str(ty) == "(int) [; int] -> unit"

@@ -1,0 +1,54 @@
+"""Fig 8 (boundary operational semantics): the two boundary reductions --
+``tauFT(halt ...)`` and ``import ... TFtau v`` -- observed on the machine."""
+
+from repro.f.syntax import BinOp, FInt, IntE
+from repro.ft.machine import evaluate_ft, run_ft_component
+from repro.ft.syntax import Boundary, Import
+from repro.papers_examples.import_example import build as build_import
+from repro.tal.syntax import (
+    Component, Halt, Mv, NIL_STACK, seq, TInt, WInt,
+)
+
+
+def _halting_component(n: int) -> Component:
+    return Component(seq(Mv("r1", WInt(n)), Halt(TInt(), NIL_STACK, "r1")))
+
+
+def test_fig08_ft_boundary_reduction(record):
+    """<M | E[tauFT (halt tau, sigma {r}, .)]>  -->  <M' | E[v]>"""
+    value, machine = evaluate_ft(
+        BinOp("+", IntE(1), Boundary(FInt(), _halting_component(41))),
+        trace=True)
+    record(f"fig8 FT-boundary: halt 41 translated, program value {value}")
+    assert value == IntE(42)
+    assert any(ev.kind == "boundary" for ev in machine.trace)
+
+
+def test_fig08_import_reduction(record):
+    """<M | E[import rd, sigma TFtau v; I]>  -->  <M' | E[mv rd, w; I]>"""
+    halted, machine = run_ft_component(build_import(), trace=True)
+    record(f"fig8 TF-import: (1 + 1) imported, halts with {halted.word}")
+    assert halted.word == WInt(2)
+    boundary_events = [ev for ev in machine.trace if ev.kind == "boundary"]
+    assert len(boundary_events) == 2  # enter + translated
+
+
+def test_bench_fig08_boundary_crossing(benchmark):
+    program = BinOp("+", Boundary(FInt(), _halting_component(1)),
+                    Boundary(FInt(), _halting_component(2)))
+
+    def cross():
+        value, _ = evaluate_ft(program)
+        return value
+
+    assert benchmark(cross) == IntE(3)
+
+
+def test_bench_fig08_import_crossing(benchmark):
+    comp = build_import()
+
+    def cross():
+        halted, _ = run_ft_component(comp)
+        return halted
+
+    assert benchmark(cross).word == WInt(2)

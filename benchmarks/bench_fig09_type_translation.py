@@ -1,0 +1,55 @@
+"""Fig 9 (boundary type translation): each clause, checked against the
+figure's displayed forms, plus throughput on deeply nested arrows."""
+
+from repro.f.syntax import FArrow, FInt, FRec, FTupleT, FTVar, FUnit
+from repro.ft.syntax import FStackArrow
+from repro.ft.translate import type_translation
+from repro.tal.syntax import TInt
+from repro.tal.wellformed import check_type_wf
+
+
+FIG9_CASES = [
+    ("unit", FUnit(), "unit"),
+    ("int", FInt(), "int"),
+    ("alpha", FTVar("a"), "a"),
+    ("mu", FRec("a", FTVar("a")), "mu a. a"),
+    ("tuple", FTupleT((FInt(), FInt())), "box <int, int>"),
+    ("arrow", FArrow((FInt(),), FInt()),
+     "box forall[zeta z, eps e].{ra: box forall[].{r1: int; z} e; "
+     "int :: z} ra"),
+    ("stack arrow", FStackArrow((FInt(),), FUnit(), (), (TInt(),)),
+     "box forall[zeta z, eps e].{ra: box forall[].{r1: unit; int :: z} e; "
+     "int :: z} ra"),
+]
+
+
+def test_fig09_each_clause(record):
+    for name, source, expected in FIG9_CASES:
+        translated = type_translation(source)
+        record(f"fig9 {name}: {source}  |->  {translated}")
+        assert str(translated) == expected
+
+
+def test_fig09_translations_are_closed(record):
+    for name, source, _ in FIG9_CASES:
+        if name == "alpha":
+            continue
+        check_type_wf((), type_translation(source))
+    record("fig9: every translated closed type is well-formed")
+
+
+def _nested_arrow(depth: int) -> FArrow:
+    ty = FArrow((FInt(),), FInt())
+    for _ in range(depth):
+        ty = FArrow((ty,), ty)
+    return ty
+
+
+def test_bench_fig09_nested_translation(benchmark):
+    ty = _nested_arrow(6)
+
+    def translate():
+        return type_translation(ty)
+
+    out = benchmark(translate)
+    check_type_wf((), out)

@@ -1,0 +1,39 @@
+"""Fig 11 (the JIT example): the interpreted source and the mixed program
+agree; benchmark both executions."""
+
+from repro.f.eval import evaluate
+from repro.f.syntax import IntE
+from repro.ft.machine import evaluate_ft
+from repro.ft.typecheck import check_ft_expr
+from repro.papers_examples.fig11_jit import (
+    build_jit, build_source, EXPECTED_RESULT,
+)
+
+
+def test_fig11_agreement(record):
+    source_value = evaluate(build_source())
+    jit_value, machine = evaluate_ft(build_jit())
+    record(f"fig11 source value: {source_value}")
+    record(f"fig11 mixed value:  {jit_value} ({machine.steps} steps)")
+    assert source_value == jit_value == IntE(EXPECTED_RESULT)
+
+
+def test_fig11_types(record):
+    ty, _ = check_ft_expr(build_jit())
+    record(f"fig11 mixed program type: {ty}")
+    assert str(ty) == "int"
+
+
+def test_bench_fig11_source(benchmark):
+    program = build_source()
+    assert benchmark(lambda: evaluate(program)) == IntE(2)
+
+
+def test_bench_fig11_jit(benchmark):
+    program = build_jit()
+
+    def run():
+        value, _ = evaluate_ft(program)
+        return value
+
+    assert benchmark(run) == IntE(2)

@@ -1,0 +1,59 @@
+"""Fig 12 (JIT control flow): regenerate the cross-language diagram --
+the F -> T call into g, the callback into compiled lh, and the shim
+returns through lgret/lend."""
+
+from repro.analysis.trace import control_flow_table, format_table
+from repro.ft.machine import evaluate_ft
+from repro.papers_examples.fig11_jit import build_jit
+
+#: Fig 12's inter-block arrows, in order (halts are the figure's dashed
+#: transitions back into F).
+FIG12_CONTROL = [
+    ("halt", ""),         # the outer boundary delivers the pointer to l
+    ("call", "l"),        # F applies compiled f
+    ("call", "lam"),      # l calls back into interpreted g (wrapped)
+    ("halt", ""),         # g's wrapper reads its argument off the stack
+    ("call", "lh"),       # g applies compiled h to 1
+    ("ret", "lend"),      # h returns into the callback's halt shim
+    ("halt", ""),         # ... which crosses back into F with 2
+    ("ret", "lgret"),     # g's wrapper returns through the shim block
+    ("ret", "lend"),      # ... and l's continuation unwinds
+    ("halt", ""),         # the final result 2 reaches F
+]
+
+
+def _rows():
+    _, machine = evaluate_ft(build_jit(), trace=True)
+    return control_flow_table(machine.trace,
+                              kinds=("call", "ret", "jmp", "halt"))
+
+
+def test_fig12_arrow_sequence(record):
+    rows = _rows()
+    record(format_table(rows, title="fig 12 control flow"))
+    arrows = [(r.kind, r.target) for r in rows]
+    assert arrows == FIG12_CONTROL
+
+
+def test_fig12_callback_argument(record):
+    rows = _rows()
+    # when g's wrapper calls lh, the argument 1 is on top of the stack
+    call_lh = next(r for r in rows if r.target == "lh")
+    assert call_lh.stack[0] == "1"
+    record("fig12: the callback passes 1 to compiled h on the stack")
+
+
+def test_fig12_result_flows_back(record):
+    rows = _rows()
+    # once lh has computed 1 * 2, every unwinding transfer carries 2 in r1
+    after_lh = rows[5:]
+    assert all(dict(r.regs).get("r1") == "2" for r in after_lh)
+    record("fig12: the result 2 flows back through every return")
+
+
+def test_bench_fig12_trace(benchmark):
+    def regenerate():
+        return _rows()
+
+    rows = benchmark(regenerate)
+    assert [(r.kind, r.target) for r in rows] == FIG12_CONTROL

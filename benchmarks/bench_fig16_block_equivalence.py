@@ -1,0 +1,62 @@
+"""Fig 16 (different numbers of basic blocks): the one-block and two-block
+components are contextually indistinguishable; mutations are refuted."""
+
+from repro.equiv.checker import check_equivalence
+from repro.equiv.worlds import related_values, World
+from repro.f.syntax import App, FInt, IntE, Lam, Var
+from repro.ft.syntax import Boundary, Protect
+from repro.ft.translate import continuation_type, type_translation
+from repro.papers_examples.fig16_two_blocks import ARROW, build_f1, build_f2
+from repro.tal.syntax import (
+    Aop, Component, DeltaBind, Halt, HCode, Loc, Mv, QReg, RegFileTy, Ret,
+    Sfree, Sld, StackTy, TInt, WInt, WLoc, seq,
+)
+
+
+def _mutant():
+    """Like f1 but adds 3 -- must be distinguished."""
+    label = Loc("lbad")
+    zstack = StackTy((), "z")
+    cont = continuation_type(TInt(), zstack)
+    block = HCode(
+        (DeltaBind("zeta", "z"), DeltaBind("eps", "e")),
+        RegFileTy.of(ra=cont), StackTy((TInt(),), "z"), QReg("ra"),
+        seq(Sld("r1", 0), Aop("add", "r1", "r1", WInt(3)),
+            Sfree(1), Ret("ra", "r1")))
+    comp = Component(
+        seq(Protect((), "z"), Mv("r1", WLoc(label)),
+            Halt(type_translation(ARROW), zstack, "r1")),
+        ((label, block),))
+    return Lam((("x", FInt()),), App(Boundary(ARROW, comp), (Var("x"),)))
+
+
+def test_fig16_equivalence_confirmed(record):
+    report = check_equivalence(build_f1(), build_f2(), ARROW, fuel=30_000)
+    record(f"fig16: f1 ~ f2 -- {report}")
+    assert report.equivalent
+    assert report.trials >= 15
+
+
+def test_fig16_value_relation(record):
+    failure = related_values(World(k=3, fuel=30_000), build_f1(),
+                             build_f2(), ARROW)
+    record("fig16: related in V[(int)->int] up to k=3"
+           if failure is None else f"fig16: {failure}")
+    assert failure is None
+
+
+def test_fig16_mutant_refuted(record):
+    report = check_equivalence(build_f1(), _mutant(), ARROW, fuel=30_000)
+    record(f"fig16: f1 ~ add-3 mutant -- {report}")
+    assert not report.equivalent
+
+
+def test_bench_fig16_equivalence_check(benchmark):
+    f1, f2 = build_f1(), build_f2()
+
+    def check():
+        return check_equivalence(f1, f2, ARROW, fuel=20_000,
+                                 max_contexts=10)
+
+    report = benchmark(check)
+    assert report.equivalent

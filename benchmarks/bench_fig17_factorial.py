@@ -1,0 +1,65 @@
+"""Fig 17 (factorial two ways): equal outputs for n >= 0, co-divergence
+for n < 0 -- the two cases of the paper's equivalence proof."""
+
+import pytest
+
+from repro.equiv.checker import check_equivalence
+from repro.equiv.observation import observe
+from repro.f.syntax import App, IntE
+from repro.papers_examples.fig17_factorial import (
+    ARROW, build_fact_f, build_fact_t, expected,
+)
+
+
+def test_fig17_termination_case(record):
+    ff, ft = build_fact_f(), build_fact_t()
+    for n in range(0, 9):
+        obs_f = observe(App(ff, (IntE(n),)))
+        obs_t = observe(App(ft, (IntE(n),)))
+        record(f"fig17 n={n}: factF={obs_f} factT={obs_t} "
+               f"(reference {expected(n)})")
+        assert obs_f.value == obs_t.value == expected(n)
+
+
+def test_fig17_divergence_case(record):
+    ff, ft = build_fact_f(), build_fact_t()
+    for n in (-1, -4):
+        obs_f = observe(App(ff, (IntE(n),)), fuel=15_000)
+        obs_t = observe(App(ft, (IntE(n),)), fuel=15_000)
+        record(f"fig17 n={n}: factF={obs_f} factT={obs_t}")
+        assert obs_f.kind == obs_t.kind == "diverged"
+
+
+def test_fig17_full_equivalence_check(record):
+    report = check_equivalence(build_fact_f(), build_fact_t(), ARROW,
+                               fuel=30_000)
+    record(f"fig17: factF ~ factT -- {report}")
+    assert report.equivalent
+
+
+def test_bench_fig17_fact_f(benchmark):
+    ff = build_fact_f()
+
+    def run():
+        return observe(App(ff, (IntE(8),)))
+
+    assert benchmark(run).value == expected(8)
+
+
+def test_bench_fig17_fact_t(benchmark):
+    ft = build_fact_t()
+
+    def run():
+        return observe(App(ft, (IntE(8),)))
+
+    assert benchmark(run).value == expected(8)
+
+
+def test_bench_fig17_equivalence(benchmark):
+    ff, ft = build_fact_f(), build_fact_t()
+
+    def check():
+        return check_equivalence(ff, ft, ARROW, fuel=15_000,
+                                 max_contexts=8)
+
+    assert benchmark(check).equivalent

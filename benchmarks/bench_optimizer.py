@@ -1,0 +1,86 @@
+"""Ablation/extension: the peephole optimizer (the constructive face of
+Fig 16's block-structure irrelevance).  Measures code shrink on compiled
+functions and re-checks the equivalence obligation after optimizing."""
+
+from repro.equiv.checker import check_equivalence
+from repro.f.syntax import App, BinOp, FArrow, FInt, If0, IntE, Lam, Var
+from repro.ft.machine import evaluate_ft
+from repro.ft.syntax import Boundary
+from repro.jit.compiler import compile_function
+from repro.tal.optimize import optimize_component
+
+INT_ARROW = FArrow((FInt(),), FInt())
+
+
+def _sources():
+    return [
+        ("affine", Lam((("x", FInt()),),
+                       BinOp("+", BinOp("*", Var("x"), IntE(2)),
+                             IntE(1)))),
+        ("poly3", Lam((("x", FInt()),),
+                      BinOp("+", BinOp("*",
+                                       BinOp("*", Var("x"), Var("x")),
+                                       Var("x")),
+                            BinOp("*", Var("x"), IntE(-1))))),
+        ("branchy", Lam((("x", FInt()),),
+                        If0(Var("x"), IntE(9),
+                            BinOp("*", Var("x"), Var("x"))))),
+    ]
+
+
+def _instr_count(comp):
+    return (len(comp.instrs.instrs)
+            + sum(len(h.instrs.instrs) for _, h in comp.heap))
+
+
+def test_optimizer_shrinks_compiled_code(record):
+    for name, source in _sources():
+        compiled = compile_function(source)
+        comp = compiled.body.fn.comp
+        optimized = optimize_component(comp)
+        before, after = _instr_count(comp), _instr_count(optimized)
+        record(f"optimizer {name}: {before} -> {after} instructions "
+               f"({100 * (before - after) // before}% smaller)")
+        assert after < before
+
+
+def test_optimizer_preserves_equivalence(record):
+    for name, source in _sources():
+        compiled = compile_function(source)
+        optimized = Lam(
+            compiled.params,
+            App(Boundary(INT_ARROW,
+                         optimize_component(compiled.body.fn.comp)),
+                (Var("x"),)))
+        report = check_equivalence(source, optimized, INT_ARROW,
+                                   fuel=25_000, max_contexts=8)
+        record(f"optimizer {name}: source ~ optimized -- {report}")
+        assert report.equivalent
+
+
+def test_bench_optimizer_pass(benchmark):
+    compiled = compile_function(_sources()[1][1])
+    comp = compiled.body.fn.comp
+
+    def optimize():
+        return optimize_component(comp)
+
+    out = benchmark(optimize)
+    assert _instr_count(out) < _instr_count(comp)
+
+
+def test_bench_optimized_execution(benchmark):
+    name, source = _sources()[1]
+    compiled = compile_function(source)
+    optimized = Lam(
+        compiled.params,
+        App(Boundary(INT_ARROW,
+                     optimize_component(compiled.body.fn.comp)),
+            (Var("x"),)))
+    program = App(optimized, (IntE(5),))
+
+    def run():
+        value, _ = evaluate_ft(program)
+        return value
+
+    assert benchmark(run) == IntE(120)

@@ -1,0 +1,108 @@
+"""Artifact-parity performance: parser, typechecker, and machine
+throughput on scaled synthetic workloads (no paper counterpart -- the
+authors' artifact ran in a browser; these numbers document ours)."""
+
+from repro.f.eval import evaluate
+from repro.f.syntax import App, BinOp, FArrow, FInt, IntE, Lam, Var
+from repro.ft.machine import evaluate_ft
+from repro.surface.parser import parse_component, parse_fexpr
+from repro.tal.machine import run_component
+from repro.tal.syntax import (
+    Aop, Bnz, Component, DeltaBind, Halt, HCode, Jmp, KIND_EPS, KIND_ZETA,
+    Loc, Mv, NIL_STACK, QEnd, RegFileTy, RegOp, StackTy, TInt, TyApp, WInt,
+    WLoc, seq,
+)
+from repro.tal.typecheck import check_program
+
+
+def _countdown_component(n: int) -> Component:
+    """A T loop counting r3 from n to 0 (2n+3 machine steps)."""
+    loop = Loc("loop")
+    end_marker = QEnd(TInt(), NIL_STACK)
+    block = HCode(
+        (), RegFileTy.of(r3=TInt(), r7=TInt()), NIL_STACK, end_marker,
+        seq(
+            Aop("sub", "r3", "r3", WInt(1)),
+            Aop("add", "r7", "r7", WInt(1)),
+            Bnz("r3", WLoc(loop)),
+            Mv("r1", RegOp("r7")),
+            Halt(TInt(), NIL_STACK, "r1"),
+        ))
+    return Component(seq(
+        Mv("r3", WInt(n)),
+        Mv("r7", WInt(0)),
+        Jmp(WLoc(loop)),
+    ), ((loop, block),))
+
+
+def _adder_chain(n: int):
+    """n nested F applications of (lam x. x + 1)."""
+    inc = Lam((("x", FInt()),), BinOp("+", Var("x"), IntE(1)))
+    e = IntE(0)
+    for _ in range(n):
+        e = App(inc, (e,))
+    return e
+
+
+def test_workloads_are_correct(record):
+    halted, machine = run_component(_countdown_component(500))
+    assert halted.word == WInt(500)
+    record(f"perf: countdown(500) took {machine.steps} machine steps")
+    assert evaluate(_adder_chain(200)) == IntE(200)
+    record("perf: adder-chain(200) evaluates correctly")
+
+
+def test_bench_t_machine_throughput(benchmark):
+    comp = _countdown_component(1_000)
+
+    def run():
+        halted, _ = run_component(comp, fuel=10**7)
+        return halted
+
+    assert benchmark(run).word == WInt(1_000)
+
+
+def test_bench_t_typechecker_throughput(benchmark):
+    comp = _countdown_component(1)
+
+    def check():
+        return check_program(comp, TInt())
+
+    benchmark(check)
+
+
+def test_bench_f_machine_throughput(benchmark):
+    prog = _adder_chain(300)
+
+    def run():
+        return evaluate(prog, fuel=10**6)
+
+    assert benchmark(run) == IntE(300)
+
+
+def test_bench_ft_machine_throughput(benchmark):
+    prog = _adder_chain(150)
+
+    def run():
+        value, _ = evaluate_ft(prog, fuel=10**6)
+        return value
+
+    assert benchmark(run) == IntE(150)
+
+
+def test_bench_parser_throughput(benchmark):
+    source = str(_countdown_component(1))
+
+    def parse():
+        return parse_component(source)
+
+    benchmark(parse)
+
+
+def test_bench_f_parser_throughput(benchmark):
+    source = str(_adder_chain(60))
+
+    def parse():
+        return parse_fexpr(source)
+
+    benchmark(parse)

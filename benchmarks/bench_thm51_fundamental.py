@@ -1,0 +1,47 @@
+"""Theorem 5.1 (Fundamental Property), testable shadow: every well-typed
+term is contextually equivalent to itself.  Checked over the paper corpus
+and a random-program battery."""
+
+from repro.equiv.checker import check_equivalence
+from repro.f.syntax import FInt
+from repro.papers_examples import fig16_two_blocks, fig17_factorial
+
+from tests.strategies import random_f_int_expr
+
+
+CORPUS = [
+    ("f1", fig16_two_blocks.build_f1, fig16_two_blocks.ARROW),
+    ("f2", fig16_two_blocks.build_f2, fig16_two_blocks.ARROW),
+    ("factF", fig17_factorial.build_fact_f, fig17_factorial.ARROW),
+    ("factT", fig17_factorial.build_fact_t, fig17_factorial.ARROW),
+]
+
+
+def test_thm51_paper_corpus(record):
+    for name, build, ty in CORPUS:
+        report = check_equivalence(build(), build(), ty, fuel=20_000,
+                                   max_contexts=10)
+        record(f"thm5.1 {name} ~ {name}: {report}")
+        assert report.equivalent
+
+
+def test_thm51_random_battery(record):
+    confirmed = 0
+    for seed in range(25):
+        e = random_f_int_expr(seed, depth=3)
+        report = check_equivalence(e, e, FInt(), fuel=20_000,
+                                   typecheck=False)
+        assert report.equivalent
+        confirmed += 1
+    record(f"thm5.1: {confirmed}/25 random well-typed terms self-related")
+
+
+def test_bench_thm51_self_equivalence(benchmark):
+    build, ty = fig16_two_blocks.build_f1, fig16_two_blocks.ARROW
+    candidate = build()
+
+    def check():
+        return check_equivalence(candidate, candidate, ty, fuel=15_000,
+                                 max_contexts=6)
+
+    assert benchmark(check).equivalent

@@ -1,0 +1,66 @@
+"""Theorem 5.2 (soundness & completeness wrt contextual equivalence),
+testable shadow:
+
+* *soundness of refutation* -- every seeded INequivalent pair is refuted
+  by some context (a counterexample is a real distinguishing context);
+* *no false refutation* -- the paper's proven-equivalent pairs are never
+  refuted, at any budget we can afford.
+"""
+
+from repro.equiv.checker import check_equivalence
+from repro.f.syntax import App, BinOp, FArrow, FInt, If0, IntE, Lam, Var
+from repro.papers_examples import fig16_two_blocks, fig17_factorial
+
+INT_ARROW = FArrow((FInt(),), FInt())
+
+
+def lam_int(body):
+    return Lam((("x", FInt()),), body)
+
+
+#: Pairs that differ somewhere; each must be caught.
+INEQUIVALENT_PAIRS = [
+    ("off-by-one", lam_int(Var("x")),
+     lam_int(BinOp("+", Var("x"), IntE(1)))),
+    ("only-at-negatives", lam_int(BinOp("*", Var("x"), Var("x"))),
+     lam_int(If0(Var("x"), IntE(0),
+                 If0(BinOp("+", Var("x"), IntE(1)), IntE(-1),
+                     BinOp("*", Var("x"), Var("x")))))),
+    ("only-at-17", lam_int(Var("x")),
+     lam_int(If0(BinOp("-", Var("x"), IntE(7)), IntE(0), Var("x")))),
+    ("constant-vs-echo", lam_int(IntE(0)), lam_int(Var("x"))),
+]
+
+EQUIVALENT_PAIRS = [
+    ("fig16", fig16_two_blocks.build_f1(), fig16_two_blocks.build_f2(),
+     fig16_two_blocks.ARROW),
+    ("fig17", fig17_factorial.build_fact_f(),
+     fig17_factorial.build_fact_t(), fig17_factorial.ARROW),
+    ("commuted-add", lam_int(BinOp("+", Var("x"), IntE(3))),
+     lam_int(BinOp("+", IntE(3), Var("x"))), INT_ARROW),
+]
+
+
+def test_thm52_inequivalent_pairs_refuted(record):
+    for name, left, right in INEQUIVALENT_PAIRS:
+        report = check_equivalence(left, right, INT_ARROW, fuel=20_000)
+        record(f"thm5.2 {name}: {report}")
+        assert not report.equivalent, name
+
+
+def test_thm52_equivalent_pairs_never_refuted(record):
+    for entry in EQUIVALENT_PAIRS:
+        name, left, right, ty = entry
+        report = check_equivalence(left, right, ty, fuel=20_000)
+        record(f"thm5.2 {name}: {report}")
+        assert report.equivalent, name
+
+
+def test_bench_thm52_refutation_speed(benchmark):
+    left, right = INEQUIVALENT_PAIRS[0][1], INEQUIVALENT_PAIRS[0][2]
+
+    def refute():
+        return check_equivalence(left, right, INT_ARROW, fuel=10_000)
+
+    report = benchmark(refute)
+    assert not report.equivalent

@@ -1,0 +1,47 @@
+"""Type safety at scale (the metatheory behind every figure): batteries of
+random well-typed programs never get stuck on either machine."""
+
+from repro.errors import MachineError
+from repro.f.eval import evaluate
+from repro.f.syntax import IntE
+from repro.tal.machine import run_component
+from repro.tal.syntax import TInt, WInt
+from repro.tal.typecheck import check_program
+
+from tests.strategies import random_f_int_expr, random_t_program
+
+
+def test_safety_battery_f(record):
+    for seed in range(200):
+        value = evaluate(random_f_int_expr(seed, depth=4), fuel=100_000)
+        assert isinstance(value, IntE)
+    record("type safety: 200/200 random F programs ran to int values")
+
+
+def test_safety_battery_t(record):
+    for seed in range(200):
+        comp = random_t_program(seed, length=15)
+        check_program(comp, TInt())
+        halted, machine = run_component(comp, fuel=50_000)
+        assert isinstance(halted.word, WInt)
+        assert machine.memory.depth == 0
+    record("type safety: 200/200 random T programs typechecked and "
+           "halted cleanly")
+
+
+def test_bench_safety_pipeline_t(benchmark):
+    def pipeline():
+        comp = random_t_program(12345, length=15)
+        check_program(comp, TInt())
+        halted, _ = run_component(comp)
+        return halted
+
+    halted = benchmark(pipeline)
+    assert isinstance(halted.word, WInt)
+
+
+def test_bench_safety_pipeline_f(benchmark):
+    def pipeline():
+        return evaluate(random_f_int_expr(999, depth=4), fuel=100_000)
+
+    assert isinstance(benchmark(pipeline), IntE)

@@ -1,0 +1,27 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every benchmark regenerates its paper artifact (asserting the *shape*
+matches the figure) and reports timing via pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+The ``record`` fixture collects the reproduced rows so a bench run doubles
+as the data source for EXPERIMENTS.md.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def record(capsys):
+    """Print reproduced figure rows (visible with -s), returning a sink."""
+
+    lines = []
+
+    def emit(*parts):
+        line = " ".join(str(p) for p in parts)
+        lines.append(line)
+        print(line)
+
+    emit.lines = lines
+    return emit

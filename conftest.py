@@ -1,0 +1,8 @@
+"""Root conftest: make the repository root importable so the benchmark
+harness can reuse the generators in ``tests.strategies`` regardless of how
+pytest is invoked."""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))

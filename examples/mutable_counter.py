@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""The section-4.2 mutable reference library in action.
+
+F has no mutation.  The paper's remedy is stack-modifying lambdas: a T
+library keeps an ``int`` cell on the machine stack, and the lambdas' arrow
+types ``(..)[phi_i; phi_o] -> ..`` advertise exactly how each operation
+changes the stack.  This script implements a small counter workload:
+
+    alloc 10; repeat 3 times: write(read() + read()); free; return
+
+i.e. three doublings of the cell: 10 -> 20 -> 40 -> 80.
+"""
+
+from repro.f.syntax import App, BinOp, FInt, FUnit, IntE, UnitE, Var
+from repro.ft.machine import evaluate_ft
+from repro.ft.typecheck import check_ft_expr
+from repro.stdlib.prelude import seq_cell
+from repro.stdlib.refs import alloc_cell, free_cell, read_cell, write_cell
+from repro.tal.syntax import TInt
+
+INT_CELL = (TInt(),)
+
+
+def double_step(rest, index: int):
+    """write(read() + read()); rest"""
+    read_once = App(read_cell(), (UnitE(),))
+    return seq_cell(
+        read_once, f"v{index}", FInt(),
+        seq_cell(
+            App(write_cell(),
+                (BinOp("+", Var(f"v{index}"), Var(f"v{index}")),)),
+            f"w{index}", FUnit(),
+            rest,
+            INT_CELL, ()),
+        INT_CELL, ())
+
+
+def build_counter_program(initial: int, doublings: int):
+    # innermost: read the final value, free the cell, return the value
+    final = seq_cell(
+        App(read_cell(), (UnitE(),)), "result", FInt(),
+        seq_cell(
+            App(free_cell(), (UnitE(),)), "freed", FUnit(),
+            Var("result"),
+            (), ()),
+        INT_CELL, ())
+    body = final
+    for i in reversed(range(doublings)):
+        body = double_step(body, i)
+    return seq_cell(
+        App(alloc_cell(), (IntE(initial),)), "cell", FUnit(),
+        body,
+        INT_CELL, ())
+
+
+def main() -> None:
+    program = build_counter_program(10, 3)
+    ty, sigma = check_ft_expr(program)
+    print(f"program type: {ty} ; output stack: {sigma}")
+    value, machine = evaluate_ft(program)
+    print(f"10 doubled 3 times = {value}   (machine steps: {machine.steps})")
+    assert str(value) == "80"
+
+    print()
+    print("the library's types:")
+    for name, builder in (("alloc", alloc_cell), ("read", read_cell),
+                          ("write", write_cell), ("free", free_cell)):
+        lam_ty, _ = check_ft_expr(builder())
+        print(f"  {name:6s}: {lam_ty}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Quickstart: build, typecheck, and run a mixed FunTAL program.
+
+Three ways to the same program -- a function whose body is embedded
+assembly that doubles its argument and adds one:
+
+1. construct the AST with the public API;
+2. write the surface syntax and parse it;
+3. run it, inspect the machine trace.
+"""
+
+from repro.analysis.trace import control_flow_table, format_table
+from repro.f.syntax import App, FArrow, FInt, IntE, Lam, Var
+from repro.ft.machine import evaluate_ft
+from repro.ft.syntax import Boundary, Protect
+from repro.ft.translate import continuation_type, type_translation
+from repro.ft.typecheck import check_ft_expr
+from repro.surface.parser import parse_fexpr
+from repro.tal.syntax import (
+    Aop, Component, DeltaBind, Halt, HCode, KIND_EPS, KIND_ZETA, Loc, Mv,
+    QReg, RegFileTy, RegOp, Ret, Sfree, Sld, StackTy, TInt, WInt, WLoc, seq,
+)
+
+
+def build_double_plus_one() -> Lam:
+    """lam(x: int). ((int)->int FT <assembly>) x"""
+    arrow = FArrow((FInt(),), FInt())
+    zstack = StackTy((), "z")
+    cont = continuation_type(TInt(), zstack)
+    label = Loc("ldouble")
+    block = HCode(
+        (DeltaBind(KIND_ZETA, "z"), DeltaBind(KIND_EPS, "e")),
+        RegFileTy.of(ra=cont),
+        StackTy((TInt(),), "z"),          # argument on top of the stack
+        QReg("ra"),                       # return continuation in ra
+        seq(
+            Sld("r1", 0),                 # load the argument
+            Aop("mul", "r1", "r1", WInt(2)),
+            Aop("add", "r1", "r1", WInt(1)),
+            Sfree(1),                     # pop the argument
+            Ret("ra", "r1"),              # return through the marker
+        ))
+    comp = Component(
+        seq(Protect((), "z"),
+            Mv("r1", WLoc(label)),
+            Halt(type_translation(arrow), zstack, "r1")),
+        ((label, block),))
+    return Lam((("x", FInt()),), App(Boundary(arrow, comp), (Var("x"),)))
+
+
+def main() -> None:
+    print("=== 1. build with the API ===")
+    f = build_double_plus_one()
+    ty, _ = check_ft_expr(f)
+    print(f"type of f: {ty}")
+
+    program = App(f, (IntE(20),))
+    value, machine = evaluate_ft(program, trace=True)
+    print(f"f 20 = {value}")
+
+    print()
+    print("=== 2. the same program through the surface syntax ===")
+    source = str(program)      # every AST pretty-prints parseably
+    print(source)
+    reparsed = parse_fexpr(source)
+    value2, _ = evaluate_ft(reparsed)
+    assert str(value2) == str(value)
+    print(f"re-parsed program also evaluates to {value2}")
+
+    print()
+    print("=== 3. the jump-level machine trace ===")
+    print(format_table(control_flow_table(machine.trace),
+                       title="control flow of f 20"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""FunTAL reproduction: F, T, and the FT multi-language (PLDI 2017).
+
+See README.md for the architecture overview and DESIGN.md for the paper
+inventory.  Subpackages:
+
+* :mod:`repro.f`   -- the functional language F
+* :mod:`repro.tal` -- the typed assembly language T
+* :mod:`repro.ft`  -- the multi-language FT (boundaries + translations)
+* :mod:`repro.surface` -- concrete syntax: lexer, parser, pretty-printer
+* :mod:`repro.equiv` -- the bounded contextual-equivalence checker
+* :mod:`repro.papers_examples` -- every example program in the paper
+* :mod:`repro.analysis` -- control-flow graphs and machine-trace tooling
+* :mod:`repro.stdlib` -- the mutable-reference library and prelude
+"""
+
+__version__ = "1.0.0"

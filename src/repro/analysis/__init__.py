@@ -1,0 +1,11 @@
+"""Analysis tooling over T/FT programs and machine traces.
+
+* :mod:`repro.analysis.cfg` -- static control-flow graphs of components
+  (networkx digraphs over basic blocks);
+* :mod:`repro.analysis.trace` -- jump-level trace tables reconstructed from
+  machine trace events, regenerating the paper's control-flow diagrams
+  (Figs 4 and 12).
+"""
+
+from repro.analysis.cfg import component_cfg  # noqa: F401
+from repro.analysis.trace import control_flow_table, format_table  # noqa: F401

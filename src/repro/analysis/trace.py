@@ -1,0 +1,102 @@
+"""Jump-level control-flow tables from machine traces.
+
+The paper's Figs 4 and 12 draw, for each inter-block transfer, the
+instruction causing the jump and the relevant register/stack state at jump
+time.  :func:`control_flow_table` distills a machine's
+:class:`~repro.tal.machine.TraceEvent` stream into exactly those rows;
+:func:`format_table` renders them for the benchmark harness, which compares
+the rows against the figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.tal.machine import TraceEvent
+
+__all__ = ["FlowRow", "control_flow_table", "format_table"]
+
+#: Event kinds that correspond to arrows in the paper's diagrams.
+CONTROL_KINDS = ("call", "jmp", "ret", "bnz", "halt", "boundary")
+
+
+@dataclass(frozen=True)
+class FlowRow:
+    """One arrow of a control-flow diagram."""
+
+    kind: str                      # call / jmp / ret / bnz / halt / boundary
+    target: str                    # pretty block label ('' for halt)
+    regs: Tuple[Tuple[str, str], ...]   # register -> pretty value
+    stack: Tuple[str, ...]         # pretty stack, top first
+    detail: str = ""
+
+    def __str__(self) -> str:
+        regs = ", ".join(f"{r} -> {w}" for r, w in self.regs)
+        stack = " :: ".join(self.stack) if self.stack else "nil"
+        arrow = f" -> {self.target}" if self.target else ""
+        info = f" [{self.detail}]" if self.detail else ""
+        return f"{self.kind}{arrow}{info}  |  {regs}  |  {stack}"
+
+
+def _pretty_word(w) -> str:
+    text = str(w)
+    # Strip the freshness suffixes the loader appends to labels so rows
+    # read like the paper's figures (l2ret%4 -> l2ret).
+    out = []
+    i = 0
+    while i < len(text):
+        if text[i] == "%":
+            i += 1
+            while i < len(text) and text[i].isdigit():
+                i += 1
+            continue
+        out.append(text[i])
+        i += 1
+    return "".join(out)
+
+
+def control_flow_table(events: Iterable[TraceEvent],
+                       registers: Optional[Sequence[str]] = None,
+                       kinds: Sequence[str] = CONTROL_KINDS) -> List[FlowRow]:
+    """Project a trace onto diagram rows.
+
+    ``registers`` restricts which registers are shown (the figures show
+    only the relevant ones); ``None`` shows all set registers.
+    """
+    rows: List[FlowRow] = []
+    for ev in events:
+        if ev.kind not in kinds:
+            continue
+        regs = tuple(
+            (r, _pretty_word(w)) for r, w in ev.regs
+            if registers is None or r in registers)
+        stack = tuple(_pretty_word(w) for w in ev.stack)
+        rows.append(FlowRow(ev.kind, ev.pretty_label(), regs, stack,
+                            ev.detail))
+    return rows
+
+
+def format_table(rows: Iterable[FlowRow], title: str = "") -> str:
+    """Render rows as an aligned text table."""
+    rows = list(rows)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    head = ("transfer", "registers", "stack (top first)")
+    body = []
+    for row in rows:
+        arrow = f"{row.kind} -> {row.target}" if row.target else row.kind
+        if row.detail:
+            arrow += f" ({row.detail})"
+        regs = ", ".join(f"{r}={w}" for r, w in row.regs) or "-"
+        stack = " :: ".join(row.stack) if row.stack else "nil"
+        body.append((arrow, regs, stack))
+    widths = [max(len(head[i]), *(len(b[i]) for b in body)) if body
+              else len(head[i]) for i in range(3)]
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    lines.append(fmt.format(*head))
+    for b in body:
+        lines.append(fmt.format(*b))
+    return "\n".join(lines)

@@ -1,0 +1,278 @@
+"""``funtal`` -- command-line typechecker, stepper, and example runner.
+
+The reproduction's counterpart to the paper artifact's in-browser tools::
+
+    funtal parse FILE            # parse and pretty-print back
+    funtal typecheck FILE        # infer and print the type (and out-stack)
+    funtal run FILE [--fuel N] [--trace]   # evaluate; --trace prints the
+                                 # jump-level control-flow table
+    funtal examples [NAME]       # list / run the built-in paper examples
+
+FILE contains either an F(T) expression or a bare T component in the
+surface syntax (see README).  ``-`` reads from stdin.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.analysis.trace import control_flow_table, format_table
+from repro.errors import FunTALError
+from repro.f.syntax import FExpr
+from repro.ft.machine import evaluate_ft, run_ft_component
+from repro.ft.typecheck import check_ft_component, check_ft_expr
+from repro.surface.parser import parse_program
+from repro.surface.pretty import pretty_component
+from repro.tal.syntax import Component, NIL_STACK, QEnd, TalType
+
+__all__ = ["main", "EXAMPLES"]
+
+
+def _load(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def cmd_parse(args: argparse.Namespace) -> int:
+    node = parse_program(_load(args.file))
+    if isinstance(node, Component):
+        print(pretty_component(node))
+    else:
+        print(node)
+    return 0
+
+
+def cmd_typecheck(args: argparse.Namespace) -> int:
+    node = parse_program(_load(args.file))
+    if isinstance(node, Component):
+        # A bare component needs a halting marker; --result-type names the
+        # T type it halts with (surface syntax), default int.
+        from repro.surface.parser import parse_ttype
+
+        result: TalType = parse_ttype(args.result_type)
+        ty, sigma = check_ft_component(node, q=QEnd(result, NIL_STACK))
+        print(f"component : {ty} ; {sigma}")
+    else:
+        ty, sigma = check_ft_expr(node)
+        print(f"expression : {ty} ; {sigma}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    node = parse_program(_load(args.file))
+    if isinstance(node, Component):
+        halted, machine = run_ft_component(node, fuel=args.fuel,
+                                           trace=args.trace)
+        print(f"halted with {halted.word} : {halted.ty}")
+    else:
+        value, machine = evaluate_ft(node, fuel=args.fuel, trace=args.trace)
+        print(f"value: {value}")
+    if args.trace:
+        rows = control_flow_table(machine.trace)
+        print()
+        print(format_table(rows, title="control flow"))
+    return 0
+
+
+def cmd_equiv(args: argparse.Namespace) -> int:
+    from repro.equiv.checker import check_equivalence
+    from repro.surface.parser import parse_fexpr, parse_ftype
+
+    left = parse_fexpr(_load(args.left))
+    right = parse_fexpr(_load(args.right))
+    ty = parse_ftype(args.type)
+    report = check_equivalence(left, right, ty, fuel=args.fuel,
+                               seed=args.seed)
+    print(report)
+    if not report.equivalent:
+        return 3
+    for name, obs in report.agreements:
+        print(f"  agreed on {name}: {obs}")
+    return 0
+
+
+def cmd_jit(args: argparse.Namespace) -> int:
+    from repro.f.syntax import Lam
+    from repro.jit.compiler import compile_function, is_compilable
+    from repro.surface.parser import parse_fexpr
+    from repro.tal.optimize import optimize_component
+
+    source = parse_fexpr(_load(args.file))
+    if not is_compilable(source):
+        print("error: not a compilable lambda (first-order arithmetic "
+              "fragment: int parameters; literals, parameters, + - *, "
+              "if0)", file=sys.stderr)
+        return 2
+    compiled = compile_function(source)
+    comp = compiled.body.fn.comp
+    if args.optimize:
+        comp = optimize_component(comp)
+    from repro.surface.pretty import pretty_component
+
+    print(pretty_component(comp))
+    if args.check:
+        from repro.equiv.checker import check_equivalence
+        from repro.f.typecheck import typecheck as f_typecheck
+        from repro.ft.syntax import Boundary
+        from repro.f.syntax import App, Var
+
+        rebuilt = Lam(compiled.params,
+                      App(Boundary(compiled.body.fn.ty, comp),
+                          tuple(Var(x) for x, _ in compiled.params)))
+        report = check_equivalence(source, rebuilt, f_typecheck(source),
+                                   fuel=args.fuel)
+        print()
+        print(f"equivalence obligation: {report}")
+        if not report.equivalent:
+            return 3
+    return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.lint import lint_component
+    from repro.ft.syntax import Boundary
+
+    node = parse_program(_load(args.file))
+    components = []
+    if isinstance(node, Component):
+        components.append(("<program>", node))
+    else:
+        from repro.f.syntax import iter_subexprs
+
+        for sub in iter_subexprs(node):
+            if isinstance(sub, Boundary):
+                components.append((f"FT[{sub.ty}]", sub.comp))
+    total = 0
+    for where, comp in components:
+        for warning in lint_component(comp):
+            print(f"{where} {warning}")
+            total += 1
+    if total == 0:
+        print("clean: no lint warnings")
+    return 0 if total == 0 else 4
+
+
+def _example_entries() -> Dict[str, Tuple[str, Callable[[], FExpr]]]:
+    from repro.f.syntax import App, IntE
+    from repro.papers_examples import (
+        fig11_jit, fig16_two_blocks, fig17_factorial,
+    )
+
+    return {
+        "jit-source": ("Fig 11 source program (pure F)",
+                       fig11_jit.build_source),
+        "jit": ("Fig 11 JIT-compiled mixed program", fig11_jit.build_jit),
+        "two-blocks-1": ("Fig 16 one-block add-two, applied to 5",
+                         lambda: App(fig16_two_blocks.build_f1(),
+                                     (IntE(5),))),
+        "two-blocks-2": ("Fig 16 two-block add-two, applied to 5",
+                         lambda: App(fig16_two_blocks.build_f2(),
+                                     (IntE(5),))),
+        "fact-f": ("Fig 17 functional factorial of 6",
+                   lambda: App(fig17_factorial.build_fact_f(), (IntE(6),))),
+        "fact-t": ("Fig 17 imperative factorial of 6",
+                   lambda: App(fig17_factorial.build_fact_t(), (IntE(6),))),
+    }
+
+
+EXAMPLES = _example_entries
+
+
+def cmd_examples(args: argparse.Namespace) -> int:
+    entries = _example_entries()
+    if not args.name:
+        print("built-in paper examples (funtal examples NAME to run):")
+        for name, (blurb, _) in entries.items():
+            print(f"  {name:14s} {blurb}")
+        return 0
+    if args.name not in entries:
+        print(f"unknown example {args.name!r}", file=sys.stderr)
+        return 2
+    blurb, build = entries[args.name]
+    program = build()
+    print(f"-- {blurb}")
+    print(program)
+    ty, _ = check_ft_expr(program)
+    print(f"type: {ty}")
+    value, machine = evaluate_ft(program, trace=args.trace)
+    print(f"value: {value}")
+    if args.trace:
+        print()
+        print(format_table(control_flow_table(machine.trace),
+                           title="control flow"))
+    return 0
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="funtal",
+        description="FunTAL multi-language tools (PLDI 2017 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_parse = sub.add_parser("parse", help="parse and pretty-print")
+    p_parse.add_argument("file")
+    p_parse.set_defaults(fn=cmd_parse)
+
+    p_check = sub.add_parser("typecheck", help="typecheck a program")
+    p_check.add_argument("file")
+    p_check.add_argument("--result-type", default="int",
+                         help="halt type for bare T components")
+    p_check.set_defaults(fn=cmd_typecheck)
+
+    p_run = sub.add_parser("run", help="evaluate a program")
+    p_run.add_argument("file")
+    p_run.add_argument("--fuel", type=int, default=1_000_000)
+    p_run.add_argument("--trace", action="store_true",
+                       help="print the jump-level control-flow table")
+    p_run.set_defaults(fn=cmd_run)
+
+    p_eq = sub.add_parser(
+        "equiv",
+        help="differentially test two expressions for contextual "
+             "equivalence at a type")
+    p_eq.add_argument("left")
+    p_eq.add_argument("right")
+    p_eq.add_argument("--type", required=True,
+                      help="the common F type, e.g. '(int) -> int'")
+    p_eq.add_argument("--fuel", type=int, default=30_000)
+    p_eq.add_argument("--seed", type=int, default=0)
+    p_eq.set_defaults(fn=cmd_equiv)
+
+    p_jit = sub.add_parser(
+        "jit", help="compile an F lambda to typed assembly")
+    p_jit.add_argument("file")
+    p_jit.add_argument("--optimize", action="store_true",
+                       help="run the peephole optimizer on the result")
+    p_jit.add_argument("--check", action="store_true",
+                       help="discharge the equivalence obligation")
+    p_jit.add_argument("--fuel", type=int, default=25_000)
+    p_jit.set_defaults(fn=cmd_jit)
+
+    p_lint = sub.add_parser(
+        "lint", help="static lints over the program's components")
+    p_lint.add_argument("file")
+    p_lint.set_defaults(fn=cmd_lint)
+
+    p_ex = sub.add_parser("examples", help="list or run paper examples")
+    p_ex.add_argument("name", nargs="?")
+    p_ex.add_argument("--trace", action="store_true")
+    p_ex.set_defaults(fn=cmd_examples)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_arg_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except FunTALError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

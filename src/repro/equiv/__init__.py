@@ -1,0 +1,28 @@
+"""Bounded contextual-equivalence checking for FT (paper section 5).
+
+The paper proves program equivalences with a step-indexed Kripke logical
+relation.  A Python reproduction cannot *prove*; it can *check*: this
+package implements the executable shadow of the relation --
+
+* :mod:`repro.equiv.observation` -- whole-program observations under fuel
+  (halt with a value / diverge-at-fuel / stuck), the ``O`` relation;
+* :mod:`repro.equiv.worlds` -- step-indexed worlds and the bounded value
+  relation ``V[tau]`` (structural at base/tuple/mu types, sampled
+  application at arrow types);
+* :mod:`repro.equiv.generators` -- typed generators for argument values;
+* :mod:`repro.equiv.contexts` -- well-typed closing contexts, including
+  cross-language contexts that pass the candidate into assembly;
+* :mod:`repro.equiv.checker` -- the differential checker: plug both
+  components into every context, compare observations, report the first
+  counterexample or bounded-equivalence evidence.
+
+Sound for *refutation* (a counterexample is a real inequivalence witness);
+evidence, not proof, for equivalence -- exactly what a step-indexed
+relation truncated at index k gives you.
+"""
+
+from repro.equiv.observation import Observation, observe  # noqa: F401
+from repro.equiv.checker import (  # noqa: F401
+    check_equivalence, EquivalenceReport,
+)
+from repro.equiv.worlds import related_values, World  # noqa: F401

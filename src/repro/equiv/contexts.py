@@ -1,0 +1,139 @@
+"""Well-typed closing contexts for the differential checker.
+
+A *context* here is a named function ``FExpr -> FExpr`` taking the
+candidate term (closed, of the announced type) to a whole program whose
+observation is first-order.  :func:`contexts_for` enumerates:
+
+* the trivial context (observe the candidate itself -- only informative at
+  first-order type);
+* application contexts: apply to every generated argument tuple;
+* reuse contexts: apply twice with different arguments and combine (checks
+  that the candidate is not one-shot-stateful);
+* higher-order contexts: pass the candidate to probe consumers;
+* **cross-language contexts** (the FunTAL-specific part): embed the
+  candidate into assembly -- an ``import`` pulls it into a T component,
+  which saves it on the stack, ``call``s it following the calling
+  convention, and halts with the result.  This exercises the candidate
+  through the Fig 9/10 boundary machinery rather than through F
+  application, exactly the distinction the paper's logical relation has to
+  handle.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.equiv.generators import values_of, values_of_arrow_args
+from repro.f.syntax import (
+    App, BinOp, FArrow, FExpr, FInt, FTupleT, FType, FUnit, IntE, Lam,
+    Proj, Var,
+)
+from repro.ft.syntax import Boundary, Import, Protect
+from repro.ft.translate import continuation_type, type_translation
+from repro.tal.syntax import (
+    Call, Component, Halt, Mv, NIL_STACK, QEnd, RegOp, Salloc, Sst, StackTy,
+    TInt, seq,
+)
+
+__all__ = ["Context", "contexts_for", "t_application_context"]
+
+Context = Tuple[str, Callable[[FExpr], FExpr]]
+
+
+def contexts_for(ty: FType, rng: Optional[random.Random] = None,
+                 budget: int = 2,
+                 include_cross_language: bool = True) -> List[Context]:
+    """Enumerate observing contexts for candidates of type ``ty``."""
+    rng = rng or random.Random(0)
+    out: List[Context] = []
+    if isinstance(ty, (FInt, FUnit, FTupleT)):
+        out.append(("identity", lambda hole: hole))
+    if isinstance(ty, FTupleT):
+        for i in range(len(ty.items)):
+            if isinstance(ty.items[i], (FInt, FUnit)):
+                out.append((f"proj{i}",
+                            lambda hole, i=i: Proj(i, hole)))
+    if isinstance(ty, FArrow) and type(ty) is FArrow:
+        arg_tuples = list(values_of_arrow_args(ty, rng, budget))
+        for k, args in enumerate(arg_tuples):
+            out.append((f"apply#{k}",
+                        lambda hole, args=args: App(hole, args)))
+        if (len(arg_tuples) >= 2 and isinstance(ty.result, FInt)):
+            first, second = arg_tuples[0], arg_tuples[1]
+            out.append((
+                "apply-twice",
+                lambda hole: BinOp("+", App(hole, first),
+                                   App(hole, second))))
+        # Higher-order: hand the candidate to a consumer.
+        consumer_ty = FArrow((ty,), ty.result if isinstance(
+            ty.result, (FInt, FUnit)) else FInt())
+        if isinstance(ty.result, FInt):
+            for k, consumer in enumerate(
+                    values_of(consumer_ty, rng, budget)):
+                out.append((f"consume#{k}",
+                            lambda hole, c=consumer: App(c, (hole,))))
+        if include_cross_language and _t_callable(ty):
+            for k, args in enumerate(arg_tuples[:3]):
+                out.append((
+                    f"t-apply#{k}",
+                    lambda hole, args=args: t_application_context(
+                        hole, ty, args)))
+    return out
+
+
+def _t_callable(ty: FArrow) -> bool:
+    """Can the generic T application context drive this arrow?  It pushes
+    arguments itself, so it handles any arity with int-observable result."""
+    return isinstance(ty.result, FInt)
+
+
+def t_application_context(hole: FExpr, ty: FArrow,
+                          args: Tuple[FExpr, ...]) -> FExpr:
+    """Observe ``hole`` *from assembly*.
+
+    Builds the T component::
+
+        import r1, nil TF[ty] hole;        // pull the candidate into T
+        salloc 1; sst 0, r1;               // stash the code pointer
+        import r1, <ty_T> :: nil TF[t_i] arg_i; salloc 1; sst 0, r1; ...
+        sld r7, n; ...                     // recover the pointer
+        mv ra, l_end; call r7 {nil, end{intT; nil}}
+
+    and wraps it in an ``intFT`` boundary.  The candidate is thereby
+    invoked through the T calling convention: arguments on the stack,
+    continuation in ``ra`` -- a genuinely cross-language observation.
+    """
+    from repro.tal.syntax import HCode, Loc, RegFileTy, Sfree, Sld, WLoc
+
+    ty_t = type_translation(ty)
+    n = len(args)
+    param_ts = tuple(type_translation(p) for p in ty.params)
+    instrs: list = [
+        Import("r1", NIL_STACK, ty, hole),
+        Salloc(1),
+        Sst(0, "r1"),
+    ]
+    stack_so_far: Tuple = (ty_t,)
+    for i, (arg, arg_ty) in enumerate(zip(args, ty.params)):
+        instrs.append(Import("r1", StackTy(stack_so_far, None), arg_ty, arg))
+        instrs.append(Salloc(1))
+        instrs.append(Sst(0, "r1"))
+        stack_so_far = (param_ts[i],) + stack_so_far
+    # Load the candidate pointer from under the arguments into r7.
+    instrs.append(Sld("r7", n))
+    result_t = TInt()
+    marker = QEnd(result_t, NIL_STACK)
+    # After the callee consumes its arguments the stack is the protected
+    # tail: the stashed candidate pointer over nil; the continuation frees
+    # it and halts.
+    tail = StackTy((ty_t,), None)
+    lend = Loc("lend_ctx")
+    hend = HCode(
+        (), RegFileTy.of(r1=result_t), tail, marker,
+        seq(Sfree(1), Halt(result_t, NIL_STACK, "r1")))
+    instrs.append(Mv("ra", WLoc(lend)))
+    comp = Component(
+        seq(*instrs, Call(RegOp("r7"), tail, marker)),
+        ((lend, hend),))
+    return Boundary(FInt(), comp)

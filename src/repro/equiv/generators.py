@@ -1,0 +1,143 @@
+"""Typed value generation for the equivalence checker.
+
+``values_of(ty, rng, budget)`` yields closed F values of an FT type,
+mixing a deterministic corpus (boundary cases the paper's examples hinge
+on: 0, 1, negatives) with seeded random values.  Arrow-typed values are
+generated as *probe functions* whose results encode their arguments, so a
+context that treats two candidate functions differently is likely to
+surface it:
+
+* constant functions,
+* argument-echoing / affine functions over int arguments,
+* higher-order probes that call their functional arguments and combine the
+  results.
+
+Everything is plain F, hence memory-free and safe to reuse across runs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional
+
+from repro.f.syntax import (
+    App, BinOp, FArrow, FExpr, FInt, Fold, FRec, FTupleT, FType, FUnit,
+    If0, IntE, Lam, TupleE, UnitE, Var,
+)
+
+__all__ = ["values_of", "int_corpus", "probe_functions"]
+
+#: Deterministic integer corpus covering the paper-relevant boundaries.
+INT_CORPUS = (0, 1, 2, 5, -1, 7, 10, -3)
+
+
+def int_corpus(rng: Optional[random.Random] = None,
+               extra: int = 4) -> List[int]:
+    """The fixed corpus plus ``extra`` seeded random integers."""
+    values = list(INT_CORPUS)
+    if rng is not None:
+        values.extend(rng.randint(-50, 50) for _ in range(extra))
+    return values
+
+
+_probe_counter = [0]
+
+
+def _fresh(base: str) -> str:
+    _probe_counter[0] += 1
+    return f"{base}_{_probe_counter[0]}"
+
+
+def probe_functions(ty: FArrow, rng: random.Random,
+                    budget: int) -> Iterator[Lam]:
+    """Generate probe functions of arrow type ``ty``."""
+    params = tuple((_fresh("p"), t) for t in ty.params)
+    result = ty.result
+    # 1. constants
+    for const in _result_constants(result, rng, budget):
+        yield Lam(params, const)
+    if budget <= 0:
+        return
+    # 2. argument-sensitive bodies
+    int_args = [Var(x) for x, t in params if isinstance(t, FInt)]
+    fn_args = [(Var(x), t) for x, t in params if isinstance(t, FArrow)]
+    if isinstance(result, FInt):
+        if int_args:
+            body: FExpr = int_args[0]
+            for extra in int_args[1:]:
+                body = BinOp("+", body, extra)
+            yield Lam(params, body)
+            coeff = rng.randint(2, 9)
+            yield Lam(params, BinOp("*", int_args[0], IntE(coeff)))
+            yield Lam(params, If0Chain(int_args[0]))
+        for fn_var, fn_ty in fn_args:
+            # call the functional argument with generated inputs and
+            # combine, so candidates are *applied* by the probe.
+            inner = list(values_of_arrow_args(fn_ty, rng, budget - 1))
+            if inner and isinstance(fn_ty.result, FInt):
+                first = App(fn_var, inner[0])
+                body = first
+                if len(inner) > 1:
+                    body = BinOp("+", first, App(fn_var, inner[1]))
+                yield Lam(params, body)
+
+
+def If0Chain(scrutinee: FExpr) -> FExpr:
+    """``if0 x 100 (x - 1)`` -- a branching probe body."""
+    return If0(scrutinee, IntE(100), BinOp("-", scrutinee, IntE(1)))
+
+
+def values_of_arrow_args(ty: FArrow, rng: random.Random,
+                         budget: int) -> Iterator[tuple]:
+    """Argument tuples for applying a function of type ``ty``."""
+    pools = [list(values_of(p, rng, budget)) for p in ty.params]
+    if any(not pool for pool in pools):
+        return
+    count = max(len(pool) for pool in pools)
+    for i in range(count):
+        yield tuple(pool[i % len(pool)] for pool in pools)
+
+
+def _result_constants(ty: FType, rng: random.Random,
+                      budget: int) -> Iterator[FExpr]:
+    produced = 0
+    for v in values_of(ty, rng, budget - 1):
+        yield v
+        produced += 1
+        if produced >= 3:
+            return
+
+
+def values_of(ty: FType, rng: Optional[random.Random] = None,
+              budget: int = 2) -> Iterator[FExpr]:
+    """Yield closed values of ``ty`` (finitely many, corpus + seeded)."""
+    rng = rng or random.Random(0)
+    if isinstance(ty, FInt):
+        for n in int_corpus(rng, extra=2):
+            yield IntE(n)
+        return
+    if isinstance(ty, FUnit):
+        yield UnitE()
+        return
+    if isinstance(ty, FTupleT):
+        pools = [list(values_of(t, rng, budget - 1)) for t in ty.items]
+        if any(not pool for pool in pools):
+            return
+        count = min(4, max(len(p) for p in pools))
+        for i in range(count):
+            yield TupleE(tuple(p[i % len(p)] for p in pools))
+        return
+    if isinstance(ty, FRec):
+        if budget <= 0:
+            return
+        for inner in values_of(ty.unroll(), rng, budget - 1):
+            yield Fold(ty, inner)
+            return  # one representative is enough per level
+        return
+    if isinstance(ty, FArrow) and type(ty) is FArrow:
+        if budget <= 0:
+            return
+        yield from probe_functions(ty, rng, budget)
+        return
+    # Stack-modifying arrows and unknown forms: no generic generator.
+    return

@@ -1,0 +1,69 @@
+"""Shared error hierarchy for the FunTAL reproduction.
+
+Every user-facing failure in the library is an instance of :class:`FunTALError`
+so that callers (CLI, tests, the equivalence checker) can catch one root type.
+The three main judgment families each get their own subclass:
+
+* :class:`FTTypeError` -- a typing judgment failed (F, T, or FT).
+* :class:`MachineError` -- the abstract machine got stuck.  A *well-typed*
+  program never raises this (type safety); the machine raises it eagerly on
+  ill-formed states so that the property tests can detect safety violations.
+* :class:`ParseError` -- the surface-syntax parser rejected its input.
+"""
+
+from __future__ import annotations
+
+
+class FunTALError(Exception):
+    """Root of the library's error hierarchy."""
+
+
+class FTTypeError(FunTALError):
+    """A typing judgment of F, T, or FT failed.
+
+    ``judgment`` names the judgment that failed (e.g. ``"tal.instruction"``)
+    and ``subject`` carries a pretty-printed copy of the offending term, both
+    of which are folded into ``str(err)``.
+    """
+
+    def __init__(self, message: str, *, judgment: str = "", subject: str = ""):
+        self.judgment = judgment
+        self.subject = subject
+        parts = [message]
+        if judgment:
+            parts.append(f"[judgment: {judgment}]")
+        if subject:
+            parts.append(f"[subject: {subject}]")
+        super().__init__(" ".join(parts))
+
+
+class MachineError(FunTALError):
+    """The abstract machine reached a stuck state.
+
+    Type safety (progress + preservation) guarantees this is unreachable from
+    well-typed programs; it exists so that the machine fails loudly instead of
+    silently corrupting memory when driven with ill-typed inputs.
+    """
+
+
+class FuelExhausted(FunTALError):
+    """A bounded evaluation ran out of fuel before producing a value.
+
+    This is *not* an error in the paper's semantics -- it is how the
+    reproduction observes (potential) divergence, e.g. for the negative-input
+    case of the factorial example (Fig 17).
+    """
+
+    def __init__(self, fuel: int):
+        self.fuel = fuel
+        super().__init__(f"evaluation did not terminate within {fuel} steps")
+
+
+class ParseError(FunTALError):
+    """The surface parser rejected its input."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        where = f" at {line}:{column}" if line else ""
+        super().__init__(f"{message}{where}")

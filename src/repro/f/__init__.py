@@ -1,0 +1,16 @@
+"""F: the simply-typed functional language of FunTAL (paper section 4.1).
+
+Public surface:
+
+* :mod:`repro.f.syntax` -- types and expressions (paper Fig 5);
+* :mod:`repro.f.typecheck` -- the standalone ``Gamma |- e : tau`` checker;
+* :mod:`repro.f.eval` -- the small-step call-by-value machine.
+"""
+
+from repro.f.syntax import (  # noqa: F401
+    App, BinOp, FArrow, FExpr, FInt, Fold, FRec, FTupleT, FType, FTVar,
+    FUnit, If0, IntE, Lam, Proj, TupleE, Unfold, UnitE, Var, free_vars,
+    ftype_equal, is_value, subst_expr, subst_ftype,
+)
+from repro.f.typecheck import typecheck  # noqa: F401
+from repro.f.eval import evaluate, step  # noqa: F401

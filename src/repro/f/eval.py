@@ -1,0 +1,169 @@
+"""Small-step call-by-value evaluator for pure F (paper section 4.1).
+
+Evaluation order follows the paper's evaluation contexts (Fig 5)::
+
+    E ::= [.] | E p e | v p E | if0 E e e | E e... | v v... E e...
+        | fold E | unfold E | <v..., E, e...> | pi_i(E)
+
+i.e. left-to-right call-by-value.  :func:`step` performs one reduction,
+:func:`evaluate` iterates it under a fuel bound (raising
+:class:`~repro.errors.FuelExhausted` on potential divergence, as needed by
+the factorial example of Fig 17).
+
+Pure F is deterministic and memory-free; the mixed-language stepper in
+:mod:`repro.ft.machine` reuses these reduction rules but threads the T memory
+through, since embedded assembly may mutate the stack and heap.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import FuelExhausted, MachineError
+from repro.f.syntax import (
+    App, BinOp, FExpr, Fold, If0, IntE, is_value, Lam, Proj, subst_expr,
+    TupleE, Unfold, UnitE,
+)
+
+__all__ = ["step", "evaluate", "reduce_redex", "apply_binop"]
+
+
+def apply_binop(op: str, left: int, right: int) -> int:
+    """Evaluate a primitive ``p`` on integers."""
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    raise MachineError(f"unknown primitive operation {op!r}")
+
+
+def reduce_redex(e: FExpr) -> Optional[FExpr]:
+    """Contract ``e`` if it is itself a redex (all subterms values)."""
+    if isinstance(e, BinOp) and is_value(e.left) and is_value(e.right):
+        if not isinstance(e.left, IntE) or not isinstance(e.right, IntE):
+            raise MachineError(f"primitive {e.op!r} applied to non-integers")
+        return IntE(apply_binop(e.op, e.left.value, e.right.value))
+    if isinstance(e, If0) and is_value(e.cond):
+        if not isinstance(e.cond, IntE):
+            raise MachineError("if0 scrutinee is not an integer")
+        return e.then if e.cond.value == 0 else e.els
+    if isinstance(e, App) and is_value(e.fn) and all(is_value(a) for a in e.args):
+        if not isinstance(e.fn, Lam):
+            raise MachineError("application of a non-lambda value")
+        if len(e.fn.params) != len(e.args):
+            raise MachineError("application arity mismatch at runtime")
+        body = e.fn.body
+        for (x, _), arg in zip(e.fn.params, e.args):
+            body = subst_expr(body, x, arg)
+        return body
+    if isinstance(e, Unfold) and is_value(e.body):
+        if not isinstance(e.body, Fold):
+            raise MachineError("unfold of a non-fold value")
+        return e.body.body
+    if isinstance(e, Proj) and is_value(e.body):
+        if not isinstance(e.body, TupleE):
+            raise MachineError("projection from a non-tuple value")
+        if not 0 <= e.index < len(e.body.items):
+            raise MachineError(
+                f"projection index {e.index} out of range at runtime")
+        return e.body.items[e.index]
+    return None
+
+
+def split_context(e: FExpr):
+    """Decompose one evaluation-context layer: return ``(frame, subterm)``
+    where ``subterm`` is the leftmost non-value child of ``e`` and
+    ``frame(subterm') = e[subterm']``.
+
+    Returns ``None`` when ``e`` has no non-value child to descend into
+    (i.e. ``e`` should itself be a redex -- or is stuck).
+    """
+    if isinstance(e, BinOp):
+        if not is_value(e.left):
+            return (lambda x: BinOp(e.op, x, e.right)), e.left
+        if not is_value(e.right):
+            return (lambda x: BinOp(e.op, e.left, x)), e.right
+        return None
+    if isinstance(e, If0):
+        if not is_value(e.cond):
+            return (lambda x: If0(x, e.then, e.els)), e.cond
+        return None
+    if isinstance(e, App):
+        if not is_value(e.fn):
+            return (lambda x: App(x, e.args)), e.fn
+        for i, a in enumerate(e.args):
+            if not is_value(a):
+                def frame(x, i=i):
+                    args = list(e.args)
+                    args[i] = x
+                    return App(e.fn, tuple(args))
+                return frame, a
+        return None
+    if isinstance(e, Fold):
+        if not is_value(e.body):
+            return (lambda x: Fold(e.ann, x)), e.body
+        return None
+    if isinstance(e, Unfold):
+        if not is_value(e.body):
+            return (lambda x: Unfold(x)), e.body
+        return None
+    if isinstance(e, TupleE):
+        for i, a in enumerate(e.items):
+            if not is_value(a):
+                def frame(x, i=i):
+                    items = list(e.items)
+                    items[i] = x
+                    return TupleE(tuple(items))
+                return frame, a
+        return None
+    if isinstance(e, Proj):
+        if not is_value(e.body):
+            return (lambda x: Proj(e.index, x)), e.body
+        return None
+    return None
+
+
+def step(e: FExpr) -> Optional[FExpr]:
+    """One small step of pure F; ``None`` when ``e`` is a value.
+
+    Decomposition into an evaluation context is *iterative* (an explicit
+    frame stack), so divergent programs that grow deep left-nested contexts
+    (e.g. factorial's multiplication chain) never exhaust Python's
+    recursion limit before their fuel.
+
+    Raises :class:`MachineError` on stuck non-value states (unreachable from
+    well-typed programs) and on FT-only forms, which require the mixed
+    machine.
+    """
+    if is_value(e):
+        return None
+    frames = []
+    cur = e
+    while True:
+        contracted = reduce_redex(cur)
+        if contracted is not None:
+            break
+        split = split_context(cur)
+        if split is None:
+            raise MachineError(
+                f"cannot step {type(cur).__name__}: not a pure F redex "
+                "(use repro.ft.machine for mixed programs)")
+        frame, cur = split
+        frames.append(frame)
+    for frame in reversed(frames):
+        contracted = frame(contracted)
+    return contracted
+
+
+def evaluate(e: FExpr, fuel: int = 100_000) -> FExpr:
+    """Run ``e`` to a value, spending at most ``fuel`` small steps."""
+    for _ in range(fuel):
+        nxt = step(e)
+        if nxt is None:
+            return e
+        e = nxt
+    if step(e) is None:
+        return e
+    raise FuelExhausted(fuel)

@@ -1,0 +1,554 @@
+"""Abstract syntax of F, the functional language of FunTAL (paper Fig 5).
+
+F is a simply-typed call-by-value functional language with iso-recursive
+types, conditional branching on zero, n-ary functions, tuples, and base
+values ``unit`` and ``int``::
+
+    Type  tau ::= alpha | unit | int | (tau, ...) -> tau' | mu alpha. tau | <tau, ...>
+    Expr  e   ::= x | () | n | e p e | if0 e e e | lam (x:tau, ...). e | e e...
+                | fold[mu alpha.tau] e | unfold e | <e, ...> | pi_i(e)
+    where p ::= + | - | *
+
+All nodes are immutable (frozen dataclasses) with structural equality, and
+every node pretty-prints via ``str()`` in the concrete syntax accepted by
+:mod:`repro.surface.parser`.
+
+The multi-language FT (paper Fig 6) extends these categories with boundary
+terms and stack-modifying lambdas; those constructors live in
+:mod:`repro.ft.syntax` and subclass :class:`FExpr` / :class:`FType` so that
+pure-F code never needs to know about them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+__all__ = [
+    "FType", "FTVar", "FUnit", "FInt", "FArrow", "FRec", "FTupleT",
+    "FExpr", "Var", "UnitE", "IntE", "BinOp", "If0", "Lam", "App",
+    "Fold", "Unfold", "TupleE", "Proj",
+    "ftype_equal", "subst_ftype", "free_tvars", "fresh_tvar",
+    "register_ftype_hooks",
+    "subst_expr", "free_vars", "is_value", "BINOPS",
+]
+
+BINOPS = ("+", "-", "*")
+
+_fresh_counter = itertools.count()
+
+
+def fresh_tvar(base: str = "a") -> str:
+    """Return a globally fresh type-variable name derived from ``base``."""
+    stem = base.rstrip("0123456789'") or "a"
+    return f"{stem}%{next(_fresh_counter)}"
+
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+class FType:
+    """Base class of F types (paper Fig 5, blue ``tau``)."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FTVar(FType):
+    """A type variable ``alpha`` (bound by ``mu``)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class FUnit(FType):
+    """The ``unit`` type, inhabited only by ``()``."""
+
+    def __str__(self) -> str:
+        return "unit"
+
+
+@dataclass(frozen=True)
+class FInt(FType):
+    """The ``int`` type of machine integers."""
+
+    def __str__(self) -> str:
+        return "int"
+
+
+@dataclass(frozen=True)
+class FArrow(FType):
+    """An n-ary function type ``(tau_1, ..., tau_n) -> tau'``."""
+
+    params: Tuple[FType, ...]
+    result: FType
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", tuple(self.params))
+
+    def __str__(self) -> str:
+        args = ", ".join(str(p) for p in self.params)
+        return f"({args}) -> {self.result}"
+
+
+@dataclass(frozen=True)
+class FRec(FType):
+    """An iso-recursive type ``mu alpha. tau``."""
+
+    var: str
+    body: FType
+
+    def __str__(self) -> str:
+        return f"mu {self.var}. {self.body}"
+
+    def unroll(self) -> FType:
+        """One unrolling: ``tau[mu alpha.tau / alpha]``."""
+        return subst_ftype(self.body, self.var, self)
+
+
+@dataclass(frozen=True)
+class FTupleT(FType):
+    """A tuple type ``<tau_1, ..., tau_n>``."""
+
+    items: Tuple[FType, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "items", tuple(self.items))
+
+    def __str__(self) -> str:
+        return "<" + ", ".join(str(t) for t in self.items) + ">"
+
+
+# ---------------------------------------------------------------------------
+# Type operations
+# ---------------------------------------------------------------------------
+
+# Extension hooks let the FT package add type forms (the stack-modifying
+# arrow) without the core F module depending on it.  Each hook returns None
+# when it does not apply.
+_FTYPE_EQUAL_HOOKS = []
+_FTYPE_SUBST_HOOKS = []
+_FTYPE_FTV_HOOKS = []
+
+
+def register_ftype_hooks(equal=None, subst=None, ftv=None) -> None:
+    """Register traversal hooks for extended F type forms."""
+    if equal is not None:
+        _FTYPE_EQUAL_HOOKS.append(equal)
+    if subst is not None:
+        _FTYPE_SUBST_HOOKS.append(subst)
+    if ftv is not None:
+        _FTYPE_FTV_HOOKS.append(ftv)
+
+
+def free_tvars(ty: FType) -> frozenset:
+    """The free type variables of ``ty``."""
+    for hook in _FTYPE_FTV_HOOKS:
+        result = hook(ty)
+        if result is not None:
+            return result
+    if isinstance(ty, FTVar):
+        return frozenset({ty.name})
+    if isinstance(ty, (FUnit, FInt)):
+        return frozenset()
+    if isinstance(ty, FArrow):
+        acc = free_tvars(ty.result)
+        for p in ty.params:
+            acc |= free_tvars(p)
+        return acc
+    if isinstance(ty, FRec):
+        return free_tvars(ty.body) - {ty.var}
+    if isinstance(ty, FTupleT):
+        acc = frozenset()
+        for t in ty.items:
+            acc |= free_tvars(t)
+        return acc
+    raise TypeError(f"not a core F type: {ty!r}")
+
+
+def subst_ftype(ty: FType, var: str, replacement: FType) -> FType:
+    """Capture-avoiding substitution ``ty[replacement / var]``."""
+    for hook in _FTYPE_SUBST_HOOKS:
+        result = hook(ty, var, replacement)
+        if result is not None:
+            return result
+    if isinstance(ty, FTVar):
+        return replacement if ty.name == var else ty
+    if isinstance(ty, (FUnit, FInt)):
+        return ty
+    if isinstance(ty, FArrow):
+        return FArrow(
+            tuple(subst_ftype(p, var, replacement) for p in ty.params),
+            subst_ftype(ty.result, var, replacement),
+        )
+    if isinstance(ty, FRec):
+        if ty.var == var:
+            return ty
+        if ty.var in free_tvars(replacement):
+            fresh = fresh_tvar(ty.var)
+            renamed = subst_ftype(ty.body, ty.var, FTVar(fresh))
+            return FRec(fresh, subst_ftype(renamed, var, replacement))
+        return FRec(ty.var, subst_ftype(ty.body, var, replacement))
+    if isinstance(ty, FTupleT):
+        return FTupleT(tuple(subst_ftype(t, var, replacement) for t in ty.items))
+    raise TypeError(f"not a core F type: {ty!r}")
+
+
+def ftype_equal(a: FType, b: FType,
+                env: Optional[Dict[str, str]] = None) -> bool:
+    """Alpha-equivalence of F types.
+
+    ``env`` maps bound variables of ``a`` to the corresponding bound
+    variables of ``b``; free variables must match literally.
+    """
+    env = env or {}
+    for hook in _FTYPE_EQUAL_HOOKS:
+        result = hook(a, b, env)
+        if result is not None:
+            return result
+    if isinstance(a, FTVar) and isinstance(b, FTVar):
+        return env.get(a.name, a.name) == b.name
+    if isinstance(a, FUnit) and isinstance(b, FUnit):
+        return True
+    if isinstance(a, FInt) and isinstance(b, FInt):
+        return True
+    if isinstance(a, FArrow) and isinstance(b, FArrow):
+        if len(a.params) != len(b.params):
+            return False
+        return (all(ftype_equal(pa, pb, env)
+                    for pa, pb in zip(a.params, b.params))
+                and ftype_equal(a.result, b.result, env))
+    if isinstance(a, FRec) and isinstance(b, FRec):
+        inner = dict(env)
+        inner[a.var] = b.var
+        return ftype_equal(a.body, b.body, inner)
+    if isinstance(a, FTupleT) and isinstance(b, FTupleT):
+        if len(a.items) != len(b.items):
+            return False
+        return all(ftype_equal(ia, ib, env) for ia, ib in zip(a.items, b.items))
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+class FExpr:
+    """Base class of F expressions (paper Fig 5, blue ``e``)."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Var(FExpr):
+    """A term variable ``x``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class UnitE(FExpr):
+    """The unit value ``()``."""
+
+    def __str__(self) -> str:
+        return "()"
+
+
+@dataclass(frozen=True)
+class IntE(FExpr):
+    """An integer literal ``n``."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class BinOp(FExpr):
+    """A primitive arithmetic operation ``e p e`` with ``p in {+, -, *}``."""
+
+    op: str
+    left: FExpr
+    right: FExpr
+
+    def __post_init__(self) -> None:
+        if self.op not in BINOPS:
+            raise ValueError(f"unknown primitive operation {self.op!r}")
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class If0(FExpr):
+    """Conditional ``if0 e e_then e_else`` branching on whether ``e`` is 0."""
+
+    cond: FExpr
+    then: FExpr
+    els: FExpr
+
+    def __str__(self) -> str:
+        return f"if0 {self.cond} {{{self.then}}} {{{self.els}}}"
+
+
+@dataclass(frozen=True)
+class Lam(FExpr):
+    """An n-ary lambda ``lam (x1:tau1, ..., xn:taun). e``.
+
+    The paper writes unary ``lam (x:tau).e`` but types n-ary application
+    ``t t1 ... tn`` against ``(tau_1 ... tau_n) -> tau'``; we represent the
+    n-ary binder directly.
+    """
+
+    params: Tuple[Tuple[str, FType], ...]
+    body: FExpr
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", tuple(tuple(p) for p in self.params))
+
+    def __str__(self) -> str:
+        binder = ", ".join(f"{x}: {t}" for x, t in self.params)
+        return f"lam ({binder}). {self.body}"
+
+
+@dataclass(frozen=True)
+class App(FExpr):
+    """An application ``t t1 ... tn`` of a function to all its arguments."""
+
+    fn: FExpr
+    args: Tuple[FExpr, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "args", tuple(self.args))
+
+    def __str__(self) -> str:
+        args = " ".join(f"({a})" for a in self.args)
+        return f"({self.fn}) {args}" if args else f"({self.fn}) ()"
+
+
+@dataclass(frozen=True)
+class Fold(FExpr):
+    """``fold[mu alpha.tau] e`` -- introduce an iso-recursive type."""
+
+    ann: FType
+    body: FExpr
+
+    def __str__(self) -> str:
+        return f"fold[{self.ann}] ({self.body})"
+
+
+@dataclass(frozen=True)
+class Unfold(FExpr):
+    """``unfold e`` -- eliminate an iso-recursive type."""
+
+    body: FExpr
+
+    def __str__(self) -> str:
+        return f"unfold ({self.body})"
+
+
+@dataclass(frozen=True)
+class TupleE(FExpr):
+    """A tuple ``<e_1, ..., e_n>``."""
+
+    items: Tuple[FExpr, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "items", tuple(self.items))
+
+    def __str__(self) -> str:
+        return "<" + ", ".join(str(e) for e in self.items) + ">"
+
+
+@dataclass(frozen=True)
+class Proj(FExpr):
+    """Projection ``pi_i(e)`` of the i-th tuple field (0-indexed)."""
+
+    index: int
+    body: FExpr
+
+    def __str__(self) -> str:
+        return f"pi{self.index}({self.body})"
+
+
+# ---------------------------------------------------------------------------
+# Expression operations
+# ---------------------------------------------------------------------------
+
+# Extension value classes (e.g. the FT lump values) register here.
+_EXTRA_VALUE_CLASSES: list = []
+
+
+def register_value_class(cls: type) -> None:
+    """Register an extension expression class whose instances are values."""
+    _EXTRA_VALUE_CLASSES.append(cls)
+
+
+def is_value(e: FExpr) -> bool:
+    """Is ``e`` an F value (paper Fig 5, ``v``)?
+
+    FT boundary values are handled by :mod:`repro.ft.machine`; from pure F's
+    point of view stack-modifying lambdas are also values (they subclass
+    :class:`Lam`), as are registered extension values (lumps).
+    """
+    if isinstance(e, (UnitE, IntE, Lam)):
+        return True
+    if isinstance(e, Fold):
+        return is_value(e.body)
+    if isinstance(e, TupleE):
+        return all(is_value(x) for x in e.items)
+    return any(isinstance(e, cls) for cls in _EXTRA_VALUE_CLASSES)
+
+
+def free_vars(e: FExpr) -> frozenset:
+    """The free term variables of ``e`` (F forms only)."""
+    if isinstance(e, Var):
+        return frozenset({e.name})
+    if isinstance(e, (UnitE, IntE)):
+        return frozenset()
+    if isinstance(e, BinOp):
+        return free_vars(e.left) | free_vars(e.right)
+    if isinstance(e, If0):
+        return free_vars(e.cond) | free_vars(e.then) | free_vars(e.els)
+    if isinstance(e, Lam):
+        bound = {x for x, _ in e.params}
+        return free_vars(e.body) - bound
+    if isinstance(e, App):
+        acc = free_vars(e.fn)
+        for a in e.args:
+            acc |= free_vars(a)
+        return acc
+    if isinstance(e, (Fold, Unfold, Proj)):
+        return free_vars(e.body)
+    if isinstance(e, TupleE):
+        acc = frozenset()
+        for x in e.items:
+            acc |= free_vars(x)
+        return acc
+    raise TypeError(f"not a core F expression: {e!r}")
+
+
+_fresh_var_counter = itertools.count()
+
+
+def _fresh_var(base: str) -> str:
+    stem = base.split("%")[0] or "x"
+    return f"{stem}%{next(_fresh_var_counter)}"
+
+
+def subst_expr(e: FExpr, var: str, replacement: FExpr) -> FExpr:
+    """Capture-avoiding term substitution ``e[replacement / var]``.
+
+    Handles all core F forms; FT subclasses override their traversal via
+    :func:`repro.ft.syntax.subst_ft_expr`, which falls back to this function
+    for the shared forms.
+    """
+    # Local import to let FT forms participate without a circular import at
+    # module load time.
+    from repro.ft import syntax as ft_syntax
+
+    if isinstance(e, ft_syntax.Boundary):
+        return ft_syntax.subst_boundary(e, var, replacement, subst_expr)
+    if any(isinstance(e, cls) for cls in _EXTRA_VALUE_CLASSES):
+        return e  # extension values (lumps) are closed
+    if isinstance(e, Var):
+        return replacement if e.name == var else e
+    if isinstance(e, (UnitE, IntE)):
+        return e
+    if isinstance(e, BinOp):
+        return BinOp(e.op, subst_expr(e.left, var, replacement),
+                     subst_expr(e.right, var, replacement))
+    if isinstance(e, If0):
+        return If0(subst_expr(e.cond, var, replacement),
+                   subst_expr(e.then, var, replacement),
+                   subst_expr(e.els, var, replacement))
+    if isinstance(e, Lam):
+        return _subst_under_binder(e, var, replacement)
+    if isinstance(e, App):
+        return App(subst_expr(e.fn, var, replacement),
+                   tuple(subst_expr(a, var, replacement) for a in e.args))
+    if isinstance(e, Fold):
+        return Fold(e.ann, subst_expr(e.body, var, replacement))
+    if isinstance(e, Unfold):
+        return Unfold(subst_expr(e.body, var, replacement))
+    if isinstance(e, TupleE):
+        return TupleE(tuple(subst_expr(x, var, replacement) for x in e.items))
+    if isinstance(e, Proj):
+        return Proj(e.index, subst_expr(e.body, var, replacement))
+    raise TypeError(f"not an F expression: {e!r}")
+
+
+def _subst_under_binder(e: Lam, var: str, replacement: FExpr) -> Lam:
+    """Substitute into a lambda body, renaming parameters to avoid capture.
+
+    Reconstructs via ``_rebuild_lam`` so FT stack-modifying lambdas keep their
+    stack annotations.
+    """
+    names = [x for x, _ in e.params]
+    if var in names:
+        return e
+    body = e.body
+    # Use the FT-aware free-variable computation: the replacement may
+    # contain boundaries (with free variables inside imports) anywhere.
+    fvs = _safe_fvs(replacement)
+    new_params = []
+    for x, t in e.params:
+        if x in fvs:
+            fresh = _fresh_var(x)
+            body = subst_expr(body, x, Var(fresh))
+            new_params.append((fresh, t))
+        else:
+            new_params.append((x, t))
+    return _rebuild_lam(e, tuple(new_params), subst_expr(body, var, replacement))
+
+
+def _rebuild_lam(e: Lam, params, body) -> Lam:
+    from repro.ft import syntax as ft_syntax
+
+    if isinstance(e, ft_syntax.StackLam):
+        return ft_syntax.StackLam(params, body, e.phi_in, e.phi_out)
+    return Lam(params, body)
+
+
+def _safe_fvs(e: FExpr) -> frozenset:
+    from repro.ft.syntax import ft_free_vars
+
+    return ft_free_vars(e)
+
+
+def iter_subexprs(e: FExpr) -> Iterator[FExpr]:
+    """Yield ``e`` and all its F sub-expressions (pre-order)."""
+    yield e
+    if isinstance(e, BinOp):
+        yield from iter_subexprs(e.left)
+        yield from iter_subexprs(e.right)
+    elif isinstance(e, If0):
+        yield from iter_subexprs(e.cond)
+        yield from iter_subexprs(e.then)
+        yield from iter_subexprs(e.els)
+    elif isinstance(e, Lam):
+        yield from iter_subexprs(e.body)
+    elif isinstance(e, App):
+        yield from iter_subexprs(e.fn)
+        for a in e.args:
+            yield from iter_subexprs(a)
+    elif isinstance(e, (Fold, Unfold, Proj)):
+        yield from iter_subexprs(e.body)
+    elif isinstance(e, TupleE):
+        for x in e.items:
+            yield from iter_subexprs(x)

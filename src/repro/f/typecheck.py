@@ -1,0 +1,127 @@
+"""Typechecker for pure F programs (paper section 4.1).
+
+The judgment implemented here is the standard simply-typed one,
+``Gamma |- e : tau``.  It rejects the FT-only forms (boundaries and
+stack-modifying lambdas); mixed programs are typed by the full judgment in
+:mod:`repro.ft.typecheck`, which threads register-file, stack, and heap
+typings through F code.
+
+The paper elides the (standard) F rules; we follow the usual presentation:
+
+* ``if0`` requires an ``int`` scrutinee and branches of equal type;
+* application ``t t1 ... tn`` consumes *all* arguments at once against an
+  n-ary arrow ``(tau_1, ..., tau_n) -> tau'``;
+* ``fold[mu a.tau] e`` checks ``e`` at the unrolling ``tau[mu a.tau / a]``;
+* ``unfold e`` requires ``e`` to have a ``mu`` type and yields the unrolling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import FTTypeError
+from repro.f.syntax import (
+    App, BinOp, FArrow, FExpr, FInt, Fold, FRec, FTupleT, FType, FUnit,
+    ftype_equal, If0, IntE, Lam, Proj, TupleE, Unfold, UnitE, Var,
+)
+
+__all__ = ["typecheck", "TypeEnv"]
+
+TypeEnv = Dict[str, FType]
+
+
+def typecheck(e: FExpr, env: Optional[TypeEnv] = None) -> FType:
+    """Infer the type of a pure F expression ``e`` under ``env``.
+
+    Raises :class:`FTTypeError` if ``e`` is ill-typed or uses FT-only forms.
+    """
+    env = env or {}
+    return _check(e, env)
+
+
+def _fail(msg: str, e: FExpr) -> FTTypeError:
+    return FTTypeError(msg, judgment="f.expression", subject=str(e))
+
+
+def _check(e: FExpr, env: TypeEnv) -> FType:
+    if isinstance(e, Var):
+        if e.name not in env:
+            raise _fail(f"unbound variable {e.name!r}", e)
+        return env[e.name]
+    if isinstance(e, UnitE):
+        return FUnit()
+    if isinstance(e, IntE):
+        return FInt()
+    if isinstance(e, BinOp):
+        for side, operand in (("left", e.left), ("right", e.right)):
+            ty = _check(operand, env)
+            if not isinstance(ty, FInt):
+                raise _fail(
+                    f"{side} operand of {e.op!r} has type {ty}, expected int", e)
+        return FInt()
+    if isinstance(e, If0):
+        cond_ty = _check(e.cond, env)
+        if not isinstance(cond_ty, FInt):
+            raise _fail(f"if0 scrutinee has type {cond_ty}, expected int", e)
+        then_ty = _check(e.then, env)
+        else_ty = _check(e.els, env)
+        if not ftype_equal(then_ty, else_ty):
+            raise _fail(
+                f"if0 branches disagree: {then_ty} vs {else_ty}", e)
+        return then_ty
+    if isinstance(e, Lam):
+        # Reject the FT stack-modifying lambda here; isinstance would accept
+        # it because StackLam subclasses Lam.
+        if type(e) is not Lam:
+            raise _fail(
+                "stack-modifying lambdas are FT forms; "
+                "use repro.ft.typecheck for mixed programs", e)
+        names = [x for x, _ in e.params]
+        if len(set(names)) != len(names):
+            raise _fail("duplicate parameter names in lambda", e)
+        inner = dict(env)
+        inner.update({x: t for x, t in e.params})
+        body_ty = _check(e.body, inner)
+        return FArrow(tuple(t for _, t in e.params), body_ty)
+    if isinstance(e, App):
+        fn_ty = _check(e.fn, env)
+        if not isinstance(fn_ty, FArrow) or type(fn_ty) is not FArrow:
+            raise _fail(f"applied expression has non-arrow type {fn_ty}", e)
+        if len(fn_ty.params) != len(e.args):
+            raise _fail(
+                f"arity mismatch: function takes {len(fn_ty.params)} "
+                f"arguments, got {len(e.args)}", e)
+        for i, (arg, expected) in enumerate(zip(e.args, fn_ty.params)):
+            actual = _check(arg, env)
+            if not ftype_equal(actual, expected):
+                raise _fail(
+                    f"argument {i} has type {actual}, expected {expected}", e)
+        return fn_ty.result
+    if isinstance(e, Fold):
+        if not isinstance(e.ann, FRec):
+            raise _fail(f"fold annotation {e.ann} is not a mu type", e)
+        body_ty = _check(e.body, env)
+        unrolled = e.ann.unroll()
+        if not ftype_equal(body_ty, unrolled):
+            raise _fail(
+                f"fold body has type {body_ty}, expected unrolling {unrolled}",
+                e)
+        return e.ann
+    if isinstance(e, Unfold):
+        body_ty = _check(e.body, env)
+        if not isinstance(body_ty, FRec):
+            raise _fail(f"unfold of non-mu type {body_ty}", e)
+        return body_ty.unroll()
+    if isinstance(e, TupleE):
+        return FTupleT(tuple(_check(x, env) for x in e.items))
+    if isinstance(e, Proj):
+        body_ty = _check(e.body, env)
+        if not isinstance(body_ty, FTupleT):
+            raise _fail(f"projection from non-tuple type {body_ty}", e)
+        if not 0 <= e.index < len(body_ty.items):
+            raise _fail(
+                f"projection index {e.index} out of range for {body_ty}", e)
+        return body_ty.items[e.index]
+    raise _fail(
+        "expression form is not pure F (boundaries need repro.ft.typecheck)",
+        e)

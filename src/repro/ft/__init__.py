@@ -1,0 +1,23 @@
+"""FT: the FunTAL multi-language (paper sections 4-5).
+
+Public surface:
+
+* :mod:`repro.ft.syntax` -- boundaries, ``import``/``protect``,
+  stack-modifying lambdas (paper Fig 6);
+* :mod:`repro.ft.translate` -- the boundary type translation (Fig 9);
+* :mod:`repro.ft.boundary` -- the boundary value translations (Fig 10);
+* :mod:`repro.ft.typecheck` -- the combined type system (Fig 7);
+* :mod:`repro.ft.machine` -- the mixed-language machine (Fig 8).
+"""
+
+from repro.ft.syntax import (  # noqa: F401
+    Boundary, FStackArrow, Import, Protect, StackDelta, StackLam,
+)
+from repro.ft.translate import type_translation  # noqa: F401
+from repro.ft.boundary import f_to_t, t_to_f  # noqa: F401
+from repro.ft.typecheck import (  # noqa: F401
+    check_ft_component, check_ft_expr, FTTypechecker,
+)
+from repro.ft.machine import (  # noqa: F401
+    evaluate_ft, FTMachine, run_ft_component,
+)

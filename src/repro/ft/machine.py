@@ -1,0 +1,188 @@
+"""The FT abstract machine: mixed-language evaluation (paper Figs 6 and 8).
+
+Both languages execute against the *same* memory ``M = (H, R, S)``:
+
+* F code reduces by the call-by-value rules of :mod:`repro.f.eval`, except
+  that reaching a boundary ``tauFT e`` runs the T component ``e`` (merging
+  its heap fragment, stepping its instructions) until it halts, then
+  translates the halt register's word back to F via ``tauFT(w, M)``;
+* T code executes by the rules of :mod:`repro.tal.machine`, except that
+
+  - ``protect`` is a typing directive and erases to a no-op, and
+  - ``import rd, sigma TFtau e`` evaluates the F expression ``e`` to a
+    value (recursively entering F evaluation), translates it via
+    ``TFtau(v, M)``, and moves the resulting word into ``rd`` -- exactly
+    the paper's reduction to ``mv rd, w; I``.
+
+A single *fuel* budget is shared across both languages and all nesting
+levels, so the equivalence checker can observe co-divergence of mixed
+programs (e.g. Fig 17's factorials on negative inputs): when the budget is
+exhausted anywhere, :class:`~repro.errors.FuelExhausted` propagates out.
+
+Boundary crossings emit ``boundary`` trace events, letting
+:mod:`repro.analysis.trace` reconstruct the cross-language control-flow
+diagram of Fig 12.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.errors import FuelExhausted, MachineError
+from repro.f.eval import reduce_redex, split_context
+from repro.f.syntax import FExpr, is_value
+from repro.ft.boundary import f_to_t, t_to_f
+from repro.ft.syntax import Boundary, Import, Protect
+from repro.tal.heap import Memory
+from repro.tal.machine import HaltedState, MachineState, TalMachine
+from repro.tal.syntax import Component, InstrSeq, Instruction, WordValue
+
+__all__ = ["FTMachine", "evaluate_ft", "run_ft_component"]
+
+
+class FTMachine(TalMachine):
+    """The multi-language machine.
+
+    Use :meth:`evaluate` for F-outside programs and the inherited
+    :meth:`run_component` interface (via :meth:`run_ft_component`) for
+    T-outside programs.
+    """
+
+    def __init__(self, memory: Optional[Memory] = None, trace: bool = False,
+                 fuel: int = 1_000_000):
+        super().__init__(memory, trace)
+        self.fuel_left = fuel
+
+    def consume(self, n: int = 1) -> None:
+        if self.fuel_left < n:
+            raise FuelExhausted(self.fuel_left)
+        self.fuel_left -= n
+
+    # ------------------------------------------------------------------
+    # T side: the two new instructions
+    # ------------------------------------------------------------------
+
+    def exec_extended_instruction(self, i: Instruction,
+                                  rest: InstrSeq) -> InstrSeq:
+        if isinstance(i, Protect):
+            # protect is erased at runtime; it only constrains typing.
+            return rest
+        if isinstance(i, Import):
+            self.emit("boundary", None, detail=f"TF[{i.ty}] enter")
+            value = self.eval_fexpr(i.expr)
+            word = f_to_t(value, i.ty, self.memory)
+            self.memory.set_reg(i.rd, word)
+            self.emit("boundary", None,
+                      detail=f"TF[{i.ty}] -> {i.rd} = {word}")
+            return rest
+        return super().exec_extended_instruction(i, rest)
+
+    # ------------------------------------------------------------------
+    # F side
+    # ------------------------------------------------------------------
+
+    def eval_fexpr(self, e: FExpr) -> FExpr:
+        """Run an F(T) expression to a value under the shared fuel budget.
+
+        This is a CEK-style loop: the evaluation context is kept as an
+        explicit frame stack *across* steps, so deep contexts (divergent
+        recursion) cost constant work per step instead of a full context
+        rebuild -- :meth:`step_fexpr` exists for the one-step API but would
+        be quadratic here.
+        """
+        frames = []
+        cur = e
+        while True:
+            if is_value(cur):
+                if not frames:
+                    return cur
+                cur = frames.pop()(cur)
+                continue
+            self.consume()
+            if isinstance(cur, Boundary):
+                cur = self._cross_boundary(cur)
+                continue
+            contracted = reduce_redex(cur)
+            if contracted is not None:
+                self.steps += 1
+                cur = contracted
+                continue
+            split = split_context(cur)
+            if split is None:
+                raise MachineError(
+                    f"cannot step {type(cur).__name__}: not a value and "
+                    "not a reducible FT form (free variable?)")
+            frame, sub = split
+            frames.append(frame)
+            cur = sub
+
+    def step_fexpr(self, e: FExpr) -> FExpr:
+        """One F-level step (a boundary runs its whole component).
+
+        Decomposition is iterative (explicit frame stack) so deep contexts
+        built by divergent programs exhaust *fuel*, not Python's stack.
+        """
+        self.steps += 1
+        frames = []
+        cur = e
+        while True:
+            if isinstance(cur, Boundary):
+                contracted = self._cross_boundary(cur)
+                break
+            contracted = reduce_redex(cur)
+            if contracted is not None:
+                break
+            split = split_context(cur)
+            if split is None:
+                raise MachineError(
+                    f"cannot step {type(cur).__name__}: not a value and "
+                    "not a reducible FT form (free variable?)")
+            frame, cur = split
+            frames.append(frame)
+        for frame in reversed(frames):
+            contracted = frame(contracted)
+        return contracted
+
+    def _cross_boundary(self, e: Boundary) -> FExpr:
+        self.emit("boundary", None, detail=f"FT[{e.ty}] enter")
+        halted = self.run_t(self.load_component(e.comp))
+        value = t_to_f(halted.word, e.ty, self.memory)
+        self.emit("boundary", None, detail=f"FT[{e.ty}] -> {value}")
+        return value
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+
+    def run_t(self, state: MachineState) -> HaltedState:
+        """Run a T machine state to halt under the shared fuel budget."""
+        while not isinstance(state, HaltedState):
+            self.consume()
+            state = self.step(state)
+        return state
+
+    def evaluate(self, e: FExpr) -> FExpr:
+        """Entry point for F-outside programs."""
+        return self.eval_fexpr(e)
+
+    def run_component(self, comp: Component,
+                      fuel: Optional[int] = None) -> HaltedState:
+        """Entry point for T-outside programs (fuel defaults to the
+        machine's remaining budget)."""
+        if fuel is not None:
+            self.fuel_left = fuel
+        return self.run_t(self.load_component(comp))
+
+
+def evaluate_ft(e: FExpr, fuel: int = 1_000_000,
+                trace: bool = False) -> Tuple[FExpr, FTMachine]:
+    """Evaluate a closed FT expression in a fresh memory."""
+    machine = FTMachine(trace=trace, fuel=fuel)
+    return machine.evaluate(e), machine
+
+
+def run_ft_component(comp: Component, fuel: int = 1_000_000,
+                     trace: bool = False) -> Tuple[HaltedState, FTMachine]:
+    """Run a closed FT component (T outside) in a fresh memory."""
+    machine = FTMachine(trace=trace, fuel=fuel)
+    return machine.run_component(comp), machine

@@ -1,0 +1,19 @@
+"""A JIT-style compiler from an F subset to T (paper section 6).
+
+The paper sketches JIT formalization as moving between multi-language
+configurations: replacing high-level components with assembly that is
+contextually equivalent in FT.  This package implements the executable
+version for the first-order arithmetic fragment:
+
+* :mod:`repro.jit.compiler` -- compile eligible F lambdas to multi-block
+  T components following the Fig 9 calling convention, and
+  :func:`~repro.jit.compiler.jit_rewrite` whole programs by replacing
+  every eligible lambda;
+* correctness is the paper's equivalence obligation
+  ``E[e_S] ~ E[FT e_T]``, checked by :mod:`repro.equiv` in the tests and
+  in ``benchmarks/bench_jit_correctness.py``.
+"""
+
+from repro.jit.compiler import (  # noqa: F401
+    compile_function, is_compilable, jit_rewrite,
+)

@@ -1,0 +1,18 @@
+"""Every example program from the FunTAL paper, built programmatically.
+
+Modules (one per figure / inline example):
+
+* :mod:`repro.papers_examples.sec3_sequences` -- the inline section-3
+  typing examples (``mv/salloc/sst``, the ``jmp`` example, the ``call``
+  example);
+* :mod:`repro.papers_examples.fig3_call_to_call` -- Fig 3's call-to-call
+  program, whose control flow is Fig 4;
+* :mod:`repro.papers_examples.push7` / ``import_example`` -- section 4.2's
+  stack-modifying lambda and ``import`` examples;
+* :mod:`repro.papers_examples.fig11_jit` -- the JIT compilation example,
+  whose control flow is Fig 12;
+* :mod:`repro.papers_examples.fig16_two_blocks` -- the one-block /
+  two-block equivalent components;
+* :mod:`repro.papers_examples.fig17_factorial` -- factorial, functional
+  (``factF``) and imperative (``factT``).
+"""

@@ -1,0 +1,112 @@
+"""Paper Fig 11: the JIT-compilation example; its control flow is Fig 12.
+
+The F source program::
+
+    g = lam(h: (int)->int). h 1
+    h = lam(x: int). x * 2
+    f = lam(g: ((int)->int)->int). g h
+    e = f g
+
+A JIT decides to compile ``f`` and ``h`` to assembly, yielding the mixed
+program in which ``f`` and ``h`` are replaced by the code blocks ``l`` and
+``lh``; ``g`` stays interpreted.  Running the mixed program exercises both
+callback directions:
+
+* assembly calls back *into* F (``l`` calls the interpreted ``g``), and
+* compiled code is passed *to* F as a value (``lh`` flows into ``g`` as its
+  higher-order argument and is then called with ``1``).
+
+Both programs evaluate to ``2``; proving them *equivalent* (not merely
+coincident on one run) is the JIT-correctness obligation sketched in the
+paper's section 6, which our :mod:`repro.equiv` checker tests on bounded
+observations.
+"""
+
+from __future__ import annotations
+
+from repro.f.syntax import App, BinOp, FArrow, FInt, IntE, Lam, Var
+from repro.ft.syntax import Boundary
+from repro.ft.translate import continuation_type, type_translation
+from repro.tal.syntax import (
+    Aop, Call, Component, DeltaBind, Halt, HCode, KIND_EPS, KIND_ZETA, Loc,
+    Mv, NIL_STACK, QEps, QIdx, QReg, RegFileTy, RegOp, Ret, Salloc, Sfree,
+    Sld, Sst, StackTy, TInt, TyApp, WInt, WLoc, seq,
+)
+
+__all__ = [
+    "build_source", "build_jit", "build_g", "INT_TO_INT", "TAU",
+    "EXPECTED_RESULT", "L", "LH", "LGRET",
+]
+
+INT_TO_INT = FArrow((FInt(),), FInt())
+#: tau = ((int) -> int) -> int, the type of g.
+TAU = FArrow((INT_TO_INT,), FInt())
+
+EXPECTED_RESULT = 2
+
+L = Loc("l")
+LH = Loc("lh")
+LGRET = Loc("lgret")
+
+
+def build_g() -> Lam:
+    """The interpreted function ``g = lam(h: (int)->int). h 1``."""
+    return Lam((("h", INT_TO_INT),), App(Var("h"), (IntE(1),)))
+
+
+def build_source() -> App:
+    """The all-F source program ``f g``."""
+    g = build_g()
+    h = Lam((("x", FInt()),), BinOp("*", Var("x"), IntE(2)))
+    f = Lam((("g", TAU),), App(Var("g"), (h,)))
+    return App(f, (g,))
+
+
+def build_jit() -> App:
+    """The JIT-transformed mixed program of Fig 11.
+
+    ``e = ((tau)->int FT (mv r1, l; halt (tau)->intT, nil {r1}, H)) g``
+    """
+    zeps = (DeltaBind(KIND_ZETA, "z"), DeltaBind(KIND_EPS, "e"))
+    zstack = StackTy((), "z")
+    cont = continuation_type(TInt(), zstack)
+    tau_t = type_translation(TAU)
+    i2i_t = type_translation(INT_TO_INT)
+    outer_arrow = FArrow((TAU,), FInt())
+    outer_arrow_t = type_translation(outer_arrow)
+
+    # l : compiled f.  Takes g on the stack; calls it back with lh.
+    l_block = HCode(
+        zeps, RegFileTy.of(ra=cont), StackTy((tau_t,), "z"), QReg("ra"),
+        seq(
+            Sld("r1", 0),
+            Salloc(1),
+            Mv("r2", WLoc(LH)),
+            Sst(0, "r2"),
+            Sst(1, "ra"),
+            Mv("ra", TyApp(WLoc(LGRET), (zstack, QEps("e")))),
+            Call(RegOp("r1"), StackTy((cont,), "z"), QIdx(0)),
+        ))
+    # lh : compiled h.  Doubles its stack argument.
+    lh_block = HCode(
+        zeps, RegFileTy.of(ra=cont), StackTy((TInt(),), "z"), QReg("ra"),
+        seq(
+            Sld("r1", 0),
+            Sfree(1),
+            Aop("mul", "r1", "r1", WInt(2)),
+            Ret("ra", "r1"),
+        ))
+    # lgret : the shim continuation that recovers l's own continuation.
+    lgret_block = HCode(
+        zeps, RegFileTy.of(r1=TInt()), StackTy((cont,), "z"), QIdx(0),
+        seq(
+            Sld("ra", 0),
+            Sfree(1),
+            Ret("ra", "r1"),
+        ))
+    comp = Component(
+        seq(Mv("r1", WLoc(L)),
+            Halt(outer_arrow_t, NIL_STACK, "r1")),
+        ((L, l_block), (LH, lh_block), (LGRET, lgret_block)))
+    return App(Boundary(outer_arrow, comp), (build_g(),))
+

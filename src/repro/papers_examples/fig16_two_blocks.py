@@ -1,0 +1,92 @@
+"""Paper Fig 16: two equivalent components with different block structure.
+
+Both ``f1`` and ``f2`` are F lambdas of type ``(int) -> int`` whose bodies
+apply an embedded assembly component to the argument:
+
+* ``f1``'s component computes ``x + 1 + 1`` in a *single* basic block;
+* ``f2``'s component computes ``x + 1``, stores the intermediate back on
+  the stack, and jumps to a *second* block that adds the final ``1``.
+
+The paper proves them contextually equivalent via the logical relation;
+our :mod:`repro.equiv` checker confirms the equivalence on bounded
+observations (and refutes mutated variants), reproduced by
+``benchmarks/bench_fig16_block_equivalence.py``.
+
+(The paper's figure annotates ``f2``'s ``halt`` with ``intT``; the
+component's value is the code pointer, so the annotation must be
+``(int) -> intT`` as in ``f1`` -- an evident typo we correct.)
+"""
+
+from __future__ import annotations
+
+from repro.f.syntax import App, FArrow, FInt, IntE, Lam, Var
+from repro.ft.syntax import Boundary, Protect
+from repro.ft.translate import continuation_type, type_translation
+from repro.tal.syntax import (
+    Aop, Component, DeltaBind, Halt, HCode, Jmp, KIND_EPS, KIND_ZETA, Loc,
+    Mv, QEps, QReg, RegFileTy, Ret, Sfree, Sld, Sst, StackTy, TInt, TyApp,
+    WInt, WLoc, seq,
+)
+
+__all__ = ["build_f1", "build_f2", "ARROW", "EXPECTED"]
+
+ARROW = FArrow((FInt(),), FInt())
+
+#: f(n) = n + 2 for every n.
+EXPECTED = staticmethod(lambda n: n + 2)
+
+_ZEPS = (DeltaBind(KIND_ZETA, "z"), DeltaBind(KIND_EPS, "e"))
+_ZSTACK = StackTy((), "z")
+_CONT = continuation_type(TInt(), _ZSTACK)
+_ENTRY_SIGMA = StackTy((TInt(),), "z")
+
+
+def _wrap(heap) -> Lam:
+    """``lam(x:int). ((int)->int FT (protect ., z; mv r1, l; halt ...)) x``"""
+    entry_label = heap[0][0]
+    arrow_t = type_translation(ARROW)
+    comp = Component(
+        seq(Protect((), "z"),
+            Mv("r1", WLoc(entry_label)),
+            Halt(arrow_t, _ZSTACK, "r1")),
+        heap)
+    return Lam((("x", FInt()),),
+               App(Boundary(ARROW, comp), (Var("x"),)))
+
+
+def build_f1() -> Lam:
+    """One basic block: load, add 1, add 1, clean up, return."""
+    label = Loc("ladd")
+    block = HCode(
+        _ZEPS, RegFileTy.of(ra=_CONT), _ENTRY_SIGMA, QReg("ra"),
+        seq(
+            Sld("r1", 0),
+            Aop("add", "r1", "r1", WInt(1)),
+            Aop("add", "r1", "r1", WInt(1)),
+            Sfree(1),
+            Ret("ra", "r1"),
+        ))
+    return _wrap(((label, block),))
+
+
+def build_f2() -> Lam:
+    """Two basic blocks: add 1, stash, jump, add 1, return."""
+    first = Loc("ladd")
+    second = Loc("laddaux")
+    block1 = HCode(
+        _ZEPS, RegFileTy.of(ra=_CONT), _ENTRY_SIGMA, QReg("ra"),
+        seq(
+            Sld("r1", 0),
+            Aop("add", "r1", "r1", WInt(1)),
+            Sst(0, "r1"),
+            Jmp(TyApp(WLoc(second), (_ZSTACK, QEps("e")))),
+        ))
+    block2 = HCode(
+        _ZEPS, RegFileTy.of(ra=_CONT), _ENTRY_SIGMA, QReg("ra"),
+        seq(
+            Sld("r1", 0),
+            Aop("add", "r1", "r1", WInt(1)),
+            Sfree(1),
+            Ret("ra", "r1"),
+        ))
+    return _wrap(((first, block1), (second, block2)))

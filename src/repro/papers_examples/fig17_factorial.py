@@ -1,0 +1,108 @@
+"""Paper Fig 17: factorial two different ways.
+
+* ``factF`` is the standard functional factorial using iso-recursive
+  self-application (no primitive recursion in F): a template ``F`` is
+  applied to a folded copy of itself.
+* ``factT`` is the imperative factorial: embedded assembly with an
+  accumulator register (``r7``), a counter (``r3``), and a loop block
+  entered and re-entered with ``bnz``.
+
+Both compute ``n!`` for ``n >= 0`` and *diverge* for ``n < 0`` (``factF``
+by infinite recursion, ``factT`` because the counter decrements past zero
+forever).  The equivalence checker observes equal results on non-negative
+inputs and co-divergence (fuel exhaustion on both sides) on negative
+inputs -- the paper's two proof cases.
+
+One paper deviation: Fig 17 returns with ``ret ra {r7}`` while the return
+continuation expects its value in ``r1`` (its type is
+``forall[].{r1: intT; zeta} eps``); the ``ret`` typing rule requires the
+result register to be the one the continuation declares, so we move the
+accumulator to ``r1`` first.
+"""
+
+from __future__ import annotations
+
+from math import factorial
+
+from repro.f.syntax import (
+    App, BinOp, FArrow, FInt, Fold, FRec, FTVar, If0, IntE, Lam, Unfold,
+    Var,
+)
+from repro.ft.syntax import Boundary, Protect
+from repro.ft.translate import continuation_type, type_translation
+from repro.tal.syntax import (
+    Aop, Bnz, Component, DeltaBind, Halt, HCode, KIND_EPS, KIND_ZETA, Loc,
+    Mv, QEps, QReg, RegFileTy, RegOp, Ret, Sfree, Sld, StackTy, TInt,
+    TyApp, WInt, WLoc, seq,
+)
+
+__all__ = ["build_fact_f", "build_fact_t", "ARROW", "expected"]
+
+ARROW = FArrow((FInt(),), FInt())
+
+
+def expected(n: int) -> int:
+    """The reference result for ``n >= 0``."""
+    return factorial(n)
+
+
+def build_fact_f() -> Lam:
+    """``factF = lam(x:int). (F (fold F)) x`` with
+    ``F = lam(f: mu a.(a)->(int)->int). lam(x:int).
+    if0 x 1 (((unfold f) f) (x-1)) * x``."""
+    mu = FRec("a", FArrow((FTVar("a"),), ARROW))
+    template = Lam(
+        (("f", mu),),
+        Lam(
+            (("x", FInt()),),
+            If0(Var("x"),
+                IntE(1),
+                BinOp(
+                    "*",
+                    App(App(Unfold(Var("f")), (Var("f"),)),
+                        (BinOp("-", Var("x"), IntE(1)),)),
+                    Var("x")))))
+    return Lam(
+        (("x", FInt()),),
+        App(App(template, (Fold(mu, template),)), (Var("x"),)))
+
+
+def build_fact_t() -> Lam:
+    """``factT``: the imperative factorial of Fig 17."""
+    zeps = (DeltaBind(KIND_ZETA, "z"), DeltaBind(KIND_EPS, "e"))
+    zstack = StackTy((), "z")
+    cont = continuation_type(TInt(), zstack)
+    entry_sigma = StackTy((TInt(),), "z")
+    lfact = Loc("lfact")
+    lloop = Loc("lloop")
+
+    fact_block = HCode(
+        zeps, RegFileTy.of(ra=cont), entry_sigma, QReg("ra"),
+        seq(
+            Sld("r3", 0),
+            Mv("r7", WInt(1)),
+            Bnz("r3", TyApp(WLoc(lloop), (zstack, QEps("e")))),
+            Sfree(1),
+            Mv("r1", WInt(1)),
+            Ret("ra", "r1"),
+        ))
+    loop_block = HCode(
+        zeps,
+        RegFileTy.of(r3=TInt(), r7=TInt(), ra=cont),
+        entry_sigma, QReg("ra"),
+        seq(
+            Aop("mul", "r7", "r7", RegOp("r3")),
+            Aop("sub", "r3", "r3", WInt(1)),
+            Bnz("r3", TyApp(WLoc(lloop), (zstack, QEps("e")))),
+            Sfree(1),
+            Mv("r1", RegOp("r7")),
+            Ret("ra", "r1"),
+        ))
+    arrow_t = type_translation(ARROW)
+    comp = Component(
+        seq(Protect((), "z"),
+            Mv("r1", WLoc(lfact)),
+            Halt(arrow_t, zstack, "r1")),
+        ((lfact, fact_block), (lloop, loop_block)))
+    return Lam((("x", FInt()),),
+               App(Boundary(ARROW, comp), (Var("x"),)))

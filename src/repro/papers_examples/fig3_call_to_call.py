@@ -1,0 +1,94 @@
+"""Paper Fig 3: the call-to-call T program; its control flow is Fig 4.
+
+The component ``f`` calls ``l1``; ``l1`` protects its own return
+continuation on the stack and calls ``l2``; ``l2`` computes ``1 * 2`` across
+two basic blocks (an intra-component ``jmp`` to ``l2aux``) and returns;
+``l2ret`` pops the saved continuation and returns to ``l1ret``, which halts
+with the result ``2`` and an empty stack.
+
+This exercises every jump form of T -- ``call`` under an ``end`` marker,
+``call`` under a stack-index marker, intra-component ``jmp``, ``ret``
+through a register, and ``halt``.
+"""
+
+from __future__ import annotations
+
+from repro.tal.syntax import (
+    Call, CodeType, DeltaBind, Halt, HCode, InstrSeq, Jmp, KIND_EPS,
+    KIND_ZETA, Loc, Component, Mv, Aop, NIL_STACK, QEnd, QEps, QIdx, QReg,
+    RegFileTy, RegOp, Ret, Salloc, Sfree, Sld, Sst, StackTy, TBox, TInt,
+    TyApp, WInt, WLoc, seq,
+)
+
+__all__ = [
+    "build", "L1", "L1RET", "L2", "L2AUX", "L2RET", "cont_type",
+    "EXPECTED_RESULT",
+]
+
+L1 = Loc("l1")
+L1RET = Loc("l1ret")
+L2 = Loc("l2")
+L2AUX = Loc("l2aux")
+L2RET = Loc("l2ret")
+
+#: The program halts with the integer 2 (see Fig 4's final state).
+EXPECTED_RESULT = 2
+
+
+def cont_type(zeta: str = "z", eps: str = "e") -> TBox:
+    """``box forall[].{r1: int; zeta} eps`` -- the calling convention's
+    return-continuation type with abstract stack tail and marker."""
+    return TBox(CodeType(
+        (), RegFileTy.of(r1=TInt()), StackTy((), zeta), QEps(eps)))
+
+
+def build() -> Component:
+    """Construct the Fig 3 component ``f``."""
+    zeps = (DeltaBind(KIND_ZETA, "z"), DeltaBind(KIND_EPS, "e"))
+    zvar = StackTy((), "z")
+    cont = cont_type("z", "e")
+    end_int_nil = QEnd(TInt(), NIL_STACK)
+
+    l1 = HCode(
+        zeps, RegFileTy.of(ra=cont), zvar, QReg("ra"),
+        seq(
+            Salloc(1),
+            Sst(0, "ra"),
+            Mv("ra", TyApp(WLoc(L2RET), (zvar, QEps("e")))),
+            Call(WLoc(L2), StackTy((cont,), "z"), QIdx(0)),
+        ))
+
+    l1ret = HCode(
+        (), RegFileTy.of(r1=TInt()), NIL_STACK, end_int_nil,
+        seq(Halt(TInt(), NIL_STACK, "r1")))
+
+    l2 = HCode(
+        zeps, RegFileTy.of(ra=cont), zvar, QReg("ra"),
+        seq(
+            Mv("r1", WInt(1)),
+            Jmp(TyApp(WLoc(L2AUX), (zvar, QEps("e")))),
+        ))
+
+    l2aux = HCode(
+        zeps, RegFileTy.of(r1=TInt(), ra=cont), zvar, QReg("ra"),
+        seq(
+            Aop("mul", "r1", "r1", WInt(2)),
+            Ret("ra", "r1"),
+        ))
+
+    l2ret = HCode(
+        zeps, RegFileTy.of(r1=TInt()), StackTy((cont,), "z"), QIdx(0),
+        seq(
+            Sld("ra", 0),
+            Sfree(1),
+            Ret("ra", "r1"),
+        ))
+
+    entry = seq(
+        Mv("ra", WLoc(L1RET)),
+        Call(WLoc(L1), NIL_STACK, end_int_nil),
+    )
+
+    return Component(entry, (
+        (L1, l1), (L1RET, l1ret), (L2, l2), (L2AUX, l2aux), (L2RET, l2ret),
+    ))

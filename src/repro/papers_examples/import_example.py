@@ -1,0 +1,37 @@
+"""Paper section 4.2: the ``import`` example computing ``1 + 1``.
+
+::
+
+    . ; . ; . ; nil ; end{int; nil} |- import r1, nil TF int (1 + 1)
+      => . ; r1: int ; nil ; end{int; nil}
+
+We package it as a complete runnable component (adding the terminating
+``halt``), plus the judgment-level pieces so tests can check the exact
+postcondition the paper displays.
+"""
+
+from __future__ import annotations
+
+from repro.f.syntax import BinOp, FInt, IntE
+from repro.ft.syntax import Import
+from repro.tal.syntax import (
+    Component, Halt, NIL_STACK, QEnd, TInt, seq,
+)
+
+__all__ = ["build", "build_import_instruction", "MARKER", "EXPECTED_RESULT"]
+
+MARKER = QEnd(TInt(), NIL_STACK)
+EXPECTED_RESULT = 2
+
+
+def build_import_instruction() -> Import:
+    """Just the instruction, for judgment-level tests."""
+    return Import("r1", NIL_STACK, FInt(), BinOp("+", IntE(1), IntE(1)))
+
+
+def build() -> Component:
+    """The complete component: import 1+1 into r1, then halt with it."""
+    return Component(seq(
+        build_import_instruction(),
+        Halt(TInt(), NIL_STACK, "r1"),
+    ))

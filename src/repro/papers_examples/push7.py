@@ -1,0 +1,53 @@
+"""Paper section 4.2: the stack-modifying lambda that pushes 7.
+
+::
+
+    lam[.; int :: .](x: int).
+      unitFT (protect ., z;
+              mv r1, 7; salloc 1; sst 0, r1; mv r1, ();
+              halt unit, int :: z {r1}, .)
+
+The boundary's component captures the whole current stack as ``z``, pushes
+7, and halts with unit -- leaving one extra ``int`` on the stack, which is
+exactly what the stack-modifying arrow type ``(int) [.; int::.] -> unit``
+advertises.  Without stack-modifying lambdas this would fail to typecheck
+(the paper's point); our tests also verify that an ordinary lambda with the
+same body is rejected.
+"""
+
+from __future__ import annotations
+
+from repro.f.syntax import FInt, FUnit
+from repro.ft.syntax import Boundary, Protect, StackDelta, StackLam
+from repro.tal.syntax import (
+    Component, Halt, Mv, Salloc, Sst, StackTy, TInt, TUnit, WInt, WUnit,
+    seq,
+)
+
+__all__ = ["build", "build_ill_typed"]
+
+
+def _body() -> Boundary:
+    comp = Component(seq(
+        Protect((), "z"),
+        Mv("r1", WInt(7)),
+        Salloc(1),
+        Sst(0, "r1"),
+        Mv("r1", WUnit()),
+        Halt(TUnit(), StackTy((TInt(),), "z"), "r1"),
+    ))
+    return Boundary(FUnit(), comp, StackDelta(pops=0, pushes=(TInt(),)))
+
+
+def build() -> StackLam:
+    """The well-typed stack-modifying version."""
+    return StackLam((("x", FInt()),), _body(),
+                    phi_in=(), phi_out=(TInt(),))
+
+
+def build_ill_typed():
+    """The same body under an *ordinary* lambda -- must be rejected,
+    because the body changes the stack it was given."""
+    from repro.f.syntax import Lam
+
+    return Lam((("x", FInt()),), _body())

@@ -1,0 +1,126 @@
+"""The inline typing examples of paper section 3.
+
+Three snippets accompany the T typing rules:
+
+* the *sequence* example, showing each instruction's postcondition feeding
+  the next precondition::
+
+      . ; . ; . ; nil ; q |- mv r1, 42  =>  r1: int ; nil
+                            salloc 1    =>  r1: int ; unit :: nil
+                            sst 0, r1   =>  r1: int ; int :: nil
+
+  (the paper writes the marker as ``ra`` without giving ``ra`` a type; we
+  use a concrete ``end{int; int::nil}`` marker so the snippet is a complete
+  checkable program);
+
+* the *jmp* example: a jump to ``l : box forall[].{r2: unit; int::nil}
+  end{unit; nil}`` from a state with an extra register and matching stack;
+
+* the *call* example: a call to
+  ``l : box forall[z, e].{ra: forall[].{r1: int; z} e; unit :: z} ra``
+  protecting the tail ``int :: nil``.  (The paper displays the caller's
+  marker as ``end{unit; nil}`` while passing ``end{int; nil}`` to the
+  callee; the first call rule requires these to coincide -- and the
+  continuation in ``ra`` is typed at ``end{int; nil}`` -- so we use
+  ``end{int; nil}`` throughout and note the figure's slip here.)
+
+Each builder returns a complete, runnable component so the machine-level
+tests can execute what the typing-level tests check.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.tal.syntax import (
+    Call, CodeType, Component, DeltaBind, Halt, HCode, InstrSeq, Jmp,
+    KIND_EPS, KIND_ZETA, Loc, Mv, NIL_STACK, QEnd, QEps, QReg, RegFileTy,
+    Ret, Salloc, Sfree, Sld, Sst, StackTy, TBox, TInt, TUnit, WInt, WLoc,
+    WUnit, seq,
+)
+from repro.tal.typecheck import InstrState, TalTypechecker
+
+__all__ = [
+    "sequence_example_states", "build_sequence_program", "build_jmp_program",
+    "build_call_program",
+]
+
+_INT_STACK = StackTy((TInt(),), None)
+
+
+def sequence_example_states() -> List[Tuple[str, InstrState]]:
+    """Replay the section-3 sequence example, returning the state after
+    each instruction (to compare against the paper's table)."""
+    checker = TalTypechecker()
+    marker = QEnd(TInt(), _INT_STACK)
+    st = InstrState((), RegFileTy(), NIL_STACK, marker)
+    out: List[Tuple[str, InstrState]] = [("(start)", st)]
+    for instr in (Mv("r1", WInt(42)), Salloc(1), Sst(0, "r1")):
+        st = checker.step_instruction(st, instr)
+        out.append((str(instr), st))
+    return out
+
+
+def build_sequence_program() -> Component:
+    """The sequence example completed into a runnable program: it halts
+    with 42 in r1 and one int on the stack."""
+    return Component(seq(
+        Mv("r1", WInt(42)),
+        Salloc(1),
+        Sst(0, "r1"),
+        Halt(TInt(), _INT_STACK, "r1"),
+    ))
+
+
+def build_jmp_program() -> Component:
+    """The jmp example: the target pops the int and halts with unit."""
+    target = Loc("ljmp")
+    block = HCode(
+        (), RegFileTy.of(r2=TUnit()), _INT_STACK, QEnd(TUnit(), NIL_STACK),
+        seq(
+            Sfree(1),
+            Mv("r1", WUnit()),
+            Halt(TUnit(), NIL_STACK, "r1"),
+        ))
+    return Component(seq(
+        Mv("r1", WInt(5)),
+        Mv("r2", WUnit()),
+        Salloc(1),
+        Sst(0, "r1"),
+        Jmp(WLoc(target)),
+    ), ((target, block),))
+
+
+def build_call_program() -> Component:
+    """The call example: a callee abstracting ``[z, e]`` over a stack with
+    a protected ``int :: nil`` tail; the continuation pops that int and
+    halts with the called function's result."""
+    callee = Loc("lcallee")
+    kont = Loc("lkont")
+    cont_ty = TBox(CodeType(
+        (), RegFileTy.of(r1=TInt()), StackTy((), "z"), QEps("e")))
+    callee_block = HCode(
+        (DeltaBind(KIND_ZETA, "z"), DeltaBind(KIND_EPS, "e")),
+        RegFileTy.of(ra=cont_ty),
+        StackTy((TUnit(),), "z"), QReg("ra"),
+        seq(
+            Sfree(1),          # drop the unit argument
+            Mv("r1", WInt(10)),
+            Ret("ra", "r1"),
+        ))
+    kont_block = HCode(
+        (), RegFileTy.of(r1=TInt()), _INT_STACK, QEnd(TInt(), NIL_STACK),
+        seq(
+            Sfree(1),          # pop the protected int
+            Halt(TInt(), NIL_STACK, "r1"),
+        ))
+    end_marker = QEnd(TInt(), NIL_STACK)
+    return Component(seq(
+        Mv("r1", WInt(3)),
+        Salloc(2),
+        Sst(1, "r1"),          # the protected int
+        Mv("r2", WUnit()),
+        Sst(0, "r2"),          # the unit argument
+        Mv("ra", WLoc(kont)),
+        Call(WLoc(callee), _INT_STACK, end_marker),
+    ), ((callee, callee_block), (kont, kont_block)))

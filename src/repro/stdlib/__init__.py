@@ -1,0 +1,13 @@
+"""Library code built *on top of* the FT public API.
+
+* :mod:`repro.stdlib.refs` -- the paper's "very basic mutable reference
+  library" (section 4.2 / technical appendix): a stack cell managed
+  through stack-modifying lambdas;
+* :mod:`repro.stdlib.prelude` -- reusable F combinators and sequencing
+  helpers used by the examples and tests.
+"""
+
+from repro.stdlib.refs import (  # noqa: F401
+    alloc_cell, free_cell, read_cell, write_cell,
+)
+from repro.stdlib.prelude import let_, seq_cell, compose, identity  # noqa: F401

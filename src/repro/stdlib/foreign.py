@@ -1,0 +1,77 @@
+"""A shared mutable counter via foreign pointers (paper section 6).
+
+Where :mod:`repro.stdlib.refs` keeps its state on the *stack* (so the type
+system threads it through every call), this library keeps state in a
+mutable T *heap tuple* and hands F an opaque lump handle.  F can store the
+handle, pass it around, even send it through other functions -- but every
+read or write crosses back into assembly, exactly the paper's
+"passed but only used in T" discipline:
+
+* ``new_counter()  : (int) -> L<int>``       allocate, initialized
+* ``bump()         : (L<int>) -> unit``      increment in place
+* ``counter_value(): (L<int>) -> int``       read
+
+Because two F-held lumps can alias the same tuple, programs using this
+library give up the referential-transparency conjecture of section 6 --
+our tests demonstrate that too (a function that writes through one handle
+changes what another observes).
+"""
+
+from __future__ import annotations
+
+from repro.f.syntax import FInt, FUnit, Lam, Var
+from repro.ft.lump import FLump
+from repro.ft.syntax import Boundary, Import, Protect
+from repro.tal.syntax import (
+    Aop, Component, Halt, Ld, Mv, Ralloc, RegOp, Salloc, seq, Sst, St,
+    StackTy, TInt, TRef, TUnit, WInt, WUnit,
+)
+
+__all__ = ["INT_CELL_LUMP", "new_counter", "bump", "counter_value"]
+
+#: The lump type of a one-field int counter.
+INT_CELL_LUMP = FLump((TInt(),))
+
+_Z = "z"
+
+
+def _zs(*prefix) -> StackTy:
+    return StackTy(tuple(prefix), _Z)
+
+
+def new_counter() -> Lam:
+    """``lam(n: int). L<int>FT <ralloc a fresh cell holding n>``"""
+    comp = Component(seq(
+        Protect((), _Z),
+        Import("r1", _zs(), FInt(), Var("n")),
+        Salloc(1),
+        Sst(0, "r1"),
+        Ralloc("r1", 1),
+        Halt(TRef((TInt(),)), _zs(), "r1"),
+    ))
+    return Lam((("n", FInt()),), Boundary(INT_CELL_LUMP, comp))
+
+
+def bump() -> Lam:
+    """``lam(c: L<int>). unitFT <c[0] := c[0] + 1>``"""
+    comp = Component(seq(
+        Protect((), _Z),
+        Import("r2", _zs(), INT_CELL_LUMP, Var("c")),
+        Ld("r1", "r2", 0),
+        Aop("add", "r1", "r1", WInt(1)),
+        St("r2", 0, "r1"),
+        Mv("r1", WUnit()),
+        Halt(TUnit(), _zs(), "r1"),
+    ))
+    return Lam((("c", INT_CELL_LUMP),), Boundary(FUnit(), comp))
+
+
+def counter_value() -> Lam:
+    """``lam(c: L<int>). intFT <read c[0]>``"""
+    comp = Component(seq(
+        Protect((), _Z),
+        Import("r2", _zs(), INT_CELL_LUMP, Var("c")),
+        Ld("r1", "r2", 0),
+        Halt(TInt(), _zs(), "r1"),
+    ))
+    return Lam((("c", INT_CELL_LUMP),), Boundary(FInt(), comp))

@@ -1,0 +1,67 @@
+"""Reusable F/FT combinators used by the examples and tests.
+
+Pure-F helpers (``identity``, ``const_``, ``compose``, ``twice``,
+``let_``) are ordinary lambda encodings.  ``seq_cell`` is the
+FT-specific sequencing combinator for stack-cell programs: an ordinary
+``let_`` hides the stack from its body (a plain lambda is checked under a
+fresh abstract stack), so computations that keep state on the stack must
+chain through *stack-modifying* lambdas whose ``phi`` annotations keep the
+cell visible.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.f.syntax import App, FArrow, FExpr, FType, Lam, Var
+from repro.ft.syntax import StackLam
+from repro.tal.syntax import TalType
+
+__all__ = ["identity", "const_", "compose", "twice", "let_", "seq_cell"]
+
+
+def identity(ty: FType) -> Lam:
+    """``lam(x: ty). x``"""
+    return Lam((("x", ty),), Var("x"))
+
+
+def const_(ty: FType, value: FExpr, arg_ty: FType) -> Lam:
+    """``lam(x: arg_ty). value`` (``value`` closed, of type ``ty``)."""
+    return Lam((("x", arg_ty),), value)
+
+
+def compose(f: FExpr, g: FExpr, a: FType, b: FType, c: FType) -> Lam:
+    """``lam(x: a). f (g x)`` for ``g: (a)->b`` and ``f: (b)->c``."""
+    return Lam((("x", a),), App(f, (App(g, (Var("x"),)),)))
+
+
+def twice(f: FExpr, ty: FType) -> Lam:
+    """``lam(x: ty). f (f x)`` for ``f: (ty)->ty``."""
+    return Lam((("x", ty),), App(f, (App(f, (Var("x"),)),)))
+
+
+def let_(name: str, ty: FType, value: FExpr, body: FExpr) -> App:
+    """Pure-F let: ``(lam(name: ty). body) value``.
+
+    The body is typed under a *fresh* abstract stack -- fine for pure
+    computations, wrong for stack-cell programs (use :func:`seq_cell`).
+    """
+    return App(Lam(((name, ty),), body), (value,))
+
+
+def seq_cell(step: FExpr, var: str, var_ty: FType, rest: FExpr,
+             prefix_mid: Tuple[TalType, ...],
+             prefix_out: Tuple[TalType, ...]) -> App:
+    """Stack-aware let: run ``step``, bind its value, continue.
+
+    ``prefix_mid`` is the stack prefix after ``step`` (the continuation's
+    ``phi_in``); ``prefix_out`` is the prefix after ``rest``.  The
+    continuation is a stack-modifying lambda so ``rest`` still sees the
+    cell::
+
+        seq_cell(alloc(5), "_", unit,
+                 seq_cell(read(()), "v", int, ..., (int,), ...),
+                 (int,), ...)
+    """
+    cont = StackLam(((var, var_ty),), rest, prefix_mid, prefix_out)
+    return App(cont, (step,))

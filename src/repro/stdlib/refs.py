@@ -1,0 +1,92 @@
+"""The mutable int-cell library from the paper's section 4.2.
+
+F has no mutation; the paper notes that stack-modifying lambdas let a T
+library provide it.  The cell is a single ``int`` stack slot, managed by
+four stack-modifying lambdas whose arrow types make the protocol explicit:
+
+================  ==========================================
+``alloc_cell()``  ``(int) [.; int::.] -> unit``  -- push the initial value
+``read_cell()``   ``(unit) [int::.; int::.] -> int``  -- read the cell
+``write_cell()``  ``(int) [int::.; int::.] -> unit``  -- overwrite the cell
+``free_cell()``   ``(unit) [int::.; .] -> unit``  -- pop the cell
+================  ==========================================
+
+A computation using the cell is written with
+:func:`repro.stdlib.prelude.seq_cell`, which chains stack-modifying
+lambdas so the cell stays visible between steps.  Every body is embedded
+assembly: this module is the library the paper says you *can* write once
+stack-modifying lambdas exist, and its tests double as integration tests
+for ``protect``/``import`` typing.
+"""
+
+from __future__ import annotations
+
+from repro.f.syntax import FInt, FUnit, Var
+from repro.ft.syntax import Boundary, Import, Protect, StackDelta, StackLam
+from repro.tal.syntax import (
+    Component, Halt, Mv, Salloc, Sfree, Sld, Sst, StackTy, TInt, TUnit,
+    WUnit, seq,
+)
+
+__all__ = ["alloc_cell", "read_cell", "write_cell", "free_cell"]
+
+_INT_PREFIX = (TInt(),)
+_Z = "z"
+
+
+def _zstack(*prefix) -> StackTy:
+    return StackTy(tuple(prefix), _Z)
+
+
+def alloc_cell() -> StackLam:
+    """``lam[.; int::.](x: int). <push x>`` -- allocate the cell."""
+    comp = Component(seq(
+        Protect((), _Z),
+        Import("r1", _zstack(), FInt(), Var("x")),
+        Salloc(1),
+        Sst(0, "r1"),
+        Mv("r1", WUnit()),
+        Halt(TUnit(), _zstack(TInt()), "r1"),
+    ))
+    body = Boundary(FUnit(), comp, StackDelta(pushes=_INT_PREFIX))
+    return StackLam((("x", FInt()),), body,
+                    phi_in=(), phi_out=_INT_PREFIX)
+
+
+def read_cell() -> StackLam:
+    """``lam[int::.; int::.](u: unit). <read top>`` -- read the cell."""
+    comp = Component(seq(
+        Protect(_INT_PREFIX, _Z),
+        Sld("r1", 0),
+        Halt(TInt(), _zstack(TInt()), "r1"),
+    ))
+    body = Boundary(FInt(), comp)
+    return StackLam((("u", FUnit()),), body,
+                    phi_in=_INT_PREFIX, phi_out=_INT_PREFIX)
+
+
+def write_cell() -> StackLam:
+    """``lam[int::.; int::.](x: int). <overwrite top>``."""
+    comp = Component(seq(
+        Protect(_INT_PREFIX, _Z),
+        Import("r1", _zstack(TInt()), FInt(), Var("x")),
+        Sst(0, "r1"),
+        Mv("r1", WUnit()),
+        Halt(TUnit(), _zstack(TInt()), "r1"),
+    ))
+    body = Boundary(FUnit(), comp)
+    return StackLam((("x", FInt()),), body,
+                    phi_in=_INT_PREFIX, phi_out=_INT_PREFIX)
+
+
+def free_cell() -> StackLam:
+    """``lam[int::.; .](u: unit). <pop>`` -- release the cell."""
+    comp = Component(seq(
+        Protect(_INT_PREFIX, _Z),
+        Sfree(1),
+        Mv("r1", WUnit()),
+        Halt(TUnit(), _zstack(), "r1"),
+    ))
+    body = Boundary(FUnit(), comp, StackDelta(pops=1))
+    return StackLam((("u", FUnit()),), body,
+                    phi_in=_INT_PREFIX, phi_out=())

@@ -1,0 +1,76 @@
+"""Tokenizer for the FunTAL surface syntax.
+
+Line comments start with ``--`` (Haskell-style) or ``//`` and run to end of
+line.  Tokens carry line/column for error reporting.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import ParseError
+
+__all__ = ["Token", "tokenize", "KEYWORDS", "REGISTERS"]
+
+#: Reserved words of the surface language.
+KEYWORDS = frozenset({
+    "unit", "int", "exists", "mu", "ref", "box", "forall", "code", "nil",
+    "end", "out", "zeta", "eps", "F", "lam", "if0", "fold", "unfold",
+    "pack", "as", "jmp", "call", "ret", "halt", "add", "sub", "mul", "bnz",
+    "ld", "st", "ralloc", "balloc", "mv", "salloc", "sfree", "sld", "sst",
+    "unpack", "protect", "import", "FT", "TF",
+})
+
+REGISTERS = frozenset({"r1", "r2", "r3", "r4", "r5", "r6", "r7", "ra"})
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<comment>(--|//)[^\n]*)
+  | (?P<int>\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_']*)
+  | (?P<punct>::|->|[()\[\]{}<>,;:.*+\-=])
+""", re.VERBOSE)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str       # 'int' | 'ident' | 'keyword' | 'register' | 'punct' | 'eof'
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.text!r}@{self.line}:{self.column}"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source``; raises :class:`ParseError` on bad characters."""
+    tokens: List[Token] = []
+    line, col = 1, 1
+    pos = 0
+    n = len(source)
+    while pos < n:
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            raise ParseError(f"unexpected character {source[pos]!r}",
+                             line, col)
+        text = m.group(0)
+        kind = m.lastgroup
+        if kind not in ("ws", "comment"):
+            if kind == "ident":
+                if text in REGISTERS:
+                    kind = "register"
+                elif text in KEYWORDS:
+                    kind = "keyword"
+            tokens.append(Token(kind, text, line, col))
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            col = len(text) - text.rfind("\n")
+        else:
+            col += len(text)
+        pos = m.end()
+    tokens.append(Token("eof", "", line, col))
+    return tokens

@@ -1,0 +1,49 @@
+"""Pretty-printing helpers.
+
+Every AST node already renders itself via ``str()`` in the surface syntax
+(the parser round-trips it); this module adds human-oriented multi-line
+layouts for components and heap fragments, used by the CLI and the
+benchmark harness output.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.f.syntax import FExpr, FType
+from repro.tal.syntax import (
+    Component, HCode, HeapValue, InstrSeq, StackTy, TalType,
+)
+
+__all__ = ["pretty", "pretty_component", "pretty_instr_seq"]
+
+
+def pretty(node: Union[FExpr, FType, TalType, StackTy, Component,
+                       InstrSeq, HeapValue]) -> str:
+    """The single-line surface rendering (identical to ``str``)."""
+    return str(node)
+
+
+def pretty_instr_seq(iseq: InstrSeq, indent: str = "  ") -> str:
+    """One instruction per line."""
+    lines = [f"{indent}{instr};" for instr in iseq.instrs]
+    lines.append(f"{indent}{iseq.term}")
+    return "\n".join(lines)
+
+
+def pretty_component(comp: Component) -> str:
+    """A readable multi-line component listing."""
+    lines = ["component:"]
+    lines.append(pretty_instr_seq(comp.instrs))
+    if comp.heap:
+        lines.append("where:")
+        for loc, h in comp.heap:
+            if isinstance(h, HCode):
+                delta = ", ".join(str(b) for b in h.delta)
+                lines.append(
+                    f"  {loc} -> code[{delta}]{{{h.chi}; {h.sigma}}} "
+                    f"{h.q}.")
+                lines.append(pretty_instr_seq(h.instrs, indent="    "))
+            else:
+                lines.append(f"  {loc} -> {h}")
+    return "\n".join(lines)

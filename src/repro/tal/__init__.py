@@ -1,0 +1,26 @@
+"""T: FunTAL's compositional stack-based typed assembly language (sec 3).
+
+Public surface:
+
+* :mod:`repro.tal.syntax` -- all syntactic categories (paper Fig 1);
+* :mod:`repro.tal.typecheck` -- the type system (paper Fig 2);
+* :mod:`repro.tal.machine` -- the small-step machine and trace events;
+* :mod:`repro.tal.subst`, :mod:`repro.tal.equality`,
+  :mod:`repro.tal.subtyping`, :mod:`repro.tal.wellformed`,
+  :mod:`repro.tal.retmarker` -- the auxiliary judgments.
+"""
+
+from repro.tal.syntax import (  # noqa: F401
+    Aop, Balloc, Bnz, BOX, Call, CodeType, Component, DeltaBind, Fold, Halt,
+    HCode, HeapTy, HTuple, InstrSeq, Jmp, Ld, Loc, Mv, NIL_STACK, Pack,
+    QEnd, QEps, QIdx, QOut, QReg, RA, Ralloc, REF, RegFileTy, RegOp, Ret,
+    Salloc, Sfree, Sld, Sst, St, StackTy, TBox, TExists, TInt, TRec, TRef,
+    TupleTy, TUnit, TVar, TyApp, UnfoldI, Unpack, WInt, WLoc, WUnit, seq,
+)
+from repro.tal.typecheck import (  # noqa: F401
+    check_component, check_program, InstrState, TalTypechecker,
+)
+from repro.tal.machine import (  # noqa: F401
+    HaltedState, run_component, TalMachine, TraceEvent,
+)
+from repro.tal.heap import Memory  # noqa: F401

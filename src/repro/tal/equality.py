@@ -1,0 +1,124 @@
+"""Alpha-equivalence of T types and the auxiliary typing categories.
+
+Semantic type equality in T must identify types that differ only in bound
+variable names -- e.g. the code types ``forall[zeta z1].{...; z1} ra`` and
+``forall[zeta z2].{...; z2} ra`` -- because boundary translations and the
+typechecker's symbolic instantiations generate fresh binder names freely.
+
+The implementation threads a renaming environment mapping bound variables of
+the left term to bound variables of the right term, keyed by kind so that an
+``alpha`` can never alias a ``zeta``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.tal.syntax import (
+    CodeType, HeapValType, KIND_ALPHA, KIND_EPS, KIND_ZETA, QEnd, QEps, QIdx,
+    QOut, QReg, RegFileTy, RetMarker, StackTy, TalType, TBox, TExists, TInt,
+    TRec, TRef, TupleTy, TUnit, TVar,
+)
+
+__all__ = [
+    "types_equal", "psis_equal", "stacks_equal", "chis_equal", "qs_equal",
+    "RenEnv",
+]
+
+#: Renaming environment: (kind, left-name) -> right-name.
+RenEnv = Dict[Tuple[str, str], str]
+
+
+def types_equal(a: TalType, b: TalType, env: Optional[RenEnv] = None) -> bool:
+    """Alpha-equivalence of T value types."""
+    env = env if env is not None else {}
+    if isinstance(a, TVar) and isinstance(b, TVar):
+        return env.get((KIND_ALPHA, a.name), a.name) == b.name
+    if isinstance(a, TUnit) and isinstance(b, TUnit):
+        return True
+    if isinstance(a, TInt) and isinstance(b, TInt):
+        return True
+    if isinstance(a, TExists) and isinstance(b, TExists):
+        return types_equal(a.body, b.body,
+                           _bind(env, KIND_ALPHA, a.var, b.var))
+    if isinstance(a, TRec) and isinstance(b, TRec):
+        return types_equal(a.body, b.body,
+                           _bind(env, KIND_ALPHA, a.var, b.var))
+    if isinstance(a, TRef) and isinstance(b, TRef):
+        return (len(a.items) == len(b.items)
+                and all(types_equal(x, y, env)
+                        for x, y in zip(a.items, b.items)))
+    if isinstance(a, TBox) and isinstance(b, TBox):
+        return psis_equal(a.psi, b.psi, env)
+    return False
+
+
+def psis_equal(a: HeapValType, b: HeapValType,
+               env: Optional[RenEnv] = None) -> bool:
+    """Alpha-equivalence of heap-value types."""
+    env = env if env is not None else {}
+    if isinstance(a, TupleTy) and isinstance(b, TupleTy):
+        return (len(a.items) == len(b.items)
+                and all(types_equal(x, y, env)
+                        for x, y in zip(a.items, b.items)))
+    if isinstance(a, CodeType) and isinstance(b, CodeType):
+        if len(a.delta) != len(b.delta):
+            return False
+        inner = dict(env)
+        for ba, bb in zip(a.delta, b.delta):
+            if ba.kind != bb.kind:
+                return False
+            inner[(ba.kind, ba.name)] = bb.name
+        return (chis_equal(a.chi, b.chi, inner)
+                and stacks_equal(a.sigma, b.sigma, inner)
+                and qs_equal(a.q, b.q, inner))
+    return False
+
+
+def stacks_equal(a: StackTy, b: StackTy,
+                 env: Optional[RenEnv] = None) -> bool:
+    """Alpha-equivalence of stack typings (prefix-wise, then tails)."""
+    env = env if env is not None else {}
+    if len(a.prefix) != len(b.prefix):
+        return False
+    if not all(types_equal(x, y, env) for x, y in zip(a.prefix, b.prefix)):
+        return False
+    if (a.tail is None) != (b.tail is None):
+        return False
+    if a.tail is None:
+        return True
+    return env.get((KIND_ZETA, a.tail), a.tail) == b.tail
+
+
+def chis_equal(a: RegFileTy, b: RegFileTy,
+               env: Optional[RenEnv] = None) -> bool:
+    """Alpha-equivalence of register-file typings: same domain, equal types."""
+    env = env if env is not None else {}
+    if a.registers() != b.registers():
+        return False
+    return all(types_equal(ta, tb, env)
+               for (_, ta), (_, tb) in zip(a.items(), b.items()))
+
+
+def qs_equal(a: RetMarker, b: RetMarker,
+             env: Optional[RenEnv] = None) -> bool:
+    """Alpha-equivalence of return markers."""
+    env = env if env is not None else {}
+    if isinstance(a, QReg) and isinstance(b, QReg):
+        return a.reg == b.reg
+    if isinstance(a, QIdx) and isinstance(b, QIdx):
+        return a.index == b.index
+    if isinstance(a, QEps) and isinstance(b, QEps):
+        return env.get((KIND_EPS, a.name), a.name) == b.name
+    if isinstance(a, QEnd) and isinstance(b, QEnd):
+        return (types_equal(a.ty, b.ty, env)
+                and stacks_equal(a.sigma, b.sigma, env))
+    if isinstance(a, QOut) and isinstance(b, QOut):
+        return True
+    return False
+
+
+def _bind(env: RenEnv, kind: str, left: str, right: str) -> RenEnv:
+    inner = dict(env)
+    inner[(kind, left)] = right
+    return inner

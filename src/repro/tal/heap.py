@@ -1,0 +1,152 @@
+"""Runtime memories ``M = (H, R, S)`` for the T abstract machine (Fig 1).
+
+A :class:`Memory` owns
+
+* a heap ``H`` mapping locations to cells, each cell carrying its
+  mutability flag ``nu`` (``ref`` cells may be stored to with ``st``;
+  ``box`` cells -- including all code -- are immutable);
+* a register file ``R`` mapping register names to word values;
+* a stack ``S``, a list of word values with index 0 the *top*.
+
+Unlike the AST, memories are mutable: instructions update them in place.
+:meth:`Memory.snapshot` produces the cheap immutable views used by trace
+events and by the equivalence checker's observation comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import MachineError
+from repro.tal.syntax import (
+    BOX, check_register, HCode, HeapValue, HTuple, Loc, REF, WordValue,
+    WUnit, fresh_loc,
+)
+
+__all__ = ["HeapCell", "Memory", "RegSnapshot", "StackSnapshot"]
+
+RegSnapshot = Tuple[Tuple[str, WordValue], ...]
+StackSnapshot = Tuple[WordValue, ...]
+
+
+@dataclass
+class HeapCell:
+    """One heap binding: a value plus its mutability ``nu``."""
+
+    nu: str
+    value: HeapValue
+
+    def __post_init__(self) -> None:
+        if self.nu not in (REF, BOX):
+            raise ValueError(f"unknown mutability {self.nu!r}")
+
+
+class Memory:
+    """A mutable runtime memory ``(H, R, S)``."""
+
+    def __init__(self) -> None:
+        self.heap: Dict[Loc, HeapCell] = {}
+        self.regs: Dict[str, WordValue] = {}
+        self.stack: List[WordValue] = []
+
+    # -- heap ---------------------------------------------------------
+
+    def alloc(self, value: HeapValue, nu: str, base: str = "l") -> Loc:
+        loc = fresh_loc(base)
+        self.heap[loc] = HeapCell(nu, value)
+        return loc
+
+    def bind(self, loc: Loc, value: HeapValue, nu: str) -> None:
+        if loc in self.heap:
+            raise MachineError(f"heap location {loc} already bound")
+        self.heap[loc] = HeapCell(nu, value)
+
+    def lookup(self, loc: Loc) -> HeapCell:
+        cell = self.heap.get(loc)
+        if cell is None:
+            raise MachineError(f"dangling heap location {loc}")
+        return cell
+
+    def code_at(self, loc: Loc) -> HCode:
+        cell = self.lookup(loc)
+        if not isinstance(cell.value, HCode):
+            raise MachineError(f"jump to non-code heap value at {loc}")
+        return cell.value
+
+    def tuple_at(self, loc: Loc) -> HTuple:
+        cell = self.lookup(loc)
+        if not isinstance(cell.value, HTuple):
+            raise MachineError(f"tuple access to non-tuple at {loc}")
+        return cell.value
+
+    def store_field(self, loc: Loc, index: int, w: WordValue) -> None:
+        cell = self.lookup(loc)
+        if cell.nu != REF:
+            raise MachineError(f"store to immutable location {loc}")
+        if not isinstance(cell.value, HTuple):
+            raise MachineError(f"store to non-tuple at {loc}")
+        words = list(cell.value.words)
+        if not 0 <= index < len(words):
+            raise MachineError(
+                f"store index {index} out of range at {loc}")
+        words[index] = w
+        cell.value = HTuple(tuple(words))
+
+    # -- registers ----------------------------------------------------
+
+    def get_reg(self, r: str) -> WordValue:
+        check_register(r)
+        if r not in self.regs:
+            raise MachineError(f"read of unset register {r}")
+        return self.regs[r]
+
+    def set_reg(self, r: str, w: WordValue) -> None:
+        check_register(r)
+        self.regs[r] = w
+
+    # -- stack --------------------------------------------------------
+
+    def push(self, *words: WordValue) -> None:
+        """Push words; the first argument ends up on top."""
+        self.stack[:0] = list(words)
+
+    def pop(self, n: int) -> List[WordValue]:
+        if n > len(self.stack):
+            raise MachineError(
+                f"stack underflow: pop {n} from depth {len(self.stack)}")
+        popped = self.stack[:n]
+        del self.stack[:n]
+        return popped
+
+    def peek(self, i: int) -> WordValue:
+        if not 0 <= i < len(self.stack):
+            raise MachineError(
+                f"stack read at slot {i}, depth {len(self.stack)}")
+        return self.stack[i]
+
+    def poke(self, i: int, w: WordValue) -> None:
+        if not 0 <= i < len(self.stack):
+            raise MachineError(
+                f"stack write at slot {i}, depth {len(self.stack)}")
+        self.stack[i] = w
+
+    @property
+    def depth(self) -> int:
+        return len(self.stack)
+
+    # -- observation --------------------------------------------------
+
+    def snapshot_regs(self) -> RegSnapshot:
+        return tuple(sorted(self.regs.items()))
+
+    def snapshot_stack(self) -> StackSnapshot:
+        return tuple(self.stack)
+
+    def __str__(self) -> str:
+        heap = ", ".join(
+            f"{loc}: {cell.nu}" for loc, cell in sorted(
+                self.heap.items(), key=lambda kv: kv[0].name))
+        regs = ", ".join(f"{r} -> {w}" for r, w in sorted(self.regs.items()))
+        stack = " :: ".join(str(w) for w in self.stack) or "nil"
+        return f"heap {{{heap}}}; regs {{{regs}}}; stack [{stack}]"

@@ -1,0 +1,383 @@
+"""Small-step operational semantics of T: ``<M | e> --> <M' | e'>`` (sec 3).
+
+The machine executes instruction sequences against a mutable
+:class:`~repro.tal.heap.Memory`.  Loading a component ``(I, H)`` merges its
+local heap fragment into the global heap under *fresh* locations (renaming
+every reference inside the component), exactly as the paper's operational
+semantics prescribes -- so structurally identical components loaded twice
+never interfere.
+
+Control transfers emit :class:`TraceEvent` records carrying the register
+and stack state *at jump time*; :mod:`repro.analysis.trace` reconstructs the
+paper's control-flow diagrams (Figs 4 and 12) from these events.
+
+Type instantiations are erased-but-carried: word values of the form
+``loc[omega...]`` keep their instantiations so that jumping through them can
+substitute concrete types into the target block's instructions (whose
+``call``/``halt``/``import`` annotations mention the block's type
+variables).  A well-typed program never jumps to a block with leftover
+binders; the machine checks this and raises :class:`MachineError` otherwise
+(such states are "stuck" in the paper's terminology).
+
+FT's extra instructions are handled by the subclass hook
+:meth:`TalMachine.exec_extended_instruction`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.errors import FuelExhausted, MachineError
+from repro.tal.heap import Memory, RegSnapshot, StackSnapshot
+from repro.tal.subst import instantiate_code_block
+from repro.tal.syntax import (
+    Aop, Balloc, Bnz, BOX, Call, Component, Fold, Halt, HCode, HeapValue,
+    HTuple, InstrSeq, Instruction, Jmp, KIND_ALPHA, Ld, Loc, Mv, Operand,
+    Pack, Ralloc, REF, RegOp, Ret, Salloc, Sfree, Sld, Sst, St, StackTy,
+    TalType, Terminator, TyApp, UnfoldI, Unpack, WInt, WLoc, WordValue,
+    WUnit, fresh_loc,
+)
+from repro.tal.subst import Subst, subst_instr_seq, subst_ty
+
+__all__ = [
+    "TraceEvent", "HaltedState", "TalMachine", "rename_locs",
+    "register_loc_renamer", "run_component",
+]
+
+
+# ---------------------------------------------------------------------------
+# Location renaming (component-heap merging)
+# ---------------------------------------------------------------------------
+
+_RENAME_HOOKS: Dict[type, Callable] = {}
+
+
+def register_loc_renamer(cls: type, fn: Callable) -> None:
+    """Register a renaming traversal for an FT instruction class."""
+    _RENAME_HOOKS[cls] = fn
+
+
+def rename_locs(x, mapping: Dict[Loc, Loc]):
+    """Rename heap labels throughout a syntactic object.
+
+    Types never mention locations, so only value/instruction layers are
+    traversed.
+    """
+    if isinstance(x, WLoc):
+        return WLoc(mapping.get(x.loc, x.loc))
+    if isinstance(x, (WUnit, WInt, RegOp)):
+        return x
+    if isinstance(x, Pack):
+        return Pack(x.hidden, rename_locs(x.body, mapping), x.as_ty)
+    if isinstance(x, Fold):
+        return Fold(x.as_ty, rename_locs(x.body, mapping))
+    if isinstance(x, TyApp):
+        return TyApp(rename_locs(x.body, mapping), x.insts)
+    if isinstance(x, InstrSeq):
+        return InstrSeq(
+            tuple(rename_locs(i, mapping) for i in x.instrs),
+            rename_locs(x.term, mapping))
+    if isinstance(x, Instruction):
+        hook = _RENAME_HOOKS.get(type(x))
+        if hook is not None:
+            return hook(x, mapping, rename_locs)
+        if isinstance(x, Aop):
+            return Aop(x.op, x.rd, x.rs, rename_locs(x.u, mapping))
+        if isinstance(x, Bnz):
+            return Bnz(x.r, rename_locs(x.u, mapping))
+        if isinstance(x, Mv):
+            return Mv(x.rd, rename_locs(x.u, mapping))
+        if isinstance(x, Unpack):
+            return Unpack(x.alpha, x.rd, rename_locs(x.u, mapping))
+        if isinstance(x, UnfoldI):
+            return UnfoldI(x.rd, rename_locs(x.u, mapping))
+        return x  # ld/st/ralloc/balloc/salloc/sfree/sld/sst carry no operands
+    if isinstance(x, Terminator):
+        if isinstance(x, Jmp):
+            return Jmp(rename_locs(x.u, mapping))
+        if isinstance(x, Call):
+            return Call(rename_locs(x.u, mapping), x.sigma, x.q)
+        return x  # ret/halt name registers and types only
+    if isinstance(x, HTuple):
+        return HTuple(tuple(rename_locs(w, mapping) for w in x.words))
+    if isinstance(x, HCode):
+        return HCode(x.delta, x.chi, x.sigma, x.q,
+                     rename_locs(x.instrs, mapping))
+    raise TypeError(f"rename_locs: unsupported {type(x).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Traces and halt states
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One control-transfer (or component-entry) event."""
+
+    step: int
+    kind: str                  # enter | jmp | call | ret | bnz | halt | boundary
+    target: Optional[str]      # pretty label of the destination block
+    regs: RegSnapshot
+    stack: StackSnapshot
+    detail: str = ""
+
+    def pretty_label(self) -> str:
+        return self.target.split("%")[0] if self.target else ""
+
+    def __str__(self) -> str:
+        regs = ", ".join(f"{r} -> {w}" for r, w in self.regs)
+        stack = " :: ".join(str(w) for w in self.stack) or "nil"
+        where = f" -> {self.pretty_label()}" if self.target else ""
+        info = f" ({self.detail})" if self.detail else ""
+        return f"[{self.step}] {self.kind}{where}{info} | {regs} | {stack}"
+
+
+@dataclass(frozen=True)
+class HaltedState:
+    """Terminal machine state: ``halt tau, sigma {r}`` was executed."""
+
+    word: WordValue
+    ty: TalType
+    sigma: StackTy
+    reg: str
+
+
+MachineState = Union[InstrSeq, HaltedState]
+
+
+# ---------------------------------------------------------------------------
+# The machine
+# ---------------------------------------------------------------------------
+
+class TalMachine:
+    """Executes T instruction sequences against a shared memory."""
+
+    def __init__(self, memory: Optional[Memory] = None,
+                 trace: bool = False):
+        self.memory = memory if memory is not None else Memory()
+        self.trace_enabled = trace
+        self.trace: List[TraceEvent] = []
+        self.steps = 0
+
+    # -- tracing ------------------------------------------------------
+
+    def emit(self, kind: str, target: Optional[str] = None,
+             detail: str = "") -> None:
+        if self.trace_enabled:
+            self.trace.append(TraceEvent(
+                self.steps, kind, target, self.memory.snapshot_regs(),
+                self.memory.snapshot_stack(), detail))
+
+    # -- component loading --------------------------------------------
+
+    def load_component(self, comp: Component) -> InstrSeq:
+        """Merge the component's heap fragment into the global heap under
+        fresh labels and return its (renamed) entry sequence."""
+        mapping = {loc: fresh_loc(loc.name) for loc, _ in comp.heap}
+        for loc, h in comp.heap:
+            self.memory.bind(mapping[loc], rename_locs(h, mapping), BOX)
+        instrs = rename_locs(comp.instrs, mapping)
+        self.emit("enter", None,
+                  detail=f"merged {len(mapping)} block(s)")
+        return instrs
+
+    # -- operand resolution -------------------------------------------
+
+    def resolve(self, u: Operand) -> WordValue:
+        """Evaluate a small value to a word value (reading registers)."""
+        if isinstance(u, (WUnit, WInt, WLoc)):
+            return u
+        if isinstance(u, RegOp):
+            return self.memory.get_reg(u.reg)
+        if isinstance(u, Pack):
+            return Pack(u.hidden, self.resolve(u.body), u.as_ty)
+        if isinstance(u, Fold):
+            return Fold(u.as_ty, self.resolve(u.body))
+        if isinstance(u, TyApp):
+            body = self.resolve(u.body)
+            if isinstance(body, TyApp):
+                return TyApp(body.body, body.insts + u.insts)
+            return TyApp(body, u.insts)
+        raise MachineError(f"cannot resolve operand {u}")
+
+    def resolve_code_target(self, u: Operand) -> Tuple[Loc, Tuple]:
+        """Resolve a jump operand to a location plus its accumulated
+        type instantiations (innermost first)."""
+        w = self.resolve(u)
+        omegas: Tuple = ()
+        while isinstance(w, TyApp):
+            omegas = tuple(w.insts) + omegas
+            w = w.body
+        if not isinstance(w, WLoc):
+            raise MachineError(f"jump to non-location value {w}")
+        return w.loc, omegas
+
+    def resolve_int(self, u: Operand) -> int:
+        w = self.resolve(u)
+        if not isinstance(w, WInt):
+            raise MachineError(f"expected an integer, got {w}")
+        return w.value
+
+    # -- jumping -------------------------------------------------------
+
+    def enter_block(self, loc: Loc, omegas: Tuple,
+                    extra: Tuple = ()) -> InstrSeq:
+        block = self.memory.code_at(loc)
+        all_omegas = omegas + extra
+        if len(all_omegas) > len(block.delta):
+            raise MachineError(
+                f"block {loc} instantiated with {len(all_omegas)} "
+                f"arguments but abstracts {len(block.delta)}")
+        inst = instantiate_code_block(block, all_omegas)
+        if inst.delta:
+            raise MachineError(
+                f"jump to block {loc} with uninstantiated binders "
+                f"{[str(b) for b in inst.delta]}")
+        return inst.instrs
+
+    # -- instruction execution ----------------------------------------
+
+    def exec_instruction(self, i: Instruction, rest: InstrSeq) -> InstrSeq:
+        """Execute one straight-line instruction; returns the remainder of
+        the sequence (which ``unpack`` rewrites via type substitution)."""
+        mem = self.memory
+        if isinstance(i, Mv):
+            mem.set_reg(i.rd, self.resolve(i.u))
+            return rest
+        if isinstance(i, Aop):
+            left = mem.get_reg(i.rs)
+            if not isinstance(left, WInt):
+                raise MachineError(f"aop source {i.rs} holds non-int {left}")
+            right = self.resolve_int(i.u)
+            ops = {"add": lambda a, b: a + b, "sub": lambda a, b: a - b,
+                   "mul": lambda a, b: a * b}
+            mem.set_reg(i.rd, WInt(ops[i.op](left.value, right)))
+            return rest
+        if isinstance(i, Ld):
+            ptr = mem.get_reg(i.rs)
+            if not isinstance(ptr, WLoc):
+                raise MachineError(f"ld through non-pointer {ptr}")
+            tup = mem.tuple_at(ptr.loc)
+            if not 0 <= i.index < len(tup.words):
+                raise MachineError(f"ld index {i.index} out of range")
+            mem.set_reg(i.rd, tup.words[i.index])
+            return rest
+        if isinstance(i, St):
+            ptr = mem.get_reg(i.rd)
+            if not isinstance(ptr, WLoc):
+                raise MachineError(f"st through non-pointer {ptr}")
+            mem.store_field(ptr.loc, i.index, mem.get_reg(i.rs))
+            return rest
+        if isinstance(i, Ralloc):
+            words = mem.pop(i.n)
+            loc = mem.alloc(HTuple(tuple(words)), REF)
+            mem.set_reg(i.rd, WLoc(loc))
+            return rest
+        if isinstance(i, Balloc):
+            words = mem.pop(i.n)
+            loc = mem.alloc(HTuple(tuple(words)), BOX)
+            mem.set_reg(i.rd, WLoc(loc))
+            return rest
+        if isinstance(i, Salloc):
+            mem.push(*([WUnit()] * i.n))
+            return rest
+        if isinstance(i, Sfree):
+            mem.pop(i.n)
+            return rest
+        if isinstance(i, Sld):
+            mem.set_reg(i.rd, mem.peek(i.index))
+            return rest
+        if isinstance(i, Sst):
+            mem.poke(i.index, mem.get_reg(i.rs))
+            return rest
+        if isinstance(i, Unpack):
+            w = self.resolve(i.u)
+            if not isinstance(w, Pack):
+                raise MachineError(f"unpack of non-package value {w}")
+            mem.set_reg(i.rd, w.body)  # type: ignore[arg-type]
+            return subst_instr_seq(
+                rest, Subst.single(KIND_ALPHA, i.alpha, w.hidden))
+        if isinstance(i, UnfoldI):
+            w = self.resolve(i.u)
+            if not isinstance(w, Fold):
+                raise MachineError(f"unfold of non-fold value {w}")
+            mem.set_reg(i.rd, w.body)  # type: ignore[arg-type]
+            return rest
+        return self.exec_extended_instruction(i, rest)
+
+    def exec_extended_instruction(self, i: Instruction,
+                                  rest: InstrSeq) -> InstrSeq:
+        """Hook for the FT machine's ``import``/``protect``."""
+        raise MachineError(
+            f"instruction {type(i).__name__} is not a pure T instruction "
+            "(use the FT machine for mixed programs)")
+
+    # -- terminator execution ------------------------------------------
+
+    def exec_terminator(self, t: Terminator) -> MachineState:
+        if isinstance(t, Halt):
+            word = self.memory.get_reg(t.r)
+            state = HaltedState(word, t.ty, t.sigma, t.r)
+            self.emit("halt", None, detail=f"{t.r} -> {word}")
+            return state
+        if isinstance(t, Jmp):
+            loc, omegas = self.resolve_code_target(t.u)
+            self.emit("jmp", loc.name)
+            return self.enter_block(loc, omegas)
+        if isinstance(t, Call):
+            loc, omegas = self.resolve_code_target(t.u)
+            self.emit("call", loc.name)
+            return self.enter_block(loc, omegas, extra=(t.sigma, t.q))
+        if isinstance(t, Ret):
+            loc, omegas = self.resolve_code_target(RegOp(t.r))
+            self.emit("ret", loc.name, detail=f"result in {t.rr}")
+            return self.enter_block(loc, omegas)
+        raise MachineError(f"unknown terminator {type(t).__name__}")
+
+    # -- driving --------------------------------------------------------
+
+    def step(self, state: MachineState) -> MachineState:
+        """One small step; halted states are fixed points."""
+        if isinstance(state, HaltedState):
+            return state
+        self.steps += 1
+        if state.instrs:
+            head, rest = state.instrs[0], state.rest
+            if isinstance(head, Bnz):
+                # bnz is straight-line *or* a jump; handle it here where
+                # both continuations are at hand.
+                scrut = self.memory.get_reg(head.r)
+                if not isinstance(scrut, WInt):
+                    raise MachineError(
+                        f"bnz scrutinee {head.r} holds non-int {scrut}")
+                if scrut.value != 0:
+                    loc, omegas = self.resolve_code_target(head.u)
+                    self.emit("bnz", loc.name, detail="taken")
+                    return self.enter_block(loc, omegas)
+                return rest
+            return self.exec_instruction(head, rest)
+        return self.exec_terminator(state.term)
+
+    def run_seq(self, iseq: InstrSeq, fuel: int = 1_000_000) -> HaltedState:
+        state: MachineState = iseq
+        for _ in range(fuel):
+            if isinstance(state, HaltedState):
+                return state
+            state = self.step(state)
+        if isinstance(state, HaltedState):
+            return state
+        raise FuelExhausted(fuel)
+
+    def run_component(self, comp: Component,
+                      fuel: int = 1_000_000) -> HaltedState:
+        return self.run_seq(self.load_component(comp), fuel)
+
+
+def run_component(comp: Component, fuel: int = 1_000_000,
+                  trace: bool = False) -> Tuple[HaltedState, TalMachine]:
+    """Run a closed T component in a fresh memory; returns the halt state
+    and the machine (for its memory and trace)."""
+    machine = TalMachine(trace=trace)
+    return machine.run_component(comp, fuel), machine

@@ -1,0 +1,118 @@
+"""The ``ret-type`` and ``ret-addr-type`` metafunctions (paper Fig 2, bottom).
+
+A *continuation-shaped* code-pointer type is::
+
+    box forall[]. {r': tau; sigma'} q'
+
+i.e. an immutable pointer to a code block with no remaining type binders and
+exactly one register precondition -- the register where the return value
+will be delivered.  (Free ``eps``/``zeta`` variables may occur inside; they
+are instantiated by the caller's ``call`` before the jump.)
+
+Given a return marker ``q`` and the current register-file and stack typings,
+
+* ``ret-type(q, chi, sigma) = tau; sigma'`` extracts the *result* type of
+  the current component: the value type it will deliver and the stack type
+  at delivery time.  This is what lets the paper treat continuation-style
+  assembly components as semantic objects producing values of a type.
+* ``ret-addr-type(q, chi, sigma)`` extracts the full code type of the return
+  continuation itself (used by the ``call`` rules to inspect the callee's
+  continuation, including its ``eps`` marker).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.errors import FTTypeError
+from repro.tal.syntax import (
+    CodeType, QEnd, QIdx, QReg, RegFileTy, RetMarker, StackTy, TalType, TBox,
+)
+
+__all__ = [
+    "is_continuation_type", "continuation_parts", "ret_type",
+    "ret_addr_type",
+]
+
+
+def continuation_parts(
+        ty: TalType) -> Optional[Tuple[str, TalType, StackTy, "RetMarker"]]:
+    """Decompose a continuation-shaped type into ``(r', tau, sigma', q')``.
+
+    Returns ``None`` when ``ty`` is not continuation-shaped.
+    """
+    if not isinstance(ty, TBox):
+        return None
+    psi = ty.psi
+    if not isinstance(psi, CodeType):
+        return None
+    if psi.delta:
+        return None
+    entries = psi.chi.items()
+    if len(entries) != 1:
+        return None
+    (reg, val_ty), = entries
+    return (reg, val_ty, psi.sigma, psi.q)
+
+
+def is_continuation_type(ty: TalType) -> bool:
+    """Is ``ty`` of the shape ``box forall[].{r': tau; sigma'} q'``?"""
+    return continuation_parts(ty) is not None
+
+
+def _marker_slot_type(q: RetMarker, chi: RegFileTy,
+                      sigma: StackTy) -> TalType:
+    if isinstance(q, QReg):
+        ty = chi.get(q.reg)
+        if ty is None:
+            raise FTTypeError(
+                f"ret-type: marker register {q.reg} not in chi = {chi}",
+                judgment="tal.ret-type", subject=str(q))
+        return ty
+    assert isinstance(q, QIdx)
+    if not sigma.has_slot(q.index):
+        raise FTTypeError(
+            f"ret-type: marker slot {q.index} not exposed in sigma = "
+            f"{sigma}", judgment="tal.ret-type", subject=str(q))
+    return sigma.slot(q.index)
+
+
+def ret_type(q: RetMarker, chi: RegFileTy,
+             sigma: StackTy) -> Tuple[TalType, StackTy]:
+    """``ret-type(q, chi, sigma) = tau; sigma'`` (paper Fig 2).
+
+    Undefined (raises) for ``eps`` and ``out`` markers: abstract markers
+    have no concrete result type, and F code's result type comes from its
+    own typing judgment.
+    """
+    if isinstance(q, QEnd):
+        return (q.ty, q.sigma)
+    if isinstance(q, (QReg, QIdx)):
+        ty = _marker_slot_type(q, chi, sigma)
+        parts = continuation_parts(ty)
+        if parts is None:
+            raise FTTypeError(
+                f"ret-type: marker {q} holds non-continuation type {ty}",
+                judgment="tal.ret-type", subject=str(q))
+        _, val_ty, cont_sigma, _ = parts
+        return (val_ty, cont_sigma)
+    raise FTTypeError(
+        f"ret-type is undefined for marker {q}",
+        judgment="tal.ret-type", subject=str(q))
+
+
+def ret_addr_type(q: RetMarker, chi: RegFileTy,
+                  sigma: StackTy) -> CodeType:
+    """``ret-addr-type(q, chi, sigma)``: the continuation's full code type."""
+    if not isinstance(q, (QReg, QIdx)):
+        raise FTTypeError(
+            f"ret-addr-type is undefined for marker {q}",
+            judgment="tal.ret-addr-type", subject=str(q))
+    ty = _marker_slot_type(q, chi, sigma)
+    parts = continuation_parts(ty)
+    if parts is None:
+        raise FTTypeError(
+            f"ret-addr-type: marker {q} holds non-continuation type {ty}",
+            judgment="tal.ret-addr-type", subject=str(q))
+    assert isinstance(ty, TBox) and isinstance(ty.psi, CodeType)
+    return ty.psi

@@ -1,0 +1,43 @@
+"""Register-file subtyping ``Delta |- chi <= chi'`` (paper section 3).
+
+The jump rules allow the *current* register file to be richer than the
+target block's precondition: "we can have more registers with values in
+them, but the types of registers that occur in chi' must match".  Register
+types themselves are invariant (compared up to alpha-equivalence) -- T has
+width subtyping on register files only, exactly as in STAL.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FTTypeError
+from repro.tal.equality import types_equal
+from repro.tal.syntax import Delta, RegFileTy
+
+__all__ = ["check_regfile_subtype", "is_regfile_subtype"]
+
+
+def is_regfile_subtype(chi: RegFileTy, chi_expected: RegFileTy) -> bool:
+    """``chi <= chi_expected``: every register demanded by the target is
+    present with an alpha-equal type."""
+    for reg, expected_ty in chi_expected.items():
+        actual_ty = chi.get(reg)
+        if actual_ty is None or not types_equal(actual_ty, expected_ty):
+            return False
+    return True
+
+
+def check_regfile_subtype(delta: Delta, chi: RegFileTy,
+                          chi_expected: RegFileTy) -> None:
+    """Raise :class:`FTTypeError` unless ``Delta |- chi <= chi_expected``."""
+    for reg, expected_ty in chi_expected.items():
+        actual_ty = chi.get(reg)
+        if actual_ty is None:
+            raise FTTypeError(
+                f"register {reg} required at type {expected_ty} but absent "
+                f"from chi = {chi}", judgment="tal.chi-subtype",
+                subject=str(chi_expected))
+        if not types_equal(actual_ty, expected_ty):
+            raise FTTypeError(
+                f"register {reg} has type {actual_ty} but the target "
+                f"expects {expected_ty}", judgment="tal.chi-subtype",
+                subject=str(chi_expected))

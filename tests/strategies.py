@@ -1,0 +1,211 @@
+"""Random well-typed program generators for the property-based tests.
+
+Two generators:
+
+* :func:`random_f_int_expr` -- a closed, well-typed F expression of type
+  ``int``, built top-down from a seeded RNG (arithmetic, branches,
+  applications, tuples/projections, fold/unfold);
+* :func:`random_t_program` -- a well-typed straight-line T component,
+  built by a *typed random walk*: the generator mirrors the typechecker's
+  ``InstrState`` and only ever emits an instruction that is applicable in
+  the current state, finishing with a coherent ``halt``.
+
+Both are deterministic in their seed, so hypothesis can shrink on seeds.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.f.syntax import (
+    App, BinOp, FArrow, FInt, Fold, FRec, FTupleT, FTVar, If0, IntE, Lam,
+    Proj, TupleE, Unfold, Var,
+)
+from repro.tal.syntax import (
+    Aop, AOP_NAMES, Balloc, Component, GP_REGISTERS, Halt, Ld, Mv,
+    NIL_STACK, QEnd, Ralloc, RegOp, Salloc, seq, Sfree, Sld, Sst, St,
+    StackTy, TBox, TInt, TRef, TUnit, TupleTy, WInt, WUnit,
+)
+
+__all__ = ["random_f_int_expr", "random_t_program"]
+
+
+# ---------------------------------------------------------------------------
+# F generator
+# ---------------------------------------------------------------------------
+
+def random_f_int_expr(seed: int, depth: int = 4):
+    """A closed well-typed F expression of type int."""
+    rng = random.Random(seed)
+    counter = [0]
+
+    def fresh(base: str) -> str:
+        counter[0] += 1
+        return f"{base}{counter[0]}"
+
+    def gen_int(d: int, env: List[str]):
+        # env lists in-scope int variables
+        choices = ["lit"]
+        if d > 0:
+            choices += ["binop", "binop", "if0", "app", "proj", "mu"]
+        if env:
+            choices += ["var", "var"]
+        kind = rng.choice(choices)
+        if kind == "lit":
+            return IntE(rng.randint(-9, 99))
+        if kind == "var":
+            return Var(rng.choice(env))
+        if kind == "binop":
+            op = rng.choice(["+", "-", "*"])
+            return BinOp(op, gen_int(d - 1, env), gen_int(d - 1, env))
+        if kind == "if0":
+            return If0(gen_int(d - 1, env), gen_int(d - 1, env),
+                       gen_int(d - 1, env))
+        if kind == "app":
+            x = fresh("x")
+            body = gen_int(d - 1, env + [x])
+            return App(Lam(((x, FInt()),), body), (gen_int(d - 1, env),))
+        if kind == "proj":
+            width = rng.randint(1, 3)
+            index = rng.randrange(width)
+            items = tuple(gen_int(d - 1, env) for _ in range(width))
+            return Proj(index, TupleE(items))
+        # mu: fold then immediately unfold (exercises iso-recursion)
+        mu = FRec("a", FInt())
+        return Unfold(Fold(mu, gen_int(d - 1, env)))
+
+    return gen_int(depth, [])
+
+
+# ---------------------------------------------------------------------------
+# T generator (typed random walk)
+# ---------------------------------------------------------------------------
+
+class _Walk:
+    """Mirrors the typing state while emitting applicable instructions."""
+
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+        self.instrs: List = []
+        self.regs: dict = {}          # reg -> 'int' | 'unit' | ('ref', n) | ('box', n)
+        self.stack: List[str] = []    # slot kinds, top first
+
+    def _free_reg(self):
+        return self.rng.choice(GP_REGISTERS)
+
+    def _reg_of(self, kind):
+        options = [r for r, k in self.regs.items() if k == kind]
+        return self.rng.choice(options) if options else None
+
+    def step(self) -> None:
+        moves = ["mv_int", "mv_unit", "salloc"]
+        if self._reg_of("int"):
+            moves += ["aop", "aop"]
+        if self.stack:
+            moves += ["sld", "sfree"]
+            if self.regs:
+                moves.append("sst")
+            moves.append("alloc_tuple")
+        tuple_regs = [r for r, k in self.regs.items()
+                      if isinstance(k, tuple)]
+        if tuple_regs:
+            moves.append("ld")
+            if any(k[0] == "ref" for k in self.regs.values()
+                   if isinstance(k, tuple)):
+                moves.append("st")
+        move = self.rng.choice(moves)
+        getattr(self, "_do_" + move)()
+
+    def _do_mv_int(self):
+        rd = self._free_reg()
+        self.instrs.append(Mv(rd, WInt(self.rng.randint(-5, 5))))
+        self.regs[rd] = "int"
+
+    def _do_mv_unit(self):
+        rd = self._free_reg()
+        self.instrs.append(Mv(rd, WUnit()))
+        self.regs[rd] = "unit"
+
+    def _do_aop(self):
+        rs = self._reg_of("int")
+        rd = self._free_reg()
+        op = self.rng.choice(AOP_NAMES)
+        if self.rng.random() < 0.5:
+            u = WInt(self.rng.randint(-3, 3))
+        else:
+            u = RegOp(rs)
+        self.instrs.append(Aop(op, rd, rs, u))
+        self.regs[rd] = "int"
+
+    def _do_salloc(self):
+        n = self.rng.randint(1, 3)
+        self.instrs.append(Salloc(n))
+        self.stack[:0] = ["unit"] * n
+
+    def _do_sfree(self):
+        n = self.rng.randint(1, len(self.stack))
+        self.instrs.append(Sfree(n))
+        del self.stack[:n]
+
+    def _do_sld(self):
+        i = self.rng.randrange(len(self.stack))
+        rd = self._free_reg()
+        self.instrs.append(Sld(rd, i))
+        self.regs[rd] = self.stack[i]
+
+    def _do_sst(self):
+        i = self.rng.randrange(len(self.stack))
+        rs = self.rng.choice(list(self.regs))
+        self.instrs.append(Sst(i, rs))
+        self.stack[i] = self.regs[rs]
+
+    def _do_alloc_tuple(self):
+        n = self.rng.randint(1, min(2, len(self.stack)))
+        rd = self._free_reg()
+        mutable = self.rng.random() < 0.5
+        kinds = tuple(self.stack[:n])
+        self.instrs.append((Ralloc if mutable else Balloc)(rd, n))
+        del self.stack[:n]
+        self.regs[rd] = (("ref" if mutable else "box"), kinds)
+
+    def _do_ld(self):
+        options = [r for r, k in self.regs.items() if isinstance(k, tuple)]
+        rs = self.rng.choice(options)
+        kinds = self.regs[rs][1]
+        i = self.rng.randrange(len(kinds))
+        rd = self._free_reg()
+        if rd == rs:
+            return  # loading over the pointer would lose our tracking
+        self.instrs.append(Ld(rd, rs, i))
+        self.regs[rd] = kinds[i]
+
+    def _do_st(self):
+        options = [r for r, k in self.regs.items()
+                   if isinstance(k, tuple) and k[0] == "ref"]
+        rd = self.rng.choice(options)
+        kinds = self.regs[rd][1]
+        slots = [i for i, k in enumerate(kinds)
+                 if self._reg_of(k) is not None and not isinstance(k, tuple)]
+        if not slots:
+            return
+        i = self.rng.choice(slots)
+        rs = self._reg_of(kinds[i])
+        self.instrs.append(St(rd, i, rs))
+
+    def finish(self) -> Component:
+        # clear the stack, put an int in r1, halt at end{int; nil}
+        if self.stack:
+            self.instrs.append(Sfree(len(self.stack)))
+        self.instrs.append(Mv("r1", WInt(self.rng.randint(0, 9))))
+        self.instrs.append(Halt(TInt(), NIL_STACK, "r1"))
+        return Component(seq(*self.instrs))
+
+
+def random_t_program(seed: int, length: int = 12) -> Component:
+    """A well-typed straight-line T component halting with an int."""
+    rng = random.Random(seed)
+    walk = _Walk(rng)
+    for _ in range(length):
+        walk.step()
+    return walk.finish()

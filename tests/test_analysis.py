@@ -1,0 +1,79 @@
+"""Tests for the analysis tooling: static CFGs and trace tables."""
+
+import networkx as nx
+
+from repro.analysis.cfg import component_cfg, DYNAMIC, ENTRY, EXIT
+from repro.analysis.trace import control_flow_table, FlowRow, format_table
+from repro.papers_examples import fig3_call_to_call, fig11_jit
+from repro.tal.machine import run_component
+
+
+class TestCfg:
+    def test_fig3_nodes(self):
+        graph = component_cfg(fig3_call_to_call.build())
+        for label in ("l1", "l1ret", "l2", "l2aux", "l2ret"):
+            assert label in graph.nodes
+
+    def test_fig3_edges(self):
+        graph = component_cfg(fig3_call_to_call.build())
+        assert graph.has_edge(ENTRY, "l1")
+        assert graph.edges[ENTRY, "l1"]["kind"] == "call"
+        assert graph.has_edge("l2", "l2aux")
+        assert graph.edges["l2", "l2aux"]["kind"] == "jmp"
+        assert graph.has_edge("l2aux", EXIT)
+        assert graph.edges["l2aux", EXIT]["kind"] == "ret"
+
+    def test_dynamic_call_goes_to_dynamic_node(self):
+        jit = fig11_jit.build_jit()
+        comp = jit.fn.comp
+        graph = component_cfg(comp)
+        # l calls through register r1 (the interpreted g)
+        assert graph.has_edge("l", DYNAMIC)
+
+    def test_fig3_entry_reaches_exit(self):
+        graph = component_cfg(fig3_call_to_call.build())
+        assert nx.has_path(graph, ENTRY, EXIT)
+
+    def test_loop_shows_self_edge(self):
+        from repro.papers_examples.fig17_factorial import build_fact_t
+
+        comp = build_fact_t().body.fn.comp
+        graph = component_cfg(comp)
+        assert graph.has_edge("lloop", "lloop")
+        assert graph.edges["lloop", "lloop"]["kind"] == "bnz"
+
+
+class TestTraceTable:
+    def _rows(self):
+        _, machine = run_component(fig3_call_to_call.build(), trace=True)
+        return control_flow_table(machine.trace)
+
+    def test_row_count_matches_fig4(self):
+        rows = self._rows()
+        # 5 transfers + halt (the enter event is not a diagram arrow)
+        assert len(rows) == 6
+
+    def test_labels_are_pretty(self):
+        rows = self._rows()
+        assert rows[0].target == "l1"  # freshness suffix stripped
+
+    def test_register_filter(self):
+        _, machine = run_component(fig3_call_to_call.build(), trace=True)
+        rows = control_flow_table(machine.trace, registers=("r1",))
+        for row in rows:
+            assert all(r == "r1" for r, _ in row.regs)
+
+    def test_kind_filter(self):
+        _, machine = run_component(fig3_call_to_call.build(), trace=True)
+        rows = control_flow_table(machine.trace, kinds=("ret",))
+        assert [r.kind for r in rows] == ["ret", "ret"]
+
+    def test_format_table_contains_rows(self):
+        text = format_table(self._rows(), title="fig 4")
+        assert "fig 4" in text
+        assert "call -> l1" in text
+        assert "halt" in text
+
+    def test_flow_row_str(self):
+        row = FlowRow("call", "l1", (("ra", "l1ret"),), ("x",), "detail")
+        assert "call -> l1" in str(row)

@@ -1,0 +1,90 @@
+"""Tests for the ``funtal`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    def write(source):
+        path = tmp_path / "prog.ft"
+        path.write_text(source)
+        return str(path)
+
+    return write
+
+
+class TestRun:
+    def test_expression(self, program_file, capsys):
+        path = program_file("((2 + 3) * 10)")
+        assert main(["run", path]) == 0
+        assert "value: 50" in capsys.readouterr().out
+
+    def test_component(self, program_file, capsys):
+        path = program_file(
+            "(import r1, nil TF[int] ((1 + 1)); halt int, nil {r1}, .)")
+        assert main(["run", path]) == 0
+        assert "halted with 2" in capsys.readouterr().out
+
+    def test_trace_flag(self, program_file, capsys):
+        path = program_file(
+            "(mv r1, 1; halt int, nil {r1}, .)")
+        assert main(["run", path, "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "control flow" in out
+
+    def test_fuel_flag(self, program_file, capsys):
+        # a spinning component runs out of the given fuel
+        path = program_file(
+            "(jmp spin, {spin -> code[]{.; nil} end{int; nil}. jmp spin})")
+        assert main(["run", path, "--fuel", "500"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestTypecheck:
+    def test_expression(self, program_file, capsys):
+        path = program_file("lam (x: int). (x + 1)")
+        assert main(["typecheck", path]) == 0
+        assert "(int) -> int" in capsys.readouterr().out
+
+    def test_component_with_result_type(self, program_file, capsys):
+        path = program_file("(mv r1, (); halt unit, nil {r1}, .)")
+        assert main(["typecheck", path, "--result-type", "unit"]) == 0
+        assert "unit" in capsys.readouterr().out
+
+    def test_type_error_reported(self, program_file, capsys):
+        path = program_file("(1 + ())")
+        assert main(["typecheck", path]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_parse_error_reported(self, program_file, capsys):
+        path = program_file("lam (x:")
+        assert main(["typecheck", path]) == 1
+
+
+class TestParse:
+    def test_expression_echo(self, program_file, capsys):
+        path = program_file("(1 + 2)")
+        assert main(["parse", path]) == 0
+        assert "(1 + 2)" in capsys.readouterr().out
+
+    def test_component_pretty(self, program_file, capsys):
+        path = program_file("(mv r1, 1; halt int, nil {r1}, .)")
+        assert main(["parse", path]) == 0
+        assert "component:" in capsys.readouterr().out
+
+
+class TestExamples:
+    def test_listing(self, capsys):
+        assert main(["examples"]) == 0
+        out = capsys.readouterr().out
+        assert "jit" in out and "fact-t" in out
+
+    def test_run_named(self, capsys):
+        assert main(["examples", "two-blocks-1"]) == 0
+        out = capsys.readouterr().out
+        assert "value: 7" in out
+
+    def test_unknown_name(self, capsys):
+        assert main(["examples", "nope"]) == 2

@@ -1,0 +1,218 @@
+"""Tests for the bounded contextual-equivalence machinery."""
+
+import random
+
+import pytest
+
+from repro.equiv.checker import check_equivalence, EquivalenceReport
+from repro.equiv.contexts import contexts_for, t_application_context
+from repro.equiv.generators import (
+    int_corpus, probe_functions, values_of, values_of_arrow_args,
+)
+from repro.equiv.observation import canonical_value, Observation, observe
+from repro.equiv.worlds import related_values, World
+from repro.errors import FTTypeError, MachineError
+from repro.f.syntax import (
+    App, BinOp, FArrow, FInt, Fold, FRec, FTupleT, FTVar, FUnit, If0, IntE,
+    Lam, TupleE, Unfold, UnitE, Var,
+)
+from repro.f.typecheck import typecheck
+from repro.ft.typecheck import check_ft_expr
+
+INT_ARROW = FArrow((FInt(),), FInt())
+
+
+def lam_int(body):
+    return Lam((("x", FInt()),), body)
+
+
+OMEGA_MU = FRec("a", FArrow((FTVar("a"),), FInt()))
+OMEGA_FN = Lam((("f", OMEGA_MU),),
+               App(Unfold(Var("f")), (Var("f"),)))
+OMEGA = App(OMEGA_FN, (Fold(OMEGA_MU, OMEGA_FN),))
+
+
+class TestObservation:
+    def test_halt_value(self):
+        assert observe(BinOp("+", IntE(1), IntE(1))) == \
+            Observation("halted", 2)
+
+    def test_divergence(self):
+        assert observe(OMEGA, fuel=2_000).kind == "diverged"
+
+    def test_stuck(self):
+        obs = observe(App(lam_int(Var("x")), (IntE(1), IntE(2))))
+        assert obs.kind == "stuck"
+
+    def test_agreement(self):
+        assert Observation("halted", 2).agrees_with(Observation("halted", 2))
+        assert not Observation("halted", 2).agrees_with(
+            Observation("halted", 3))
+        assert not Observation("halted", 2).agrees_with(
+            Observation("diverged"))
+        assert Observation("diverged").agrees_with(Observation("diverged"))
+
+    def test_canonicalization(self):
+        assert canonical_value(IntE(3)) == 3
+        assert canonical_value(UnitE()) == ()
+        assert canonical_value(TupleE((IntE(1), UnitE()))) == (1, ())
+        assert canonical_value(lam_int(Var("x"))) == "<fn>"
+        mu = FRec("a", FInt())
+        assert canonical_value(Fold(mu, IntE(1))) == ("fold", 1)
+
+    def test_non_value_rejected(self):
+        with pytest.raises(MachineError):
+            canonical_value(Var("x"))
+
+
+class TestGenerators:
+    def test_int_corpus_covers_boundaries(self):
+        corpus = int_corpus()
+        assert 0 in corpus and 1 in corpus
+        assert any(n < 0 for n in corpus)
+
+    def test_values_are_well_typed(self):
+        rng = random.Random(1)
+        for ty in (FInt(), FUnit(), FTupleT((FInt(), FUnit())),
+                   INT_ARROW, FArrow((INT_ARROW,), FInt())):
+            for v in values_of(ty, rng, budget=2):
+                assert typecheck(v) is not None
+
+    def test_probe_functions_discriminate(self):
+        """At least two probes of (int)->int must differ on some input."""
+        rng = random.Random(0)
+        probes = list(probe_functions(INT_ARROW, rng, budget=2))
+        assert len(probes) >= 3
+        outs = {observe(App(p, (IntE(4),))).value for p in probes}
+        assert len(outs) >= 2
+
+    def test_arrow_arg_tuples(self):
+        rng = random.Random(0)
+        args = list(values_of_arrow_args(INT_ARROW, rng, budget=1))
+        assert args
+        assert all(len(a) == 1 for a in args)
+
+    def test_mu_values(self):
+        mu = FRec("a", FInt())
+        vals = list(values_of(mu, random.Random(0), budget=2))
+        assert vals and all(isinstance(v, Fold) for v in vals)
+
+
+class TestContexts:
+    def test_first_order_identity_context(self):
+        ctxs = contexts_for(FInt())
+        assert any(name == "identity" for name, _ in ctxs)
+
+    def test_arrow_contexts_close_the_term(self):
+        for name, plug in contexts_for(INT_ARROW, random.Random(0)):
+            prog = plug(lam_int(BinOp("+", Var("x"), IntE(1))))
+            ty, _ = check_ft_expr(prog)
+            # observations are first-order
+            assert str(ty) in ("int", "unit")
+
+    def test_cross_language_context_present(self):
+        names = [name for name, _ in contexts_for(INT_ARROW,
+                                                  random.Random(0))]
+        assert any(name.startswith("t-apply") for name in names)
+
+    def test_cross_language_context_runs(self):
+        prog = t_application_context(
+            lam_int(BinOp("*", Var("x"), IntE(2))), INT_ARROW, (IntE(6),))
+        ty, _ = check_ft_expr(prog)
+        assert str(ty) == "int"
+        assert observe(prog) == Observation("halted", 12)
+
+    def test_cross_language_context_disabled(self):
+        names = [name for name, _ in contexts_for(
+            INT_ARROW, random.Random(0), include_cross_language=False)]
+        assert not any(name.startswith("t-apply") for name in names)
+
+
+class TestChecker:
+    def test_identical_terms_equivalent(self):
+        inc = lam_int(BinOp("+", Var("x"), IntE(1)))
+        report = check_equivalence(inc, inc, INT_ARROW, fuel=10_000)
+        assert report.equivalent and report.trials > 0
+
+    def test_syntactic_variants_equivalent(self):
+        a = lam_int(BinOp("+", Var("x"), IntE(2)))
+        b = lam_int(BinOp("+", BinOp("+", Var("x"), IntE(1)), IntE(1)))
+        assert check_equivalence(a, b, INT_ARROW, fuel=10_000).equivalent
+
+    def test_different_functions_refuted(self):
+        a = lam_int(BinOp("+", Var("x"), IntE(1)))
+        b = lam_int(BinOp("+", Var("x"), IntE(2)))
+        report = check_equivalence(a, b, INT_ARROW, fuel=10_000)
+        assert not report.equivalent
+        assert report.counterexample is not None
+
+    def test_divergence_vs_value_refuted(self):
+        a = lam_int(OMEGA)
+        b = lam_int(IntE(0))
+        report = check_equivalence(a, b, INT_ARROW, fuel=3_000,
+                                   include_cross_language=False)
+        assert not report.equivalent
+
+    def test_agreeing_only_on_zero_refuted(self):
+        a = lam_int(IntE(0))
+        b = lam_int(If0(Var("x"), IntE(0), Var("x")))
+        assert not check_equivalence(a, b, INT_ARROW,
+                                     fuel=10_000).equivalent
+
+    def test_type_annotation_verified(self):
+        with pytest.raises(FTTypeError):
+            check_equivalence(IntE(1), IntE(1), FUnit())
+
+    def test_first_order_equivalence(self):
+        assert check_equivalence(IntE(2), BinOp("+", IntE(1), IntE(1)),
+                                 FInt()).equivalent
+
+    def test_max_contexts_cap(self):
+        inc = lam_int(BinOp("+", Var("x"), IntE(1)))
+        report = check_equivalence(inc, inc, INT_ARROW, fuel=5_000,
+                                   max_contexts=3)
+        assert report.trials <= 3
+
+    def test_report_prints(self):
+        report = check_equivalence(IntE(1), IntE(1), FInt())
+        assert "indistinguishable" in str(report)
+        bad = check_equivalence(IntE(1), IntE(2), FInt())
+        assert "INEQUIVALENT" in str(bad)
+
+
+class TestWorlds:
+    def test_base_values(self):
+        w = World(k=2, fuel=5_000)
+        assert related_values(w, IntE(1), IntE(1), FInt()) is None
+        assert related_values(w, IntE(1), IntE(2), FInt()) is not None
+
+    def test_tuples_pointwise(self):
+        w = World(k=2, fuel=5_000)
+        a = TupleE((IntE(1), UnitE()))
+        b = TupleE((IntE(1), UnitE()))
+        ty = FTupleT((FInt(), FUnit()))
+        assert related_values(w, a, b, ty) is None
+
+    def test_mu_consumes_step_index(self):
+        mu = FRec("a", FInt())
+        w = World(k=0, fuel=5_000)
+        # at index 0 everything is related (truncation)
+        assert related_values(w, Fold(mu, IntE(1)), Fold(mu, IntE(2)),
+                              mu) is None
+        w1 = World(k=1, fuel=5_000)
+        assert related_values(w1, Fold(mu, IntE(1)), Fold(mu, IntE(2)),
+                              mu) is not None
+
+    def test_functions_related_by_probing(self):
+        w = World(k=2, fuel=10_000)
+        a = lam_int(BinOp("+", Var("x"), IntE(1)))
+        b = lam_int(BinOp("-", Var("x"), IntE(-1)))
+        assert related_values(w, a, b, INT_ARROW) is None
+
+    def test_functions_refuted_with_witness(self):
+        w = World(k=2, fuel=10_000)
+        a = lam_int(IntE(0))
+        b = lam_int(Var("x"))
+        failure = related_values(w, a, b, INT_ARROW)
+        assert failure is not None
+        assert "args" in failure.witness

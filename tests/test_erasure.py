@@ -1,0 +1,88 @@
+"""Erasure invariance: running a T program never depends on its type
+annotations (the static-discipline property, tested at machine level)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.equiv.observation import canonical_value
+from repro.errors import FTTypeError
+from repro.papers_examples import fig3_call_to_call, sec3_sequences
+from repro.tal.erasure import erase_types, erase_word
+from repro.tal.machine import run_component
+from repro.tal.syntax import (
+    Fold, Pack, RegOp, TExists, TInt, TRec, TUnit, TVar, TyApp, WInt,
+    WLoc, Loc, NIL_STACK, QEps,
+)
+from repro.tal.typecheck import check_program
+
+from tests.strategies import random_t_program
+
+
+def _erased_result(comp):
+    halted, _ = run_component(erase_types(comp))
+    return halted.word
+
+
+class TestEraseWord:
+    def test_base_words_untouched(self):
+        assert erase_word(WInt(3)) == WInt(3)
+        assert erase_word(RegOp("r1")) == RegOp("r1")
+        assert erase_word(WLoc(Loc("l"))) == WLoc(Loc("l"))
+
+    def test_pack_keeps_payload(self):
+        ex = TExists("a", TVar("a"))
+        erased = erase_word(Pack(TInt(), WInt(7), ex))
+        assert isinstance(erased, Pack)
+        assert erased.body == WInt(7)
+        assert erased.hidden == TUnit()
+
+    def test_tyapp_keeps_arity_and_marker_names(self):
+        u = TyApp(WLoc(Loc("l")), (TInt(), QEps("e")))
+        erased = erase_word(u)
+        assert len(erased.insts) == 2
+        assert erased.insts[1] == QEps("e")  # names survive erasure
+
+
+class TestErasureInvariance:
+    def test_fig3(self):
+        comp = fig3_call_to_call.build()
+        original, _ = run_component(comp)
+        assert _erased_result(comp) == original.word == WInt(2)
+
+    def test_sec3_programs(self):
+        for build in (sec3_sequences.build_sequence_program,
+                      sec3_sequences.build_jmp_program,
+                      sec3_sequences.build_call_program):
+            comp = build()
+            original, _ = run_component(comp)
+            assert _erased_result(comp) == original.word
+
+    def test_existential_adt(self):
+        from tests.test_existential_adt import build_counter_client
+
+        comp = build_counter_client(41)
+        original, _ = run_component(comp)
+        assert _erased_result(comp) == original.word == WInt(42)
+
+    @given(st.integers(0, 5_000))
+    @settings(max_examples=100, deadline=None)
+    def test_random_programs(self, seed):
+        comp = random_t_program(seed)
+        original, _ = run_component(comp)
+        assert _erased_result(comp) == original.word
+
+    def test_erased_program_is_usually_ill_typed(self):
+        """Erasure destroys typing (that is the point: the machine runs
+        it anyway)."""
+        erased = erase_types(fig3_call_to_call.build())
+        with pytest.raises(FTTypeError):
+            check_program(erased, TInt())
+
+    def test_trace_shape_is_preserved(self):
+        comp = fig3_call_to_call.build()
+        _, machine_orig = run_component(comp, trace=True)
+        _, machine_erased = run_component(erase_types(comp), trace=True)
+        assert [e.kind for e in machine_orig.trace] == \
+            [e.kind for e in machine_erased.trace]
+        assert [e.pretty_label() for e in machine_orig.trace] == \
+            [e.pretty_label() for e in machine_erased.trace]

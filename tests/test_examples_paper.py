@@ -1,0 +1,157 @@
+"""Integration tests: every paper example typechecks and reproduces the
+figure's behaviour end-to-end (the per-figure index of DESIGN.md)."""
+
+import pytest
+
+from repro.analysis.trace import control_flow_table
+from repro.equiv.checker import check_equivalence
+from repro.errors import FTTypeError, FuelExhausted
+from repro.f.eval import evaluate
+from repro.f.syntax import App, IntE
+from repro.ft.machine import evaluate_ft, run_ft_component
+from repro.ft.typecheck import check_ft_expr
+from repro.papers_examples import (
+    fig3_call_to_call, fig11_jit, fig16_two_blocks, fig17_factorial,
+    import_example, push7, sec3_sequences,
+)
+from repro.tal.machine import run_component
+from repro.tal.syntax import TInt, WInt
+from repro.tal.typecheck import check_program
+
+
+class TestFig3And4:
+    def test_typechecks(self):
+        check_program(fig3_call_to_call.build(), TInt())
+
+    def test_runs_to_two(self):
+        halted, _ = run_component(fig3_call_to_call.build())
+        assert halted.word == WInt(2)
+
+    def test_fig4_arrow_sequence(self):
+        _, machine = run_component(fig3_call_to_call.build(), trace=True)
+        rows = control_flow_table(machine.trace)
+        arrows = [(r.kind, r.target) for r in rows if r.kind != "enter"]
+        assert arrows == [
+            ("call", "l1"), ("call", "l2"), ("jmp", "l2aux"),
+            ("ret", "l2ret"), ("ret", "l1ret"), ("halt", ""),
+        ]
+
+    def test_fig4_final_state(self):
+        _, machine = run_component(fig3_call_to_call.build(), trace=True)
+        final = control_flow_table(machine.trace)[-1]
+        assert ("r1", "2") in final.regs
+        assert final.stack == ()
+
+
+class TestSec3Snippets:
+    def test_sequence_table(self):
+        states = sec3_sequences.sequence_example_states()
+        assert str(states[1][1].chi) == "r1: int"
+        assert str(states[2][1].sigma) == "unit :: nil"
+        assert str(states[3][1].sigma) == "int :: nil"
+
+    def test_all_snippet_programs_run(self):
+        for build, expected in (
+                (sec3_sequences.build_sequence_program, WInt(42)),
+                (sec3_sequences.build_call_program, WInt(10))):
+            halted, _ = run_component(build())
+            assert halted.word == expected
+
+
+class TestSec42Examples:
+    def test_import_example_judgment(self):
+        from repro.ft.typecheck import FTTypechecker
+        from repro.tal.syntax import NIL_STACK, RegFileTy
+        from repro.tal.typecheck import InstrState
+
+        checker = FTTypechecker()
+        st = InstrState((), RegFileTy(), NIL_STACK, import_example.MARKER)
+        out = checker.step_instruction(
+            st, import_example.build_import_instruction())
+        # the paper's postcondition:  . ; r1: int ; nil ; end{int; nil}
+        assert out.chi.registers() == ("r1",)
+        assert out.chi.get("r1") == TInt()
+        assert out.q == import_example.MARKER
+
+    def test_import_example_runs(self):
+        halted, _ = run_ft_component(import_example.build())
+        assert halted.word == WInt(2)
+
+    def test_push7_typechecks_as_stack_lambda(self):
+        ty, _ = check_ft_expr(push7.build())
+        assert str(ty) == "(int) [; int] -> unit"
+
+    def test_push7_rejected_as_plain_lambda(self):
+        with pytest.raises(FTTypeError):
+            check_ft_expr(push7.build_ill_typed())
+
+
+class TestFig11And12:
+    def test_source_and_jit_agree(self):
+        assert evaluate(fig11_jit.build_source()) == IntE(2)
+        value, _ = evaluate_ft(fig11_jit.build_jit())
+        assert value == IntE(2)
+
+    def test_jit_typechecks_at_int(self):
+        ty, _ = check_ft_expr(fig11_jit.build_jit())
+        assert str(ty) == "int"
+
+    def test_fig12_callback_depth(self):
+        """Fig 12's nesting: F -> T(l) -> F(g) -> T(lh) crossings appear
+        in the trace."""
+        _, machine = evaluate_ft(fig11_jit.build_jit(), trace=True)
+        boundary_events = [ev for ev in machine.trace
+                           if ev.kind == "boundary"]
+        assert len(boundary_events) >= 4  # two crossings each way
+
+
+class TestFig16:
+    def test_both_typecheck(self):
+        for build in (fig16_two_blocks.build_f1, fig16_two_blocks.build_f2):
+            ty, _ = check_ft_expr(build())
+            assert str(ty) == "(int) -> int"
+
+    def test_pointwise_behaviour(self):
+        f1, f2 = fig16_two_blocks.build_f1(), fig16_two_blocks.build_f2()
+        for n in (-2, 0, 1, 9):
+            v1, _ = evaluate_ft(App(f1, (IntE(n),)))
+            v2, _ = evaluate_ft(App(f2, (IntE(n),)))
+            assert v1 == v2 == IntE(n + 2)
+
+    def test_block_structure_differs(self):
+        """The point of the figure: same behaviour, different block count."""
+        f1, f2 = fig16_two_blocks.build_f1(), fig16_two_blocks.build_f2()
+        b1 = f1.body.fn.comp
+        b2 = f2.body.fn.comp
+        assert len(b1.heap) == 1
+        assert len(b2.heap) == 2
+
+    def test_equivalence_confirmed(self):
+        report = check_equivalence(
+            fig16_two_blocks.build_f1(), fig16_two_blocks.build_f2(),
+            fig16_two_blocks.ARROW, fuel=20_000)
+        assert report.equivalent
+        assert report.trials >= 10
+
+
+class TestFig17:
+    def test_agreement_on_naturals(self):
+        ff = fig17_factorial.build_fact_f()
+        ft = fig17_factorial.build_fact_t()
+        for n in range(0, 8):
+            vf, _ = evaluate_ft(App(ff, (IntE(n),)))
+            assert vf == IntE(fig17_factorial.expected(n))
+            vt, _ = evaluate_ft(App(ft, (IntE(n),)))
+            assert vt == IntE(fig17_factorial.expected(n))
+
+    @pytest.mark.parametrize("build", [fig17_factorial.build_fact_f,
+                                       fig17_factorial.build_fact_t])
+    def test_divergence_on_negatives(self, build):
+        with pytest.raises(FuelExhausted):
+            evaluate_ft(App(build(), (IntE(-2),)), fuel=5_000)
+
+    def test_equivalence_confirmed(self):
+        report = check_equivalence(
+            fig17_factorial.build_fact_f(), fig17_factorial.build_fact_t(),
+            fig17_factorial.ARROW, fuel=20_000)
+        assert report.equivalent

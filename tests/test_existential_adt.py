@@ -1,0 +1,211 @@
+"""An abstract data type in pure T: existential packages end-to-end.
+
+The paper's T has existential types but no worked example; this test
+builds the classic ADT encoding and pushes it through the whole pipeline:
+
+* a *counter package* ``exists a. box <a, inc(a), get(a)>`` whose hidden
+  representation is a mutable tuple ``ref <int>``;
+* a client that ``unpack``s the package, calls ``inc`` and then ``get``
+  through continuation blocks that are themselves *polymorphic in the
+  hidden type* (instantiated with the opened variable at call time);
+* the abstraction boundary is enforced: a client that peeks at the
+  representation without unpacking -- or after unpacking, at the abstract
+  type -- is rejected by the typechecker.
+
+This exercises pack/unpack, ``call`` with abstract stack prefixes,
+continuation blocks with value-type binders, and the machine's type
+substitution at jump time, all in one program.
+"""
+
+import pytest
+
+from repro.errors import FTTypeError
+from repro.tal.machine import run_component
+from repro.tal.syntax import (
+    Aop, Balloc, Call, CodeType, Component, DeltaBind, Halt, HCode,
+    KIND_ALPHA, KIND_EPS, KIND_ZETA, Ld, Loc, Mv, NIL_STACK, Pack, QEnd,
+    QEps, QReg, Ralloc, RegFileTy, RegOp, Ret, Salloc, seq, Sfree, Sld,
+    Sst, St, StackTy, TBox, TExists, TInt, TRef, TupleTy, TUnit, TVar,
+    TyApp, Unpack, WInt, WLoc, WUnit,
+)
+from repro.tal.typecheck import check_program
+
+LINC = Loc("linc")
+LGET = Loc("lget")
+KONT1 = Loc("kont1")
+KONT2 = Loc("kont2")
+
+END_INT = QEnd(TInt(), NIL_STACK)
+
+
+def _cont(value_ty, tail="z"):
+    return TBox(CodeType((), RegFileTy.of(r1=value_ty),
+                         StackTy((), tail), QEps("e")))
+
+
+def _op_type(state_ty, result_ty):
+    """box forall[z, e].{ra: forall[].{r1: result; z} e; state :: z} ra"""
+    return TBox(CodeType(
+        (DeltaBind(KIND_ZETA, "z"), DeltaBind(KIND_EPS, "e")),
+        RegFileTy.of(ra=_cont(result_ty)),
+        StackTy((state_ty,), "z"), QReg("ra")))
+
+
+def package_type() -> TExists:
+    """exists a. box <a, inc(a), get(a)>"""
+    a = TVar("a")
+    return TExists("a", TBox(TupleTy((
+        a, _op_type(a, TUnit()), _op_type(a, TInt())))))
+
+
+def _inc_block() -> HCode:
+    state = TRef((TInt(),))
+    return HCode(
+        (DeltaBind(KIND_ZETA, "z"), DeltaBind(KIND_EPS, "e")),
+        RegFileTy.of(ra=_cont(TUnit())),
+        StackTy((state,), "z"), QReg("ra"),
+        seq(
+            Sld("r2", 0),
+            Sfree(1),
+            Ld("r1", "r2", 0),
+            Aop("add", "r1", "r1", WInt(1)),
+            St("r2", 0, "r1"),
+            Mv("r1", WUnit()),
+            Ret("ra", "r1"),
+        ))
+
+
+def _get_block() -> HCode:
+    state = TRef((TInt(),))
+    return HCode(
+        (DeltaBind(KIND_ZETA, "z"), DeltaBind(KIND_EPS, "e")),
+        RegFileTy.of(ra=_cont(TInt())),
+        StackTy((state,), "z"), QReg("ra"),
+        seq(
+            Sld("r2", 0),
+            Sfree(1),
+            Ld("r1", "r2", 0),
+            Ret("ra", "r1"),
+        ))
+
+
+def _kont1_block() -> HCode:
+    """After inc returns: the protected tail holds the (abstract) state
+    and the get pointer; call get through them."""
+    a1 = TVar("a1")
+    sigma = StackTy((a1, _op_type(a1, TInt())), None)
+    return HCode(
+        (DeltaBind(KIND_ALPHA, "a1"),),
+        RegFileTy.of(r1=TUnit()), sigma, END_INT,
+        seq(
+            Sld("r3", 0),                 # the hidden state
+            Sld("r4", 1),                 # the get operation
+            Sfree(2),
+            Salloc(1),
+            Sst(0, "r3"),                 # push the state argument
+            Mv("ra", WLoc(KONT2)),
+            Call(RegOp("r4"), NIL_STACK, END_INT),
+        ))
+
+
+def _kont2_block() -> HCode:
+    return HCode(
+        (), RegFileTy.of(r1=TInt()), NIL_STACK, END_INT,
+        seq(Halt(TInt(), NIL_STACK, "r1")))
+
+
+def build_counter_client(initial: int = 0) -> Component:
+    pkg_ty = package_type()
+    state = TRef((TInt(),))
+    entry = seq(
+        # allocate the hidden representation
+        Mv("r1", WInt(initial)),
+        Salloc(1),
+        Sst(0, "r1"),
+        Ralloc("r2", 1),
+        # build and box the package tuple <state, inc, get>
+        Mv("r3", WLoc(LINC)),
+        Mv("r4", WLoc(LGET)),
+        Salloc(3),
+        Sst(0, "r2"),
+        Sst(1, "r3"),
+        Sst(2, "r4"),
+        Balloc("r5", 3),
+        Mv("r6", Pack(state, RegOp("r5"), pkg_ty)),
+        # the client: open the package and use it abstractly
+        Unpack("b", "r7", RegOp("r6")),
+        Ld("r1", "r7", 0),                # state : b
+        Ld("r2", "r7", 1),                # inc : inc(b)
+        Ld("r3", "r7", 2),                # get : get(b)
+        Salloc(3),
+        Sst(0, "r1"),                     # the inc argument
+        Sst(1, "r1"),                     # state, protected for kont1
+        Sst(2, "r3"),                     # get, protected for kont1
+        Mv("ra", TyApp(WLoc(KONT1), (TVar("b"),))),
+        Call(RegOp("r2"),
+             StackTy((TVar("b"), _op_type(TVar("b"), TInt())), None),
+             END_INT),
+    )
+    return Component(entry, (
+        (LINC, _inc_block()), (LGET, _get_block()),
+        (KONT1, _kont1_block()), (KONT2, _kont2_block()),
+    ))
+
+
+class TestCounterPackage:
+    def test_typechecks_at_int(self):
+        ty, sigma = check_program(build_counter_client(), TInt())
+        assert ty == TInt() and sigma == NIL_STACK
+
+    @pytest.mark.parametrize("initial", [0, 10, -3])
+    def test_runs_to_initial_plus_one(self, initial):
+        halted, machine = run_component(build_counter_client(initial))
+        assert halted.word == WInt(initial + 1)
+        assert machine.memory.depth == 0
+
+    def test_package_type_prints_and_parses(self):
+        from repro.surface.parser import parse_ttype
+
+        ty = package_type()
+        assert parse_ttype(str(ty)) == ty
+
+    def test_whole_program_parses_back(self):
+        from repro.surface.parser import parse_component
+
+        comp = build_counter_client()
+        assert parse_component(str(comp)) == comp
+
+
+class TestAbstractionEnforced:
+    def test_peeking_at_the_representation_rejected(self):
+        """ld through the opened-but-abstract state must fail: b is not a
+        tuple type."""
+        comp = build_counter_client()
+        instrs = list(comp.instrs.instrs)
+        # after `Ld("r1", "r7", 0)` the state is in r1 at type b; try to
+        # read through it as if it were the ref tuple
+        idx = next(i for i, ins in enumerate(instrs)
+                   if isinstance(ins, Ld) and ins.rd == "r1")
+        instrs.insert(idx + 1, Ld("r4", "r1", 0))
+        from repro.tal.syntax import InstrSeq
+
+        broken = Component(InstrSeq(tuple(instrs), comp.instrs.term),
+                           comp.heap)
+        with pytest.raises(FTTypeError, match="tuple"):
+            check_program(broken, TInt())
+
+    def test_packing_wrong_representation_rejected(self):
+        """pack with a hidden type that does not match the body fails."""
+        comp = build_counter_client()
+        instrs = list(comp.instrs.instrs)
+        idx, pack_instr = next(
+            (i, ins) for i, ins in enumerate(instrs)
+            if isinstance(ins, Mv) and isinstance(ins.u, Pack))
+        bad_pack = Pack(TInt(), pack_instr.u.body, pack_instr.u.as_ty)
+        instrs[idx] = Mv(pack_instr.rd, bad_pack)
+        from repro.tal.syntax import InstrSeq
+
+        broken = Component(InstrSeq(tuple(instrs), comp.instrs.term),
+                           comp.heap)
+        with pytest.raises(FTTypeError, match="pack body"):
+            check_program(broken, TInt())

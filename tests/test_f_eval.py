@@ -1,0 +1,153 @@
+"""Unit tests for the pure-F call-by-value machine."""
+
+import pytest
+
+from repro.errors import FuelExhausted, MachineError
+from repro.f.eval import apply_binop, evaluate, reduce_redex, split_context, step
+from repro.f.syntax import (
+    App, BinOp, FArrow, FInt, Fold, FRec, FTVar, If0, IntE, Lam, Proj,
+    TupleE, Unfold, UnitE, Var,
+)
+
+
+def lam_int(body):
+    return Lam((("x", FInt()),), body)
+
+
+class TestPrimops:
+    def test_add(self):
+        assert apply_binop("+", 2, 3) == 5
+
+    def test_sub(self):
+        assert apply_binop("-", 2, 3) == -1
+
+    def test_mul(self):
+        assert apply_binop("*", 2, 3) == 6
+
+    def test_unknown_rejected(self):
+        with pytest.raises(MachineError):
+            apply_binop("/", 1, 2)
+
+
+class TestReduceRedex:
+    def test_binop(self):
+        assert reduce_redex(BinOp("+", IntE(1), IntE(2))) == IntE(3)
+
+    def test_if0_zero_takes_then(self):
+        assert reduce_redex(If0(IntE(0), IntE(1), IntE(2))) == IntE(1)
+
+    def test_if0_nonzero_takes_else(self):
+        assert reduce_redex(If0(IntE(7), IntE(1), IntE(2))) == IntE(2)
+
+    def test_if0_negative_takes_else(self):
+        assert reduce_redex(If0(IntE(-1), IntE(1), IntE(2))) == IntE(2)
+
+    def test_beta(self):
+        assert reduce_redex(App(lam_int(Var("x")), (IntE(5),))) == IntE(5)
+
+    def test_beta_multi_arg(self):
+        lam = Lam((("x", FInt()), ("y", FInt())),
+                  BinOp("-", Var("x"), Var("y")))
+        assert reduce_redex(App(lam, (IntE(5), IntE(3)))) == \
+            BinOp("-", IntE(5), IntE(3))
+
+    def test_unfold_fold(self):
+        mu = FRec("a", FInt())
+        assert reduce_redex(Unfold(Fold(mu, IntE(1)))) == IntE(1)
+
+    def test_projection(self):
+        assert reduce_redex(Proj(1, TupleE((IntE(1), IntE(2))))) == IntE(2)
+
+    def test_non_redex_returns_none(self):
+        assert reduce_redex(BinOp("+", Var("x"), IntE(1))) is None
+
+    def test_stuck_application_raises(self):
+        with pytest.raises(MachineError, match="non-lambda"):
+            reduce_redex(App(IntE(1), (IntE(2),)))
+
+    def test_stuck_projection_raises(self):
+        with pytest.raises(MachineError, match="non-tuple"):
+            reduce_redex(Proj(0, IntE(1)))
+
+    def test_runtime_arity_mismatch_raises(self):
+        with pytest.raises(MachineError, match="arity"):
+            reduce_redex(App(lam_int(Var("x")), (IntE(1), IntE(2))))
+
+
+class TestEvaluationOrder:
+    def test_left_to_right_in_binop(self):
+        e = BinOp("+", BinOp("*", IntE(2), IntE(3)), BinOp("-", IntE(1),
+                                                           IntE(1)))
+        first = step(e)
+        assert first == BinOp("+", IntE(6), BinOp("-", IntE(1), IntE(1)))
+
+    def test_function_before_arguments(self):
+        e = App(If0(IntE(0), lam_int(Var("x")), lam_int(IntE(9))),
+                (BinOp("+", IntE(1), IntE(1)),))
+        first = step(e)
+        assert first == App(lam_int(Var("x")), (BinOp("+", IntE(1),
+                                                      IntE(1)),))
+
+    def test_tuple_left_to_right(self):
+        e = TupleE((IntE(1), BinOp("+", IntE(1), IntE(1)),
+                    BinOp("+", IntE(2), IntE(2))))
+        first = step(e)
+        assert first == TupleE((IntE(1), IntE(2),
+                                BinOp("+", IntE(2), IntE(2))))
+
+    def test_step_on_value_is_none(self):
+        assert step(IntE(1)) is None
+
+
+class TestSplitContext:
+    def test_no_split_for_redex(self):
+        assert split_context(BinOp("+", IntE(1), IntE(2))) is None
+
+    def test_split_rebuilds(self):
+        e = BinOp("+", BinOp("*", IntE(2), IntE(3)), IntE(1))
+        frame, sub = split_context(e)
+        assert sub == BinOp("*", IntE(2), IntE(3))
+        assert frame(IntE(6)) == BinOp("+", IntE(6), IntE(1))
+
+
+class TestEvaluate:
+    def test_arithmetic(self):
+        e = BinOp("*", BinOp("+", IntE(1), IntE(2)), IntE(10))
+        assert evaluate(e) == IntE(30)
+
+    def test_higher_order(self):
+        twice = Lam((("f", FArrow((FInt(),), FInt())), ("x", FInt())),
+                    App(Var("f"), (App(Var("f"), (Var("x"),)),)))
+        inc = lam_int(BinOp("+", Var("x"), IntE(1)))
+        assert evaluate(App(twice, (inc, IntE(5)))) == IntE(7)
+
+    def test_recursion_through_fold(self):
+        # sum 1..n via self-application
+        mu = FRec("a", FArrow((FTVar("a"),), FArrow((FInt(),), FInt())))
+        tri = Lam(
+            (("self", mu),),
+            lam_int(If0(Var("x"), IntE(0),
+                        BinOp("+", Var("x"),
+                              App(App(Unfold(Var("self")), (Var("self"),)),
+                                  (BinOp("-", Var("x"), IntE(1)),))))))
+        prog = App(App(tri, (Fold(mu, tri),)), (IntE(10),))
+        assert evaluate(prog) == IntE(55)
+
+    def test_divergence_raises_fuel(self):
+        mu = FRec("a", FArrow((FTVar("a"),), FInt()))
+        omega_fn = Lam((("f", mu),),
+                       App(Unfold(Var("f")), (Var("f"),)))
+        omega = App(omega_fn, (Fold(mu, omega_fn),))
+        with pytest.raises(FuelExhausted):
+            evaluate(omega, fuel=5_000)
+
+    def test_deep_context_survives_python_recursion(self):
+        # 1 + (1 + (1 + ... 0)) built 5000 deep; iterative stepping must
+        # handle it.
+        e = IntE(0)
+        for _ in range(2000):
+            e = BinOp("+", IntE(1), e)
+        assert evaluate(e) == IntE(2000)
+
+    def test_value_needs_no_fuel(self):
+        assert evaluate(IntE(1), fuel=0) == IntE(1)

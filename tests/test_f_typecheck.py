@@ -1,0 +1,165 @@
+"""Unit tests for the standalone pure-F typechecker (paper section 4.1)."""
+
+import pytest
+
+from repro.errors import FTTypeError
+from repro.f.syntax import (
+    App, BinOp, FArrow, FInt, Fold, FRec, FTupleT, FTVar, FUnit, If0, IntE,
+    Lam, Proj, TupleE, Unfold, UnitE, Var,
+)
+from repro.f.typecheck import typecheck
+
+
+def lam_int(body):
+    return Lam((("x", FInt()),), body)
+
+
+class TestBaseRules:
+    def test_unit(self):
+        assert typecheck(UnitE()) == FUnit()
+
+    def test_int(self):
+        assert typecheck(IntE(42)) == FInt()
+
+    def test_var_from_env(self):
+        assert typecheck(Var("x"), {"x": FInt()}) == FInt()
+
+    def test_unbound_var(self):
+        with pytest.raises(FTTypeError, match="unbound"):
+            typecheck(Var("x"))
+
+
+class TestBinOp:
+    @pytest.mark.parametrize("op", ["+", "-", "*"])
+    def test_all_ops(self, op):
+        assert typecheck(BinOp(op, IntE(1), IntE(2))) == FInt()
+
+    def test_left_must_be_int(self):
+        with pytest.raises(FTTypeError, match="left operand"):
+            typecheck(BinOp("+", UnitE(), IntE(1)))
+
+    def test_right_must_be_int(self):
+        with pytest.raises(FTTypeError, match="right operand"):
+            typecheck(BinOp("+", IntE(1), UnitE()))
+
+
+class TestIf0:
+    def test_basic(self):
+        assert typecheck(If0(IntE(0), IntE(1), IntE(2))) == FInt()
+
+    def test_scrutinee_must_be_int(self):
+        with pytest.raises(FTTypeError, match="scrutinee"):
+            typecheck(If0(UnitE(), IntE(1), IntE(2)))
+
+    def test_branches_must_agree(self):
+        with pytest.raises(FTTypeError, match="branches disagree"):
+            typecheck(If0(IntE(0), IntE(1), UnitE()))
+
+    def test_branches_alpha_equivalent_mus_agree(self):
+        mu1 = FRec("a", FArrow((FTVar("a"),), FInt()))
+        mu2 = FRec("b", FArrow((FTVar("b"),), FInt()))
+        e = If0(IntE(0),
+                Lam((("x", mu1),), IntE(1)),
+                Lam((("x", mu2),), IntE(1)))
+        assert isinstance(typecheck(e), FArrow)
+
+
+class TestLambdaAndApp:
+    def test_identity(self):
+        assert typecheck(lam_int(Var("x"))) == FArrow((FInt(),), FInt())
+
+    def test_multi_arg(self):
+        lam = Lam((("x", FInt()), ("y", FUnit())), Var("y"))
+        assert typecheck(lam) == FArrow((FInt(), FUnit()), FUnit())
+
+    def test_duplicate_params_rejected(self):
+        with pytest.raises(FTTypeError, match="duplicate"):
+            typecheck(Lam((("x", FInt()), ("x", FInt())), Var("x")))
+
+    def test_application(self):
+        assert typecheck(App(lam_int(Var("x")), (IntE(1),))) == FInt()
+
+    def test_apply_non_function(self):
+        with pytest.raises(FTTypeError, match="non-arrow"):
+            typecheck(App(IntE(1), (IntE(2),)))
+
+    def test_arity_mismatch(self):
+        with pytest.raises(FTTypeError, match="arity"):
+            typecheck(App(lam_int(Var("x")), (IntE(1), IntE(2))))
+
+    def test_argument_type_mismatch(self):
+        with pytest.raises(FTTypeError, match="argument 0"):
+            typecheck(App(lam_int(Var("x")), (UnitE(),)))
+
+    def test_shadowing_inner_binding_wins(self):
+        inner = Lam((("x", FUnit()),), Var("x"))
+        outer = lam_int(App(inner, (UnitE(),)))
+        assert typecheck(outer) == FArrow((FInt(),), FUnit())
+
+
+class TestRecursiveTypes:
+    MU = FRec("a", FArrow((FTVar("a"),), FInt()))
+
+    def test_fold(self):
+        folded = Fold(self.MU, Lam((("f", self.MU),), IntE(0)))
+        assert typecheck(folded) == self.MU
+
+    def test_fold_needs_mu_annotation(self):
+        with pytest.raises(FTTypeError, match="not a mu"):
+            typecheck(Fold(FInt(), IntE(1)))
+
+    def test_fold_body_must_match_unrolling(self):
+        with pytest.raises(FTTypeError, match="unrolling"):
+            typecheck(Fold(self.MU, IntE(1)))
+
+    def test_unfold(self):
+        folded = Fold(self.MU, Lam((("f", self.MU),), IntE(0)))
+        assert typecheck(Unfold(folded)) == FArrow((self.MU,), FInt())
+
+    def test_unfold_needs_mu(self):
+        with pytest.raises(FTTypeError, match="non-mu"):
+            typecheck(Unfold(IntE(1)))
+
+    def test_self_application_types(self):
+        # the factorial skeleton: (unfold f) f
+        body = App(Unfold(Var("f")), (Var("f"),))
+        lam = Lam((("f", self.MU),), body)
+        assert typecheck(lam) == FArrow((self.MU,), FInt())
+
+
+class TestTuples:
+    def test_tuple(self):
+        assert typecheck(TupleE((IntE(1), UnitE()))) == \
+            FTupleT((FInt(), FUnit()))
+
+    def test_projection(self):
+        assert typecheck(Proj(1, TupleE((IntE(1), UnitE())))) == FUnit()
+
+    def test_projection_out_of_range(self):
+        with pytest.raises(FTTypeError, match="out of range"):
+            typecheck(Proj(2, TupleE((IntE(1),))))
+
+    def test_projection_from_non_tuple(self):
+        with pytest.raises(FTTypeError, match="non-tuple"):
+            typecheck(Proj(0, IntE(1)))
+
+    def test_empty_tuple(self):
+        assert typecheck(TupleE(())) == FTupleT(())
+
+
+class TestFTFormsRejected:
+    def test_stack_lambda_rejected(self):
+        from repro.ft.syntax import StackLam
+        from repro.tal.syntax import TInt
+
+        lam = StackLam((("x", FInt()),), Var("x"), (TInt(),), (TInt(),))
+        with pytest.raises(FTTypeError, match="stack-modifying"):
+            typecheck(lam)
+
+    def test_boundary_rejected(self):
+        from repro.papers_examples.import_example import build
+        from repro.ft.syntax import Boundary
+
+        boundary = Boundary(FInt(), build())
+        with pytest.raises(FTTypeError):
+            typecheck(boundary)

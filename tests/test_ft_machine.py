@@ -1,0 +1,159 @@
+"""Unit tests for the FT mixed-language machine (paper Fig 8):
+boundary reductions, import/protect execution, shared fuel, traces."""
+
+import pytest
+
+from repro.errors import FuelExhausted, MachineError
+from repro.f.syntax import (
+    App, BinOp, FArrow, FInt, FUnit, If0, IntE, Lam, TupleE, UnitE, Var,
+)
+from repro.ft.machine import evaluate_ft, FTMachine, run_ft_component
+from repro.ft.syntax import Boundary, Import, Protect, StackDelta
+from repro.papers_examples import (
+    fig11_jit, fig16_two_blocks, fig17_factorial, import_example, push7,
+)
+from repro.tal.syntax import (
+    Component, Halt, Mv, NIL_STACK, QEnd, Salloc, seq, Sst, StackTy, TInt,
+    TUnit, WInt, WUnit,
+)
+
+
+class TestImportInstruction:
+    def test_import_evaluates_and_translates(self):
+        halted, machine = run_ft_component(import_example.build())
+        assert halted.word == WInt(import_example.EXPECTED_RESULT)
+
+    def test_import_may_run_nested_assembly(self):
+        inner = Boundary(FInt(), Component(seq(
+            Mv("r1", WInt(21)),
+            Halt(TInt(), NIL_STACK, "r1"))))
+        comp = Component(seq(
+            Import("r1", NIL_STACK, FInt(), BinOp("*", inner, IntE(2))),
+            Halt(TInt(), NIL_STACK, "r1")))
+        halted, _ = run_ft_component(comp)
+        assert halted.word == WInt(42)
+
+    def test_protect_is_runtime_noop(self):
+        comp = Component(seq(
+            Protect((), "z"),
+            Mv("r1", WInt(1)),
+            Halt(TInt(), StackTy((), "z"), "r1")))
+        halted, _ = run_ft_component(comp)
+        assert halted.word == WInt(1)
+
+
+class TestBoundaryReduction:
+    def test_boundary_of_int(self):
+        b = Boundary(FInt(), Component(seq(
+            Mv("r1", WInt(5)), Halt(TInt(), NIL_STACK, "r1"))))
+        value, _ = evaluate_ft(b)
+        assert value == IntE(5)
+
+    def test_boundary_inside_arithmetic(self):
+        b = Boundary(FInt(), Component(seq(
+            Mv("r1", WInt(5)), Halt(TInt(), NIL_STACK, "r1"))))
+        value, _ = evaluate_ft(BinOp("+", IntE(1), b))
+        assert value == IntE(6)
+
+    def test_boundary_as_branch(self):
+        b = Boundary(FInt(), Component(seq(
+            Mv("r1", WInt(5)), Halt(TInt(), NIL_STACK, "r1"))))
+        value, _ = evaluate_ft(If0(IntE(1), IntE(0), b))
+        assert value == IntE(5)
+
+    def test_stack_lambda_pushes(self):
+        lam = push7.build()
+        machine = FTMachine()
+        value = machine.eval_fexpr(App(lam, (IntE(0),)))
+        assert value == UnitE()
+        assert machine.memory.snapshot_stack() == (WInt(7),)
+
+    def test_mistranslated_boundary_is_stuck(self):
+        # component halts with unit but the boundary claims int
+        b = Boundary(FInt(), Component(seq(
+            Mv("r1", WUnit()), Halt(TUnit(), NIL_STACK, "r1"))))
+        with pytest.raises(MachineError):
+            evaluate_ft(b)
+
+
+class TestSharedFuel:
+    def test_fuel_spans_languages(self):
+        # a T loop inside an F context exhausts the same budget
+        from repro.tal.syntax import HCode, Jmp, Loc, QEnd, RegFileTy, WLoc
+
+        target = Loc("spin")
+        block = HCode((), RegFileTy(), NIL_STACK, QEnd(TInt(), NIL_STACK),
+                      seq(Jmp(WLoc(target))))
+        spin = Boundary(FInt(), Component(seq(Jmp(WLoc(target))),
+                                          ((target, block),)))
+        with pytest.raises(FuelExhausted):
+            evaluate_ft(BinOp("+", IntE(1), spin), fuel=2_000)
+
+    def test_f_divergence_exhausts(self):
+        fact = fig17_factorial.build_fact_f()
+        with pytest.raises(FuelExhausted):
+            evaluate_ft(App(fact, (IntE(-1),)), fuel=5_000)
+
+    def test_t_divergence_exhausts(self):
+        fact = fig17_factorial.build_fact_t()
+        with pytest.raises(FuelExhausted):
+            evaluate_ft(App(fact, (IntE(-1),)), fuel=5_000)
+
+
+class TestPaperPrograms:
+    def test_fig16_both_variants(self):
+        for build in (fig16_two_blocks.build_f1, fig16_two_blocks.build_f2):
+            for n in (0, 3, -4):
+                value, _ = evaluate_ft(App(build(), (IntE(n),)))
+                assert value == IntE(n + 2)
+
+    def test_fig17_factorials_agree(self):
+        ff = fig17_factorial.build_fact_f()
+        ft = fig17_factorial.build_fact_t()
+        for n in range(0, 7):
+            vf, _ = evaluate_ft(App(ff, (IntE(n),)))
+            vt, _ = evaluate_ft(App(ft, (IntE(n),)))
+            assert vf == vt == IntE(fig17_factorial.expected(n))
+
+    def test_fig11_jit_result(self):
+        value, _ = evaluate_ft(fig11_jit.build_jit())
+        assert value == IntE(fig11_jit.EXPECTED_RESULT)
+
+    def test_fig11_source_result(self):
+        from repro.f.eval import evaluate
+
+        assert evaluate(fig11_jit.build_source()) == \
+            IntE(fig11_jit.EXPECTED_RESULT)
+
+
+class TestTraces:
+    def test_boundary_events_emitted(self):
+        b = Boundary(FInt(), Component(seq(
+            Mv("r1", WInt(5)), Halt(TInt(), NIL_STACK, "r1"))))
+        _, machine = evaluate_ft(b, trace=True)
+        kinds = [ev.kind for ev in machine.trace]
+        assert "boundary" in kinds and "halt" in kinds
+
+    def test_fig12_shape(self):
+        """The Fig 12 control flow: the call into g's wrapper, the callback
+        call into lh, and the two shim returns."""
+        _, machine = evaluate_ft(fig11_jit.build_jit(), trace=True)
+        control = [(ev.kind, ev.pretty_label()) for ev in machine.trace
+                   if ev.kind in ("call", "ret", "jmp")]
+        # l calls g (wrapped), the wrapper calls back into lh, lh returns
+        # to the wrapper's lend, then lgret and lend unwind.
+        kinds = [k for k, _ in control]
+        assert kinds == ["call", "call", "call", "ret", "ret", "ret"]
+        targets = [t for _, t in control]
+        assert targets[0] == "l"
+        assert "lh" in targets
+        assert "lgret" in targets
+        assert targets.count("lend") == 2
+
+
+class TestRunComponentEntry:
+    def test_fuel_override(self):
+        machine = FTMachine(fuel=10)
+        comp = import_example.build()
+        halted = machine.run_component(comp, fuel=100_000)
+        assert halted.word == WInt(2)

@@ -1,0 +1,266 @@
+"""Unit tests for the FT multi-language type system (paper Fig 7):
+stack threading through F, boundaries, import, protect, stack lambdas."""
+
+import pytest
+
+from repro.errors import FTTypeError
+from repro.f.syntax import (
+    App, BinOp, FArrow, FInt, Fold, FRec, FTupleT, FTVar, FUnit, If0, IntE,
+    Lam, Proj, TupleE, Unfold, UnitE, Var,
+)
+from repro.ft.syntax import (
+    Boundary, FStackArrow, Import, Protect, StackDelta, StackLam,
+)
+from repro.ft.translate import type_translation
+from repro.ft.typecheck import check_ft_component, check_ft_expr, FTTypechecker
+from repro.papers_examples import (
+    fig11_jit, fig16_two_blocks, fig17_factorial, import_example, push7,
+)
+from repro.tal.syntax import (
+    Component, DeltaBind, Halt, KIND_ZETA, Mv, NIL_STACK, QEnd, QIdx, QReg,
+    RegFileTy, Salloc, seq, Sfree, Sst, StackTy, TInt, TUnit, WInt, WUnit,
+)
+from repro.tal.typecheck import InstrState
+
+
+class TestFRulesThreading:
+    def test_pure_forms_preserve_stack(self):
+        sigma = StackTy((TInt(),), None)
+        ty, out = check_ft_expr(BinOp("+", IntE(1), IntE(2)), sigma=sigma)
+        assert ty == FInt() and out == sigma
+
+    def test_if0_branches_must_leave_equal_stacks(self):
+        # then-branch pushes via a boundary, else-branch does not
+        push = Boundary(FUnit(), _push_component(),
+                        StackDelta(pushes=(TInt(),)))
+        e = If0(IntE(0), push, UnitE())
+        with pytest.raises(FTTypeError, match="stacks"):
+            check_ft_expr(e)
+
+    def test_if0_with_matching_effects_ok(self):
+        push = Boundary(FUnit(), _push_component(),
+                        StackDelta(pushes=(TInt(),)))
+        e = If0(IntE(0), push, push)
+        ty, out = check_ft_expr(e)
+        assert ty == FUnit() and out == StackTy((TInt(),), None)
+
+    def test_tuple_threads_left_to_right(self):
+        push = Boundary(FUnit(), _push_component(),
+                        StackDelta(pushes=(TInt(),)))
+        ty, out = check_ft_expr(TupleE((push, push)))
+        assert out == StackTy((TInt(), TInt()), None)
+
+    def test_unbound_variable(self):
+        with pytest.raises(FTTypeError, match="unbound"):
+            check_ft_expr(Var("x"))
+
+    def test_gamma_env(self):
+        ty, _ = check_ft_expr(Var("x"), gamma={"x": FInt()})
+        assert ty == FInt()
+
+
+class TestLambdas:
+    def test_plain_lambda_body_gets_fresh_abstract_stack(self):
+        # the body cannot read the caller's concrete stack
+        lam = Lam((("x", FInt()),), Var("x"))
+        ty, out = check_ft_expr(lam, sigma=StackTy((TInt(),), None))
+        assert ty == FArrow((FInt(),), FInt())
+        assert out == StackTy((TInt(),), None)  # the lambda itself is pure
+
+    def test_plain_lambda_body_must_restore_stack(self):
+        ill = push7.build_ill_typed()
+        with pytest.raises(FTTypeError, match="promises"):
+            check_ft_expr(ill)
+
+    def test_push7_stack_lambda_ok(self):
+        lam = push7.build()
+        ty, _ = check_ft_expr(lam)
+        assert isinstance(ty, FStackArrow)
+        assert ty.phi_out == (TInt(),)
+
+    def test_stack_lambda_application_consumes_prefix(self):
+        lam = push7.build()
+        app = App(lam, (IntE(1),))
+        ty, out = check_ft_expr(app)
+        assert ty == FUnit()
+        assert out == StackTy((TInt(),), None)
+
+    def test_stack_arrow_application_requires_prefix(self):
+        # a consumer requiring int:: on the stack, applied on empty stack
+        consumer = StackLam((("u", FUnit()),), UnitE(),
+                            phi_in=(TInt(),), phi_out=(TInt(),))
+        # its *body* is fine (pure), but applying it on nil must fail
+        with pytest.raises(FTTypeError, match="prefix"):
+            check_ft_expr(App(consumer, (UnitE(),)))
+
+    def test_duplicate_params_rejected(self):
+        with pytest.raises(FTTypeError, match="duplicate"):
+            check_ft_expr(Lam((("x", FInt()), ("x", FInt())), Var("x")))
+
+
+class TestBoundary:
+    def test_import_example_component(self):
+        comp = import_example.build()
+        ty, sigma = check_ft_component(comp, q=import_example.MARKER)
+        assert ty == TInt() and sigma == NIL_STACK
+
+    def test_boundary_infers_f_type(self):
+        comp = import_example.build()
+        ty, _ = check_ft_expr(Boundary(FInt(), comp))
+        assert ty == FInt()
+
+    def test_boundary_wrong_annotation_rejected(self):
+        comp = import_example.build()
+        with pytest.raises(FTTypeError):
+            check_ft_expr(Boundary(FUnit(), comp))
+
+    def test_boundary_pops_beyond_stack_rejected(self):
+        comp = import_example.build()
+        with pytest.raises(FTTypeError, match="pops"):
+            check_ft_expr(Boundary(FInt(), comp, StackDelta(pops=1)))
+
+    def test_boundary_checks_component_with_empty_chi(self):
+        # a component reading a register must fail even if the enclosing
+        # context has it typed
+        comp = Component(seq(Halt(TInt(), NIL_STACK, "r1")))
+        with pytest.raises(FTTypeError):
+            check_ft_expr(Boundary(FInt(), comp),
+                          chi=RegFileTy.of(r1=TInt()))
+
+
+class TestImportRule:
+    def test_marker_must_be_protected(self):
+        # marker in a register: import must be rejected
+        from repro.ft.translate import continuation_type
+
+        cont = continuation_type(TInt(), StackTy((), "z"))
+        checker = FTTypechecker()
+        st = InstrState((DeltaBind(KIND_ZETA, "z"),
+                         DeltaBind("eps", "e")),
+                        RegFileTy.of(ra=cont), StackTy((), "z"), QReg("ra"))
+        instr = Import("r1", StackTy((), "z"), FInt(), IntE(1))
+        with pytest.raises(FTTypeError, match="clobber"):
+            checker.step_instruction(st, instr)
+
+    def test_import_wipes_registers(self):
+        checker = FTTypechecker()
+        st = InstrState((), RegFileTy.of(r5=TUnit()), NIL_STACK,
+                        QEnd(TInt(), NIL_STACK))
+        out = checker.step_instruction(
+            st, Import("r1", NIL_STACK, FInt(), IntE(1)))
+        assert out.chi.registers() == ("r1",)
+        assert out.chi.get("r1") == TInt()
+
+    def test_import_type_annotation_checked(self):
+        checker = FTTypechecker()
+        st = InstrState((), RegFileTy(), NIL_STACK, QEnd(TInt(), NIL_STACK))
+        with pytest.raises(FTTypeError, match="annotation"):
+            checker.step_instruction(
+                st, Import("r1", NIL_STACK, FUnit(), IntE(1)))
+
+    def test_import_shifts_index_marker(self):
+        from repro.ft.translate import continuation_type
+
+        cont_ty = continuation_type(TInt(), StackTy((), "z"))
+        boxed = cont_ty
+        checker = FTTypechecker()
+        delta = (DeltaBind(KIND_ZETA, "z"), DeltaBind("eps", "e"))
+        # stack: int :: cont :: z ; marker at 1 (inside the protected tail)
+        sigma = StackTy((TInt(), boxed), "z")
+        st = InstrState(delta, RegFileTy(), sigma, QIdx(1))
+        # protect cont :: z ; the front is the single int
+        push_one = push7.build()
+        e = App(push_one, (IntE(3),))  # pushes one int inside
+        instr = Import("r1", StackTy((boxed,), "z"), FUnit(), e)
+        out = checker.step_instruction(st, instr)
+        # front grew from 1 to 2 -> marker moves from 1 to 2
+        assert out.q == QIdx(2)
+        assert out.sigma == StackTy((TInt(), TInt(), boxed), "z")
+
+    def test_import_protected_tail_must_match(self):
+        checker = FTTypechecker()
+        st = InstrState((), RegFileTy(), NIL_STACK, QEnd(TInt(), NIL_STACK))
+        with pytest.raises(FTTypeError, match="tail"):
+            checker.step_instruction(
+                st, Import("r1", StackTy((TInt(),), None), FInt(), IntE(1)))
+
+
+class TestProtectRule:
+    def _state(self, sigma, q, delta=()):
+        return InstrState(delta, RegFileTy(), sigma, q)
+
+    def test_abstracts_tail(self):
+        checker = FTTypechecker()
+        st = self._state(StackTy((TInt(), TUnit()), None),
+                         QEnd(TInt(), StackTy((TInt(), TUnit()), None)))
+        out = checker.step_instruction(st, Protect((TInt(),), "z"))
+        assert out.sigma == StackTy((TInt(),), "z")
+        assert out.delta[-1] == DeltaBind(KIND_ZETA, "z")
+        # the end marker's stack is re-expressed over z
+        assert out.q == QEnd(TInt(), StackTy((TInt(),), "z"))
+
+    def test_prefix_mismatch_rejected(self):
+        checker = FTTypechecker()
+        st = self._state(StackTy((TUnit(),), None),
+                         QEnd(TInt(), NIL_STACK))
+        with pytest.raises(FTTypeError, match="declared"):
+            checker.step_instruction(st, Protect((TInt(),), "z"))
+
+    def test_cannot_hide_marker_slot(self):
+        from repro.ft.translate import continuation_type
+
+        cont_ty = continuation_type(TInt(), StackTy((), "w"))
+        checker = FTTypechecker()
+        st = self._state(StackTy((cont_ty,), "w"), QIdx(0),
+                         delta=(DeltaBind(KIND_ZETA, "w"),
+                                DeltaBind("eps", "e")))
+        with pytest.raises(FTTypeError, match="hide"):
+            checker.step_instruction(st, Protect((), "z"))
+
+    def test_shadowing_binder_rejected(self):
+        checker = FTTypechecker()
+        st = self._state(StackTy((), "z"), QEnd(TInt(), StackTy((), "z")),
+                         delta=(DeltaBind(KIND_ZETA, "z"),))
+        with pytest.raises(FTTypeError, match="shadows"):
+            checker.step_instruction(st, Protect((), "z"))
+
+    def test_marker_stack_must_end_in_hidden_tail(self):
+        checker = FTTypechecker()
+        # marker promises a stack unrelated to what protect hides
+        st = self._state(StackTy((TInt(),), None),
+                         QEnd(TInt(), StackTy((), "w")),
+                         delta=(DeltaBind(KIND_ZETA, "w"),))
+        with pytest.raises(FTTypeError, match="tail"):
+            checker.step_instruction(st, Protect((TInt(),), "z"))
+
+
+class TestPaperExpressions:
+    @pytest.mark.parametrize("build,expected", [
+        (fig16_two_blocks.build_f1, "(int) -> int"),
+        (fig16_two_blocks.build_f2, "(int) -> int"),
+        (fig17_factorial.build_fact_f, "(int) -> int"),
+        (fig17_factorial.build_fact_t, "(int) -> int"),
+    ])
+    def test_paper_lambdas(self, build, expected):
+        ty, _ = check_ft_expr(build())
+        assert str(ty) == expected
+
+    def test_jit_program(self):
+        ty, sigma = check_ft_expr(fig11_jit.build_jit())
+        assert ty == FInt() and sigma == NIL_STACK
+
+    def test_jit_source_under_ft_judgment(self):
+        ty, _ = check_ft_expr(fig11_jit.build_source())
+        assert ty == FInt()
+
+
+def _push_component() -> Component:
+    """A stack-polymorphic push-7 component (usable on any stack)."""
+    return Component(seq(
+        Protect((), "z"),
+        Mv("r1", WInt(7)),
+        Salloc(1),
+        Sst(0, "r1"),
+        Mv("r1", WUnit()),
+        Halt(TUnit(), StackTy((TInt(),), "z"), "r1"),
+    ))

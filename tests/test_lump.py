@@ -1,0 +1,139 @@
+"""Tests for the foreign-pointer (lump) extension of paper section 6."""
+
+import pytest
+
+from repro.equiv.observation import canonical_value, observe
+from repro.errors import FTTypeError, MachineError
+from repro.f.syntax import (
+    App, BinOp, FArrow, FInt, FUnit, ftype_equal, IntE, is_value, Lam,
+    TupleE, UnitE, Var,
+)
+from repro.ft.lump import FLump, LumpVal, lump_type_of_ref
+from repro.ft.machine import evaluate_ft, FTMachine
+from repro.ft.translate import type_translation
+from repro.ft.typecheck import check_ft_expr, FTTypechecker
+from repro.stdlib.foreign import (
+    bump, counter_value, INT_CELL_LUMP, new_counter,
+)
+from repro.stdlib.prelude import let_
+from repro.surface.parser import parse_ftype
+from repro.tal.heap import Memory
+from repro.tal.syntax import (
+    HeapTy, HTuple, Loc, REF, TInt, TRef, TupleTy, TUnit, WInt, WLoc,
+)
+
+
+class TestLumpType:
+    def test_prints_and_parses(self):
+        ty = FLump((TInt(), TUnit()))
+        assert str(ty) == "L<int, unit>"
+        assert parse_ftype("L<int, unit>") == ty
+
+    def test_translation_is_mutable_ref(self):
+        assert type_translation(INT_CELL_LUMP) == TRef((TInt(),))
+
+    def test_equality(self):
+        assert ftype_equal(FLump((TInt(),)), FLump((TInt(),)))
+        assert not ftype_equal(FLump((TInt(),)), FLump((TUnit(),)))
+        assert not ftype_equal(FLump((TInt(),)), FInt())
+
+    def test_lump_of_ref(self):
+        assert lump_type_of_ref(TRef((TInt(),))) == FLump((TInt(),))
+        assert lump_type_of_ref(TInt()) is None
+
+
+class TestLumpValue:
+    def test_is_a_value(self):
+        assert is_value(LumpVal(Loc("l")))
+
+    def test_canonicalizes_opaquely(self):
+        assert canonical_value(LumpVal(Loc("l"))) == "<lump>"
+
+    def test_typed_from_psi(self):
+        from repro.tal.syntax import NIL_STACK, RegFileTy
+
+        loc = Loc("cell")
+        psi = HeapTy.of({loc: (REF, TupleTy((TInt(),)))})
+        checker = FTTypechecker(psi)
+        ty, _ = checker.check_fexpr((), RegFileTy(), NIL_STACK,
+                                    LumpVal(loc))
+        assert ty == FLump((TInt(),))
+
+    def test_untracked_location_rejected(self):
+        with pytest.raises(FTTypeError, match="unknown location"):
+            check_ft_expr(LumpVal(Loc("nowhere")))
+
+
+class TestBoundaryTranslation:
+    def test_round_trip(self):
+        mem = Memory()
+        loc = mem.alloc(HTuple((WInt(5),)), REF)
+        from repro.ft.boundary import f_to_t, t_to_f
+
+        v = t_to_f(WLoc(loc), INT_CELL_LUMP, mem)
+        assert v == LumpVal(loc)
+        assert f_to_t(v, INT_CELL_LUMP, mem) == WLoc(loc)
+
+    def test_immutable_tuple_rejected_as_lump(self):
+        from repro.ft.boundary import t_to_f
+        from repro.tal.syntax import BOX
+
+        mem = Memory()
+        loc = mem.alloc(HTuple((WInt(5),)), BOX)
+        with pytest.raises(MachineError, match="not a mutable"):
+            t_to_f(WLoc(loc), INT_CELL_LUMP, mem)
+
+
+class TestCounterLibrary:
+    def test_library_types(self):
+        assert str(check_ft_expr(new_counter())[0]) == "(int) -> L<int>"
+        assert str(check_ft_expr(bump())[0]) == "(L<int>) -> unit"
+        assert str(check_ft_expr(counter_value())[0]) == "(L<int>) -> int"
+
+    def _program(self, bumps: int):
+        # let c = new_counter(10) in (bump c; ...; value c)
+        body = App(counter_value(), (Var("c"),))
+        for i in range(bumps):
+            body = let_(f"u{i}", FUnit(), App(bump(), (Var("c"),)), body)
+        return let_("c", INT_CELL_LUMP,
+                    App(new_counter(), (IntE(10),)), body)
+
+    def test_counter_program_typechecks(self):
+        ty, _ = check_ft_expr(self._program(2))
+        assert ty == FInt()
+
+    @pytest.mark.parametrize("bumps", [0, 1, 3])
+    def test_counter_counts(self, bumps):
+        value, _ = evaluate_ft(self._program(bumps))
+        assert value == IntE(10 + bumps)
+
+    def test_aliasing_is_observable(self):
+        """Two F bindings to the *same* lump share state -- the section-6
+        caveat about lumps breaking referential transparency."""
+        prog = let_(
+            "c", INT_CELL_LUMP, App(new_counter(), (IntE(0),)),
+            let_("d", INT_CELL_LUMP, Var("c"),
+                 let_("u", FUnit(), App(bump(), (Var("c"),)),
+                      App(counter_value(), (Var("d"),)))))
+        value, _ = evaluate_ft(prog)
+        assert value == IntE(1)  # d saw c's write
+
+    def test_distinct_counters_do_not_alias(self):
+        prog = let_(
+            "c", INT_CELL_LUMP, App(new_counter(), (IntE(0),)),
+            let_("d", INT_CELL_LUMP, App(new_counter(), (IntE(100),)),
+                 let_("u", FUnit(), App(bump(), (Var("c"),)),
+                      BinOp("+", App(counter_value(), (Var("c"),)),
+                            App(counter_value(), (Var("d"),))))))
+        value, _ = evaluate_ft(prog)
+        assert value == IntE(101)
+
+    def test_lump_cannot_be_used_as_int(self):
+        prog = let_("c", INT_CELL_LUMP, App(new_counter(), (IntE(0),)),
+                    BinOp("+", Var("c"), IntE(1)))
+        with pytest.raises(FTTypeError):
+            check_ft_expr(prog)
+
+    def test_observation_of_lump_program(self):
+        obs = observe(self._program(2))
+        assert obs.kind == "halted" and obs.value == 12

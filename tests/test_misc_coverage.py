@@ -1,0 +1,156 @@
+"""Remaining corners: error formatting, operand resolution chains,
+FT threading through fold/tuple forms, and the prelude under FT typing."""
+
+import pytest
+
+from repro.errors import (
+    FTTypeError, FuelExhausted, FunTALError, MachineError, ParseError,
+)
+from repro.f.syntax import (
+    App, BinOp, FArrow, FInt, Fold, FRec, FTupleT, FUnit, IntE, Lam, Proj,
+    TupleE, Unfold, UnitE, Var,
+)
+from repro.ft.machine import evaluate_ft, FTMachine
+from repro.ft.syntax import Boundary, Protect
+from repro.ft.typecheck import check_ft_expr
+from repro.tal.machine import TalMachine
+from repro.tal.syntax import (
+    Component, Fold as TFold, Halt, Loc, Mv, NIL_STACK, Pack, QEnd,
+    RegOp, Salloc, seq, Sst, StackTy, TExists, TInt, TRec, TVar, TyApp,
+    WInt, WLoc,
+)
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_funtal_errors(self):
+        for cls in (FTTypeError, MachineError, ParseError, FuelExhausted):
+            assert issubclass(cls, FunTALError)
+
+    def test_type_error_carries_judgment_and_subject(self):
+        err = FTTypeError("boom", judgment="tal.instruction",
+                          subject="mv r1, 2")
+        text = str(err)
+        assert "boom" in text
+        assert "tal.instruction" in text
+        assert "mv r1, 2" in text
+
+    def test_fuel_exhausted_reports_budget(self):
+        assert "1234" in str(FuelExhausted(1234))
+
+    def test_parse_error_location_optional(self):
+        assert "at" not in str(ParseError("bad"))
+        assert "3:7" in str(ParseError("bad", 3, 7))
+
+
+class TestOperandResolution:
+    def test_tyapp_chain_accumulates_in_order(self):
+        machine = TalMachine()
+        loc = Loc("l")
+        machine.memory.set_reg(
+            "r1", TyApp(WLoc(loc), (TInt(),)))
+        target, omegas = machine.resolve_code_target(
+            TyApp(RegOp("r1"), (NIL_STACK,)))
+        assert target == loc
+        assert omegas == (TInt(), NIL_STACK)  # inner first
+
+    def test_pack_resolution_reads_registers(self):
+        machine = TalMachine()
+        machine.memory.set_reg("r1", WInt(9))
+        ex = TExists("a", TVar("a"))
+        resolved = machine.resolve(Pack(TInt(), RegOp("r1"), ex))
+        assert resolved == Pack(TInt(), WInt(9), ex)
+
+    def test_fold_resolution(self):
+        machine = TalMachine()
+        machine.memory.set_reg("r1", WInt(9))
+        mu = TRec("a", TInt())
+        assert machine.resolve(TFold(mu, RegOp("r1"))) == \
+            TFold(mu, WInt(9))
+
+    def test_resolve_int_rejects_non_int(self):
+        machine = TalMachine()
+        with pytest.raises(MachineError, match="integer"):
+            machine.resolve_int(WLoc(Loc("l")))
+
+
+class TestFTThreadingThroughDataForms:
+    def _push_boundary(self):
+        comp = Component(seq(
+            Protect((), "z"),
+            Mv("r1", WInt(7)),
+            Salloc(1),
+            Sst(0, "r1"),
+            Mv("r1", WInt(7)),
+            Halt(TInt(), StackTy((TInt(),), "z"), "r1")))
+        from repro.ft.syntax import StackDelta
+
+        return Boundary(FInt(), comp, StackDelta(pushes=(TInt(),)))
+
+    def test_fold_body_threads_stack(self):
+        mu = FRec("a", FInt())
+        e = Fold(mu, self._push_boundary())
+        ty, sigma = check_ft_expr(e)
+        assert ty == mu
+        assert sigma == StackTy((TInt(),), None)
+
+    def test_unfold_threads(self):
+        mu = FRec("a", FInt())
+        e = Unfold(Fold(mu, self._push_boundary()))
+        ty, sigma = check_ft_expr(e)
+        assert ty == FInt()
+        assert sigma.depth == 1
+
+    def test_proj_threads(self):
+        e = Proj(0, TupleE((self._push_boundary(), IntE(1))))
+        ty, sigma = check_ft_expr(e)
+        assert ty == FInt() and sigma.depth == 1
+
+    def test_runtime_agrees_with_typing(self):
+        e = Proj(0, TupleE((self._push_boundary(), IntE(1))))
+        value, machine = evaluate_ft(e)
+        assert value == IntE(7)
+        assert machine.memory.depth == 1
+
+
+class TestMachineMiscellany:
+    def test_steps_counted(self):
+        _, machine = evaluate_ft(BinOp("+", IntE(1), IntE(2)))
+        assert machine.steps >= 1
+
+    def test_fresh_memory_per_run(self):
+        m1 = FTMachine()
+        m2 = FTMachine()
+        m1.memory.set_reg("r1", WInt(1))
+        assert "r1" not in m2.memory.regs
+
+    def test_trace_disabled_by_default(self):
+        _, machine = evaluate_ft(BinOp("+", IntE(1), IntE(2)))
+        assert machine.trace == []
+
+    def test_memory_str_is_printable(self):
+        machine = FTMachine()
+        machine.memory.set_reg("r1", WInt(1))
+        machine.memory.push(WInt(2))
+        text = str(machine.memory)
+        assert "r1" in text and "2" in text
+
+
+class TestGammaScoping:
+    def test_shadowing_restores_outer_binding(self):
+        inner = Lam((("x", FUnit()),), Var("x"))
+        outer = Lam((("x", FInt()),),
+                    BinOp("+", Var("x"),
+                          App(Lam((("u", FUnit()),), IntE(0)),
+                              (App(inner, (UnitE(),)),))))
+        ty, _ = check_ft_expr(outer)
+        assert str(ty) == "(int) -> int"
+
+    def test_gamma_not_leaked_between_checks(self):
+        from repro.ft.typecheck import FTTypechecker
+        from repro.tal.syntax import RegFileTy
+
+        checker = FTTypechecker()
+        lam = Lam((("x", FInt()),), Var("x"))
+        checker.check_fexpr((), RegFileTy(), NIL_STACK, lam)
+        with pytest.raises(FTTypeError, match="unbound"):
+            checker.check_fexpr((), RegFileTy(), NIL_STACK, Var("x"))

@@ -1,0 +1,52 @@
+"""The README's quickstart code must actually work (docs-as-tests)."""
+
+from repro.f.syntax import App, FArrow, FInt, IntE, Lam, Var
+from repro.ft.machine import evaluate_ft
+from repro.ft.syntax import Boundary, Protect
+from repro.ft.translate import continuation_type, type_translation
+from repro.ft.typecheck import check_ft_expr
+from repro.tal.syntax import (
+    Aop, Component, DeltaBind, Halt, HCode, Loc, Mv, QReg, RegFileTy, Ret,
+    Sfree, Sld, StackTy, TInt, WInt, WLoc, seq,
+)
+
+
+def build_quickstart_double():
+    """Verbatim from README.md's quickstart section."""
+    arrow = FArrow((FInt(),), FInt())
+    zs = StackTy((), "z")
+    block = HCode(
+        (DeltaBind("zeta", "z"), DeltaBind("eps", "e")),
+        RegFileTy.of(ra=continuation_type(TInt(), zs)),
+        StackTy((TInt(),), "z"),
+        QReg("ra"),
+        seq(Sld("r1", 0), Aop("mul", "r1", "r1", WInt(2)),
+            Sfree(1), Ret("ra", "r1")))
+    comp = Component(
+        seq(Protect((), "z"), Mv("r1", WLoc(Loc("dbl"))),
+            Halt(type_translation(arrow), zs, "r1")),
+        ((Loc("dbl"), block),))
+    return Lam((("x", FInt()),), App(Boundary(arrow, comp), (Var("x"),)))
+
+
+def test_quickstart_types_as_advertised():
+    double = build_quickstart_double()
+    assert str(check_ft_expr(double)[0]) == "(int) -> int"
+
+
+def test_quickstart_evaluates_as_advertised():
+    double = build_quickstart_double()
+    value, _ = evaluate_ft(App(double, (IntE(21),)))
+    assert value == IntE(42)
+
+
+def test_quickstart_cli_line_works(capsys, tmp_path, monkeypatch):
+    import io
+    import sys
+
+    from repro.cli import main
+
+    monkeypatch.setattr(sys, "stdin",
+                        io.StringIO("(lam (x: int). (x * 2)) (21)"))
+    assert main(["run", "-"]) == 0
+    assert "value: 42" in capsys.readouterr().out

@@ -1,0 +1,115 @@
+"""Tests for runtime typing (``Psi |- w : tau``, ``Psi |- M``) -- the
+judgments behind the preservation property."""
+
+import pytest
+
+from repro.errors import FTTypeError
+from repro.tal.heap import Memory
+from repro.tal.machine import run_component, TalMachine
+from repro.tal.syntax import (
+    BOX, CodeType, Fold, HeapTy, HTuple, Loc, NIL_STACK, Pack, QEnd, REF,
+    RegFileTy, StackTy, TBox, TExists, TInt, TRec, TRef, TupleTy, TUnit,
+    TVar, WInt, WLoc, WUnit,
+)
+from repro.tal.typecheck import check_memory, type_of_word
+
+
+class TestWordTyping:
+    def test_literals(self):
+        assert type_of_word(HeapTy(), WInt(3)) == TInt()
+        assert type_of_word(HeapTy(), WUnit()) == TUnit()
+
+    def test_box_location(self):
+        loc = Loc("l")
+        psi = HeapTy.of({loc: (BOX, TupleTy((TInt(),)))})
+        assert type_of_word(psi, WLoc(loc)) == TBox(TupleTy((TInt(),)))
+
+    def test_ref_location(self):
+        loc = Loc("l")
+        psi = HeapTy.of({loc: (REF, TupleTy((TInt(),)))})
+        assert type_of_word(psi, WLoc(loc)) == TRef((TInt(),))
+
+    def test_pack_word(self):
+        ex = TExists("a", TVar("a"))
+        assert type_of_word(HeapTy(), Pack(TInt(), WInt(1), ex)) == ex
+
+    def test_fold_word(self):
+        mu = TRec("a", TInt())
+        assert type_of_word(HeapTy(), Fold(mu, WInt(1))) == mu
+
+    def test_dangling_rejected(self):
+        with pytest.raises(FTTypeError):
+            type_of_word(HeapTy(), WLoc(Loc("nowhere")))
+
+
+class TestMemoryTyping:
+    def _memory(self):
+        mem = Memory()
+        loc = mem.alloc(HTuple((WInt(1), WUnit())), REF)
+        mem.set_reg("r1", WInt(5))
+        mem.push(WInt(9), WLoc(loc))
+        return mem, loc
+
+    def test_consistent_memory_accepted(self):
+        mem, loc = self._memory()
+        psi = HeapTy.of({loc: (REF, TupleTy((TInt(), TUnit())))})
+        chi = RegFileTy.of(r1=TInt())
+        sigma = StackTy((TInt(), TRef((TInt(), TUnit()))), None)
+        check_memory(
+            psi, [(loc, REF, mem.heap[loc].value)], mem.regs, chi,
+            mem.stack, sigma)
+
+    def test_register_type_mismatch_detected(self):
+        mem, loc = self._memory()
+        psi = HeapTy.of({loc: (REF, TupleTy((TInt(), TUnit())))})
+        chi = RegFileTy.of(r1=TUnit())
+        with pytest.raises(FTTypeError, match="register r1"):
+            check_memory(psi, [], mem.regs, chi, mem.stack, NIL_STACK)
+
+    def test_missing_register_detected(self):
+        mem, _ = self._memory()
+        chi = RegFileTy.of(r2=TInt())
+        with pytest.raises(FTTypeError, match="unset"):
+            check_memory(HeapTy(), [], mem.regs, chi, mem.stack,
+                         NIL_STACK)
+
+    def test_stack_slot_mismatch_detected(self):
+        mem, loc = self._memory()
+        psi = HeapTy.of({loc: (REF, TupleTy((TInt(), TUnit())))})
+        sigma = StackTy((TUnit(),), None)
+        with pytest.raises(FTTypeError, match="slot 0"):
+            check_memory(psi, [], mem.regs, RegFileTy(), mem.stack, sigma)
+
+    def test_stack_depth_shortfall_detected(self):
+        sigma = StackTy((TInt(),), None)
+        with pytest.raises(FTTypeError, match="exposes"):
+            check_memory(HeapTy(), [], {}, RegFileTy(), [], sigma)
+
+    def test_mutability_mismatch_detected(self):
+        mem, loc = self._memory()
+        psi = HeapTy.of({loc: (BOX, TupleTy((TInt(), TUnit())))})
+        with pytest.raises(FTTypeError, match="mutability"):
+            check_memory(psi, [(loc, REF, mem.heap[loc].value)], {},
+                         RegFileTy(), [], NIL_STACK)
+
+
+class TestPreservationAtHalt:
+    """After running well-typed programs, the observable memory satisfies
+    the halt annotation -- preservation, observed."""
+
+    def test_fig3_final_memory(self):
+        from repro.papers_examples.fig3_call_to_call import build
+
+        halted, machine = run_component(build())
+        # the halt promised: int in r1, empty stack
+        assert type_of_word(HeapTy(), halted.word) == TInt()
+        assert machine.memory.depth == 0
+
+    def test_random_programs_preserve_annotations(self):
+        from tests.strategies import random_t_program
+
+        for seed in range(40):
+            comp = random_t_program(seed)
+            halted, machine = run_component(comp)
+            assert type_of_word(HeapTy(), halted.word) == halted.ty
+            assert machine.memory.depth == len(halted.sigma.prefix)

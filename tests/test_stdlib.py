@@ -1,0 +1,135 @@
+"""Tests for the stdlib: the mutable-cell library and the prelude."""
+
+import pytest
+
+from repro.errors import FTTypeError
+from repro.f.syntax import (
+    App, BinOp, FArrow, FInt, FUnit, IntE, UnitE, Var,
+)
+from repro.ft.machine import evaluate_ft, FTMachine
+from repro.ft.syntax import FStackArrow
+from repro.ft.typecheck import check_ft_expr
+from repro.stdlib.prelude import compose, const_, identity, let_, seq_cell, twice
+from repro.stdlib.refs import alloc_cell, free_cell, read_cell, write_cell
+from repro.tal.syntax import NIL_STACK, StackTy, TInt, WInt
+
+INT_CELL = (TInt(),)
+
+
+class TestPrelude:
+    def test_identity(self):
+        value, _ = evaluate_ft(App(identity(FInt()), (IntE(4),)))
+        assert value == IntE(4)
+
+    def test_const(self):
+        k = const_(FInt(), IntE(9), FUnit())
+        value, _ = evaluate_ft(App(k, (UnitE(),)))
+        assert value == IntE(9)
+
+    def test_compose(self):
+        from repro.f.syntax import Lam
+
+        inc = Lam((("x", FInt()),), BinOp("+", Var("x"), IntE(1)))
+        dbl = Lam((("x", FInt()),), BinOp("*", Var("x"), IntE(2)))
+        f = compose(inc, dbl, FInt(), FInt(), FInt())
+        value, _ = evaluate_ft(App(f, (IntE(5),)))
+        assert value == IntE(11)
+
+    def test_twice(self):
+        from repro.f.syntax import Lam
+
+        inc = Lam((("x", FInt()),), BinOp("+", Var("x"), IntE(1)))
+        value, _ = evaluate_ft(App(twice(inc, FInt()), (IntE(0),)))
+        assert value == IntE(2)
+
+    def test_let(self):
+        e = let_("x", FInt(), IntE(3), BinOp("*", Var("x"), Var("x")))
+        assert check_ft_expr(e)[0] == FInt()
+        value, _ = evaluate_ft(e)
+        assert value == IntE(9)
+
+
+class TestCellLibraryTypes:
+    def test_alloc_type(self):
+        ty, _ = check_ft_expr(alloc_cell())
+        assert isinstance(ty, FStackArrow)
+        assert ty.phi_in == () and ty.phi_out == (TInt(),)
+
+    def test_read_type(self):
+        ty, _ = check_ft_expr(read_cell())
+        assert ty.phi_in == (TInt(),) and ty.phi_out == (TInt(),)
+        assert ty.result == FInt()
+
+    def test_write_type(self):
+        ty, _ = check_ft_expr(write_cell())
+        assert ty.result == FUnit()
+
+    def test_free_type(self):
+        ty, _ = check_ft_expr(free_cell())
+        assert ty.phi_in == (TInt(),) and ty.phi_out == ()
+
+
+class TestCellLibraryBehaviour:
+    def _with_cell(self, init, body, out_prefix=()):
+        return seq_cell(App(alloc_cell(), (IntE(init),)), "_", FUnit(),
+                        body, INT_CELL, out_prefix)
+
+    def test_alloc_read(self):
+        prog = self._with_cell(
+            11,
+            seq_cell(App(read_cell(), (UnitE(),)), "v", FInt(),
+                     seq_cell(App(free_cell(), (UnitE(),)), "_2", FUnit(),
+                              Var("v"), (), ()),
+                     INT_CELL, ()))
+        ty, sigma = check_ft_expr(prog)
+        assert ty == FInt() and sigma == NIL_STACK
+        value, _ = evaluate_ft(prog)
+        assert value == IntE(11)
+
+    def test_write_then_read(self):
+        prog = self._with_cell(
+            1,
+            seq_cell(App(write_cell(), (IntE(99),)), "_w", FUnit(),
+                     seq_cell(App(read_cell(), (UnitE(),)), "v", FInt(),
+                              seq_cell(App(free_cell(), (UnitE(),)),
+                                       "_f", FUnit(), Var("v"), (), ()),
+                              INT_CELL, ()),
+                     INT_CELL, ()))
+        value, _ = evaluate_ft(prog)
+        assert value == IntE(99)
+
+    def test_increment(self):
+        prog = self._with_cell(
+            5,
+            seq_cell(App(read_cell(), (UnitE(),)), "v", FInt(),
+                     seq_cell(App(write_cell(),
+                                  (BinOp("+", Var("v"), IntE(1)),)),
+                              "_w", FUnit(),
+                              seq_cell(App(read_cell(), (UnitE(),)), "w",
+                                       FInt(),
+                                       seq_cell(App(free_cell(),
+                                                    (UnitE(),)),
+                                                "_f", FUnit(), Var("w"),
+                                                (), ()),
+                                       INT_CELL, ()),
+                              INT_CELL, ()),
+                     INT_CELL, ()))
+        value, machine = evaluate_ft(prog)
+        assert value == IntE(6)
+        assert machine.memory.depth == 0  # the cell was freed
+
+    def test_leaking_cell_reflects_in_type(self):
+        # not freeing the cell leaves int on the output stack typing
+        prog = self._with_cell(
+            3,
+            seq_cell(App(read_cell(), (UnitE(),)), "v", FInt(),
+                     Var("v"), INT_CELL, INT_CELL),
+            out_prefix=INT_CELL)
+        ty, sigma = check_ft_expr(prog)
+        assert sigma == StackTy((TInt(),), None)
+        _, machine = evaluate_ft(prog)
+        assert machine.memory.snapshot_stack() == (WInt(3),)
+
+    def test_reading_without_cell_rejected(self):
+        with pytest.raises(FTTypeError):
+            check_ft_expr(App(read_cell(), (UnitE(),)))

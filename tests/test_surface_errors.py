@@ -1,0 +1,100 @@
+"""Error-path tests for the surface syntax: every parse failure is a
+located :class:`ParseError`, never a crash."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.surface.parser import (
+    parse_component, parse_fexpr, parse_ftype, parse_instr_seq,
+    parse_program, parse_ttype,
+)
+
+
+BAD_FTYPES = [
+    "", "->", "(int ->", "(int) ->", "mu . int", "mu a int",
+    "<int,", "(int) [int] -> int",
+]
+
+BAD_TTYPES = [
+    "", "exists . a", "ref int", "box", "box forall[.{.; nil} out",
+    "box forall[].{r1 int; nil} out",
+    "box forall[].{.; int} out",          # stack must end in nil/var
+    "box forall[].{.; nil}",              # missing marker
+]
+
+BAD_EXPRS = [
+    "", "(", "if0 1 {2}", "lam (x int). x", "lam (x: int) x",
+    "fold[int 3", "pi1(", "<1, ", "FT[int(mv r1, 1; halt int, nil {r1}, .)",
+    "1 +",
+]
+
+BAD_INSTRS = [
+    "", "mv r1", "mv r9, 1", "sst r1, 0", "ld r1, r2[x]",
+    "call l {nil}", "halt int {r1}", "ret ra", "unpack <a r1> r2",
+    "import r1, nil TF[int] 1; halt int, nil {r1}",  # expr needs parens
+    "mv r1, 1",                                       # no terminator
+]
+
+BAD_COMPONENTS = [
+    "", "(jmp l", "(jmp l, )", "(jmp l, {l code[]{.; nil} out. jmp l})",
+    "(jmp l, {l -> <1, })",
+]
+
+
+@pytest.mark.parametrize("src", BAD_FTYPES)
+def test_bad_ftypes(src):
+    with pytest.raises(ParseError):
+        parse_ftype(src)
+
+
+@pytest.mark.parametrize("src", BAD_TTYPES)
+def test_bad_ttypes(src):
+    with pytest.raises(ParseError):
+        parse_ttype(src)
+
+
+@pytest.mark.parametrize("src", BAD_EXPRS)
+def test_bad_exprs(src):
+    with pytest.raises(ParseError):
+        parse_fexpr(src)
+
+
+@pytest.mark.parametrize("src", BAD_INSTRS)
+def test_bad_instrs(src):
+    with pytest.raises(ParseError):
+        parse_instr_seq(src)
+
+
+@pytest.mark.parametrize("src", BAD_COMPONENTS)
+def test_bad_components(src):
+    with pytest.raises(ParseError):
+        parse_component(src)
+
+
+class TestErrorLocations:
+    def test_line_and_column_reported(self):
+        try:
+            parse_fexpr("lam (x: int).\n  (x +")
+        except ParseError as err:
+            assert err.line == 2
+            assert "2:" in str(err)
+        else:  # pragma: no cover
+            pytest.fail("expected a ParseError")
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            parse_fexpr("1 @ 2")
+
+    def test_trailing_input_flagged(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse_fexpr("1 2 3 }")
+
+
+class TestParseProgramFallback:
+    def test_empty_input(self):
+        with pytest.raises(ParseError):
+            parse_program("")
+
+    def test_component_error_stays_component_error(self):
+        with pytest.raises(ParseError):
+            parse_program("(mv r1, ; halt int, nil {r1}, .)")

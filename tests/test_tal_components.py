@@ -1,0 +1,149 @@
+"""Component-level typing tests: local heap fragments, sequence threading,
+and the paper's complete T programs (Fig 3, section-3 snippets)."""
+
+import pytest
+
+from repro.errors import FTTypeError
+from repro.papers_examples import fig3_call_to_call, sec3_sequences
+from repro.tal.syntax import (
+    BOX, CodeType, Component, DeltaBind, Halt, HCode, HeapTy, HTuple, Jmp,
+    KIND_EPS, KIND_ZETA, Ld, Loc, Mv, NIL_STACK, QEnd, QEps, QIdx, QReg,
+    RegFileTy, RegOp, Ret, Salloc, seq, Sst, StackTy, TBox, TInt, TupleTy,
+    TUnit, TVar, WInt, WLoc,
+)
+from repro.tal.typecheck import (
+    check_component, check_program, InstrState, TalTypechecker,
+)
+
+END_INT = QEnd(TInt(), NIL_STACK)
+
+
+class TestSequenceThreading:
+    def test_paper_sequence_example_states(self):
+        """The section-3 table: each postcondition feeds the next."""
+        states = sec3_sequences.sequence_example_states()
+        labels = [label for label, _ in states]
+        assert labels == ["(start)", "mv r1, 42", "salloc 1", "sst 0, r1"]
+        after_mv = states[1][1]
+        assert after_mv.chi.get("r1") == TInt()
+        assert after_mv.sigma == NIL_STACK
+        after_salloc = states[2][1]
+        assert after_salloc.sigma == StackTy((TUnit(),), None)
+        after_sst = states[3][1]
+        assert after_sst.sigma == StackTy((TInt(),), None)
+
+    def test_marker_restriction_checked_between_instructions(self):
+        # after sfree the end-marker stack no longer matches; the halt fails
+        comp = Component(seq(
+            Salloc(1),
+            Mv("r1", WInt(1)),
+            Halt(TInt(), NIL_STACK, "r1")))
+        with pytest.raises(FTTypeError):
+            check_program(comp, TInt())
+
+
+class TestComponentTyping:
+    def test_trivial_halt_program(self):
+        comp = Component(seq(Mv("r1", WInt(7)),
+                             Halt(TInt(), NIL_STACK, "r1")))
+        ty, sigma = check_program(comp, TInt())
+        assert ty == TInt() and sigma == NIL_STACK
+
+    def test_component_result_is_ret_type_of_marker(self):
+        comp = Component(seq(Mv("r1", WInt(7)),
+                             Halt(TInt(), NIL_STACK, "r1")))
+        ty, sigma = check_component(comp, q=END_INT)
+        assert (ty, sigma) == (TInt(), NIL_STACK)
+
+    def test_component_requires_marker(self):
+        comp = Component(seq(Mv("r1", WInt(7)),
+                             Halt(TInt(), NIL_STACK, "r1")))
+        with pytest.raises(FTTypeError, match="return marker"):
+            check_component(comp, q=None)
+
+    def test_local_block_jump(self):
+        target = Loc("l")
+        block = HCode((), RegFileTy.of(r1=TInt()), NIL_STACK, END_INT,
+                      seq(Halt(TInt(), NIL_STACK, "r1")))
+        comp = Component(seq(Mv("r1", WInt(3)), Jmp(WLoc(target))),
+                         ((target, block),))
+        assert check_program(comp, TInt())[0] == TInt()
+
+    def test_ill_typed_local_block_rejected(self):
+        target = Loc("l")
+        block = HCode((), RegFileTy(), NIL_STACK, END_INT,
+                      seq(Halt(TInt(), NIL_STACK, "r1")))  # r1 unset
+        comp = Component(seq(Mv("r1", WInt(3)), Jmp(WLoc(target))),
+                         ((target, block),))
+        with pytest.raises(FTTypeError):
+            check_program(comp, TInt())
+
+    def test_local_data_tuple(self):
+        data = Loc("data")
+        comp = Component(seq(
+            Mv("r2", WLoc(data)),
+            Ld("r1", "r2", 1),
+            Halt(TInt(), NIL_STACK, "r1"),
+        ), ((data, HTuple((WInt(10), WInt(20)))),))
+        assert check_program(comp, TInt())[0] == TInt()
+
+    def test_local_tuple_may_reference_block(self):
+        block_loc, data_loc = Loc("blk"), Loc("data")
+        block = HCode((), RegFileTy.of(r1=TInt()), NIL_STACK, END_INT,
+                      seq(Halt(TInt(), NIL_STACK, "r1")))
+        comp = Component(seq(
+            Mv("r2", WLoc(data_loc)),
+            Ld("r3", "r2", 0),
+            Mv("r1", WInt(1)),
+            Jmp(RegOp("r3")),
+        ), ((block_loc, block), (data_loc, HTuple((WLoc(block_loc),)))))
+        assert check_program(comp, TInt())[0] == TInt()
+
+    def test_label_shadowing_global_rejected(self):
+        label = Loc("l")
+        psi = HeapTy.of({label: (BOX, TupleTy((TInt(),)))})
+        comp = Component(seq(Mv("r1", WInt(1)),
+                             Halt(TInt(), NIL_STACK, "r1")),
+                         ((label, HTuple((WInt(1),))),))
+        with pytest.raises(FTTypeError, match="shadows"):
+            check_component(comp, psi=psi, q=END_INT)
+
+
+class TestPaperPrograms:
+    def test_fig3_typechecks_at_int(self):
+        comp = fig3_call_to_call.build()
+        ty, sigma = check_program(comp, TInt())
+        assert ty == TInt() and sigma == NIL_STACK
+
+    def test_fig3_broken_marker_rejected(self):
+        """Mutating l2ret's declared marker from 0 to ra must fail."""
+        comp = fig3_call_to_call.build()
+        heap = dict(comp.heap)
+        l2ret = heap[fig3_call_to_call.L2RET]
+        heap[fig3_call_to_call.L2RET] = HCode(
+            l2ret.delta, l2ret.chi, l2ret.sigma, QReg("ra"), l2ret.instrs)
+        broken = Component(comp.instrs, tuple(heap.items()))
+        with pytest.raises(FTTypeError):
+            check_program(broken, TInt())
+
+    def test_sec3_sequence_program(self):
+        comp = sec3_sequences.build_sequence_program()
+        ty, sigma = check_component(
+            comp, q=QEnd(TInt(), StackTy((TInt(),), None)))
+        assert ty == TInt()
+        assert sigma == StackTy((TInt(),), None)
+
+    def test_sec3_jmp_program(self):
+        comp = sec3_sequences.build_jmp_program()
+        ty, _ = check_component(comp, q=QEnd(TUnit(), NIL_STACK))
+        assert ty == TUnit()
+
+    def test_sec3_call_program(self):
+        comp = sec3_sequences.build_call_program()
+        ty, _ = check_program(comp, TInt())
+        assert ty == TInt()
+
+    def test_fig3_wrong_expected_type_rejected(self):
+        comp = fig3_call_to_call.build()
+        with pytest.raises(FTTypeError):
+            check_program(comp, TUnit())

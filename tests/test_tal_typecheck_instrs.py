@@ -1,0 +1,393 @@
+"""Per-rule unit tests for T instruction typing (paper Fig 2).
+
+Each class covers one instruction, including the return-marker bookkeeping
+that is the paper's central contribution: the two ``mv`` cases, the
+``sld``/``sst`` marker moves, the index shifts of stack allocation, and
+the never-clobber-the-marker guards.
+"""
+
+import pytest
+
+from repro.errors import FTTypeError
+from repro.tal.syntax import (
+    Aop, Balloc, Bnz, BOX, CodeType, DeltaBind, HeapTy, KIND_ALPHA,
+    KIND_EPS, KIND_ZETA, Ld, Loc, Mv, NIL_STACK, Pack, QEnd, QEps, QIdx,
+    QReg, Ralloc, REF, RegFileTy, RegOp, Salloc, Sfree, Sld, Sst, St,
+    StackTy, TBox, TExists, TInt, TRec, TRef, TupleTy, TUnit, TVar, TyApp,
+    UnfoldI, Unpack, WInt, WLoc, WUnit,
+)
+from repro.tal.typecheck import InstrState, TalTypechecker
+
+ZE = (DeltaBind(KIND_ZETA, "z"), DeltaBind(KIND_EPS, "e"))
+END_INT = QEnd(TInt(), NIL_STACK)
+
+
+def cont(tail="z"):
+    return TBox(CodeType((), RegFileTy.of(r1=TInt()),
+                         StackTy((), tail), QEps("e")))
+
+
+@pytest.fixture
+def checker():
+    return TalTypechecker()
+
+
+def state(chi=None, sigma=NIL_STACK, q=END_INT, delta=()):
+    return InstrState(delta, chi if chi is not None else RegFileTy(),
+                      sigma, q)
+
+
+class TestOperandTyping:
+    def test_literals(self, checker):
+        assert checker.type_of_operand((), RegFileTy(), WUnit()) == TUnit()
+        assert checker.type_of_operand((), RegFileTy(), WInt(3)) == TInt()
+
+    def test_register(self, checker):
+        chi = RegFileTy.of(r1=TInt())
+        assert checker.type_of_operand((), chi, RegOp("r1")) == TInt()
+
+    def test_unset_register_fails(self, checker):
+        with pytest.raises(FTTypeError, match="not in chi"):
+            checker.type_of_operand((), RegFileTy(), RegOp("r1"))
+
+    def test_box_location(self):
+        psi = HeapTy.of({Loc("l"): (BOX, TupleTy((TInt(),)))})
+        ty = TalTypechecker(psi).type_of_operand(
+            (), RegFileTy(), WLoc(Loc("l")))
+        assert ty == TBox(TupleTy((TInt(),)))
+
+    def test_ref_location(self):
+        psi = HeapTy.of({Loc("l"): (REF, TupleTy((TInt(),)))})
+        ty = TalTypechecker(psi).type_of_operand(
+            (), RegFileTy(), WLoc(Loc("l")))
+        assert ty == TRef((TInt(),))
+
+    def test_dangling_location_fails(self, checker):
+        with pytest.raises(FTTypeError, match="not in Psi"):
+            checker.type_of_operand((), RegFileTy(), WLoc(Loc("l")))
+
+    def test_pack(self, checker):
+        ex = TExists("a", TVar("a"))
+        ty = checker.type_of_operand((), RegFileTy(),
+                                     Pack(TInt(), WInt(1), ex))
+        assert ty == ex
+
+    def test_pack_body_mismatch(self, checker):
+        ex = TExists("a", TVar("a"))
+        with pytest.raises(FTTypeError, match="pack body"):
+            checker.type_of_operand((), RegFileTy(),
+                                    Pack(TUnit(), WInt(1), ex))
+
+    def test_pack_non_existential_annotation(self, checker):
+        with pytest.raises(FTTypeError, match="not existential"):
+            checker.type_of_operand((), RegFileTy(),
+                                    Pack(TInt(), WInt(1), TInt()))
+
+    def test_fold(self, checker):
+        from repro.tal.syntax import Fold
+
+        mu = TRec("a", TInt())
+        ty = checker.type_of_operand((), RegFileTy(), Fold(mu, WInt(1)))
+        assert ty == mu
+
+    def test_tyapp_partial(self):
+        ct = CodeType(ZE, RegFileTy.of(ra=cont()), StackTy((), "z"),
+                      QReg("ra"))
+        psi = HeapTy.of({Loc("l"): (BOX, ct)})
+        u = TyApp(WLoc(Loc("l")), (NIL_STACK,))
+        ty = TalTypechecker(psi).type_of_operand((), RegFileTy(), u)
+        assert isinstance(ty, TBox) and isinstance(ty.psi, CodeType)
+        assert len(ty.psi.delta) == 1
+
+    def test_tyapp_to_non_code_fails(self, checker):
+        with pytest.raises(FTTypeError, match="non-code"):
+            checker.type_of_operand((), RegFileTy(),
+                                    TyApp(WInt(1), (TInt(),)))
+
+    def test_tyapp_too_many_fails(self):
+        ct = CodeType((), RegFileTy(), NIL_STACK, END_INT)
+        psi = HeapTy.of({Loc("l"): (BOX, ct)})
+        with pytest.raises(FTTypeError, match="too many"):
+            TalTypechecker(psi).type_of_operand(
+                (), RegFileTy(), TyApp(WLoc(Loc("l")), (TInt(),)))
+
+
+class TestMv:
+    def test_ordinary_move(self, checker):
+        out = checker.step_instruction(state(), Mv("r1", WInt(5)))
+        assert out.chi.get("r1") == TInt()
+        assert out.q == END_INT
+
+    def test_moving_the_marker_relocates_it(self, checker):
+        chi = RegFileTy.of(ra=cont())
+        st = state(chi, StackTy((), "z"), QReg("ra"), ZE)
+        out = checker.step_instruction(st, Mv("r3", RegOp("ra")))
+        assert out.q == QReg("r3")
+        assert out.chi.get("r3") == cont()
+
+    def test_clobbering_the_marker_fails(self, checker):
+        chi = RegFileTy.of(ra=cont())
+        st = state(chi, StackTy((), "z"), QReg("ra"), ZE)
+        with pytest.raises(FTTypeError, match="overwrite the return marker"):
+            checker.step_instruction(st, Mv("ra", WInt(1)))
+
+    def test_self_move_of_marker_keeps_it(self, checker):
+        chi = RegFileTy.of(ra=cont())
+        st = state(chi, StackTy((), "z"), QReg("ra"), ZE)
+        out = checker.step_instruction(st, Mv("ra", RegOp("ra")))
+        assert out.q == QReg("ra")
+
+
+class TestAop:
+    def test_basic(self, checker):
+        chi = RegFileTy.of(r2=TInt())
+        out = checker.step_instruction(state(chi),
+                                       Aop("add", "r1", "r2", WInt(1)))
+        assert out.chi.get("r1") == TInt()
+
+    def test_register_operand(self, checker):
+        chi = RegFileTy.of(r2=TInt(), r3=TInt())
+        out = checker.step_instruction(state(chi),
+                                       Aop("mul", "r1", "r2", RegOp("r3")))
+        assert out.chi.get("r1") == TInt()
+
+    def test_source_must_be_int(self, checker):
+        chi = RegFileTy.of(r2=TUnit())
+        with pytest.raises(FTTypeError, match="expected int"):
+            checker.step_instruction(state(chi),
+                                     Aop("add", "r1", "r2", WInt(1)))
+
+    def test_operand_must_be_int(self, checker):
+        chi = RegFileTy.of(r2=TInt())
+        with pytest.raises(FTTypeError, match="expected int"):
+            checker.step_instruction(state(chi),
+                                     Aop("add", "r1", "r2", WUnit()))
+
+    def test_cannot_target_marker(self, checker):
+        chi = RegFileTy.of(ra=cont(), r2=TInt())
+        st = state(chi, StackTy((), "z"), QReg("ra"), ZE)
+        with pytest.raises(FTTypeError, match="overwrite"):
+            checker.step_instruction(st, Aop("add", "ra", "r2", WInt(1)))
+
+
+class TestBnz:
+    def _target_psi(self, q):
+        ct = CodeType((), RegFileTy.of(r1=TInt()), NIL_STACK, q)
+        return HeapTy.of({Loc("l"): (BOX, ct)})
+
+    def test_same_marker_ok(self):
+        checker = TalTypechecker(self._target_psi(END_INT))
+        chi = RegFileTy.of(r1=TInt())
+        out = checker.step_instruction(state(chi),
+                                       Bnz("r1", WLoc(Loc("l"))))
+        assert out == state(chi)
+
+    def test_marker_mismatch_fails(self):
+        checker = TalTypechecker(self._target_psi(QEnd(TUnit(), NIL_STACK)))
+        chi = RegFileTy.of(r1=TInt())
+        with pytest.raises(FTTypeError, match="intra-component"):
+            checker.step_instruction(state(chi), Bnz("r1", WLoc(Loc("l"))))
+
+    def test_scrutinee_must_be_int(self):
+        checker = TalTypechecker(self._target_psi(END_INT))
+        chi = RegFileTy.of(r1=TUnit())
+        with pytest.raises(FTTypeError, match="scrutinee"):
+            checker.step_instruction(state(chi), Bnz("r1", WLoc(Loc("l"))))
+
+    def test_register_subtyping_allows_extra(self):
+        checker = TalTypechecker(self._target_psi(END_INT))
+        chi = RegFileTy.of(r1=TInt(), r5=TUnit())
+        checker.step_instruction(state(chi), Bnz("r1", WLoc(Loc("l"))))
+
+    def test_missing_required_register_fails(self):
+        ct = CodeType((), RegFileTy.of(r1=TInt(), r2=TInt()), NIL_STACK,
+                      END_INT)
+        checker = TalTypechecker(HeapTy.of({Loc("l"): (BOX, ct)}))
+        chi = RegFileTy.of(r1=TInt())
+        with pytest.raises(FTTypeError, match="required at type"):
+            checker.step_instruction(state(chi), Bnz("r1", WLoc(Loc("l"))))
+
+    def test_uninstantiated_target_fails(self):
+        ct = CodeType(ZE, RegFileTy.of(r1=TInt()), StackTy((), "z"),
+                      QEps("e"))
+        checker = TalTypechecker(HeapTy.of({Loc("l"): (BOX, ct)}))
+        chi = RegFileTy.of(r1=TInt())
+        with pytest.raises(FTTypeError, match="instantiate"):
+            checker.step_instruction(state(chi), Bnz("r1", WLoc(Loc("l"))))
+
+
+class TestLdSt:
+    def test_ld_from_ref(self, checker):
+        chi = RegFileTy.of(r2=TRef((TInt(), TUnit())))
+        out = checker.step_instruction(state(chi), Ld("r1", "r2", 1))
+        assert out.chi.get("r1") == TUnit()
+
+    def test_ld_from_box(self, checker):
+        chi = RegFileTy.of(r2=TBox(TupleTy((TInt(),))))
+        out = checker.step_instruction(state(chi), Ld("r1", "r2", 0))
+        assert out.chi.get("r1") == TInt()
+
+    def test_ld_index_out_of_range(self, checker):
+        chi = RegFileTy.of(r2=TRef((TInt(),)))
+        with pytest.raises(FTTypeError, match="out of range"):
+            checker.step_instruction(state(chi), Ld("r1", "r2", 1))
+
+    def test_ld_from_non_tuple(self, checker):
+        chi = RegFileTy.of(r2=TInt())
+        with pytest.raises(FTTypeError, match="tuple"):
+            checker.step_instruction(state(chi), Ld("r1", "r2", 0))
+
+    def test_st_to_ref(self, checker):
+        chi = RegFileTy.of(r1=TRef((TInt(),)), r2=TInt())
+        out = checker.step_instruction(state(chi), St("r1", 0, "r2"))
+        assert out.chi == chi
+
+    def test_st_to_box_fails(self, checker):
+        chi = RegFileTy.of(r1=TBox(TupleTy((TInt(),))), r2=TInt())
+        with pytest.raises(FTTypeError, match="mutable"):
+            checker.step_instruction(state(chi), St("r1", 0, "r2"))
+
+    def test_st_type_mismatch(self, checker):
+        chi = RegFileTy.of(r1=TRef((TInt(),)), r2=TUnit())
+        with pytest.raises(FTTypeError, match="stores"):
+            checker.step_instruction(state(chi), St("r1", 0, "r2"))
+
+
+class TestStackInstructions:
+    def test_salloc_pushes_units(self, checker):
+        out = checker.step_instruction(state(), Salloc(2))
+        assert out.sigma == StackTy((TUnit(), TUnit()), None)
+
+    def test_salloc_shifts_index_marker(self, checker):
+        sigma = StackTy((cont(),), "z")
+        st = state(RegFileTy(), sigma, QIdx(0), ZE)
+        out = checker.step_instruction(st, Salloc(3))
+        assert out.q == QIdx(3)
+
+    def test_sfree_pops(self, checker):
+        st = state(sigma=StackTy((TInt(), TUnit()), None))
+        out = checker.step_instruction(st, Sfree(1))
+        assert out.sigma == StackTy((TUnit(),), None)
+
+    def test_sfree_underflow(self, checker):
+        with pytest.raises(FTTypeError, match="sfree"):
+            checker.step_instruction(state(), Sfree(1))
+
+    def test_sfree_cannot_free_marker(self, checker):
+        sigma = StackTy((cont(),), "z")
+        st = state(RegFileTy(), sigma, QIdx(0), ZE)
+        with pytest.raises(FTTypeError, match="marker"):
+            checker.step_instruction(st, Sfree(1))
+
+    def test_sfree_shifts_marker_down(self, checker):
+        sigma = StackTy((TInt(), cont()), "z")
+        st = state(RegFileTy(), sigma, QIdx(1), ZE)
+        out = checker.step_instruction(st, Sfree(1))
+        assert out.q == QIdx(0)
+
+    def test_sld_reads_slot(self, checker):
+        st = state(sigma=StackTy((TInt(),), None))
+        out = checker.step_instruction(st, Sld("r1", 0))
+        assert out.chi.get("r1") == TInt()
+
+    def test_sld_unexposed_slot_fails(self, checker):
+        st = state(sigma=StackTy((), "z"), delta=ZE)
+        with pytest.raises(FTTypeError, match="not exposed"):
+            checker.step_instruction(st, Sld("r1", 0))
+
+    def test_sld_of_marker_relocates_it(self, checker):
+        sigma = StackTy((cont(),), "z")
+        st = state(RegFileTy(), sigma, QIdx(0), ZE)
+        out = checker.step_instruction(st, Sld("ra", 0))
+        assert out.q == QReg("ra")
+
+    def test_sld_cannot_clobber_marker_register(self, checker):
+        chi = RegFileTy.of(ra=cont())
+        sigma = StackTy((TInt(),), "z")
+        st = state(chi, sigma, QReg("ra"), ZE)
+        with pytest.raises(FTTypeError, match="overwrite"):
+            checker.step_instruction(st, Sld("ra", 0))
+
+    def test_sst_writes_slot(self, checker):
+        chi = RegFileTy.of(r1=TInt())
+        st = state(chi, StackTy((TUnit(),), None))
+        out = checker.step_instruction(st, Sst(0, "r1"))
+        assert out.sigma == StackTy((TInt(),), None)
+
+    def test_sst_of_marker_relocates_it(self, checker):
+        chi = RegFileTy.of(ra=cont())
+        st = state(chi, StackTy((TUnit(),), "z"), QReg("ra"), ZE)
+        out = checker.step_instruction(st, Sst(0, "ra"))
+        assert out.q == QIdx(0)
+        assert out.sigma.slot(0) == cont()
+
+    def test_sst_cannot_clobber_marker_slot(self, checker):
+        chi = RegFileTy.of(r1=TInt())
+        sigma = StackTy((cont(),), "z")
+        st = state(chi, sigma, QIdx(0), ZE)
+        with pytest.raises(FTTypeError, match="overwrite"):
+            checker.step_instruction(st, Sst(0, "r1"))
+
+
+class TestAlloc:
+    def test_ralloc_consumes_stack(self, checker):
+        st = state(sigma=StackTy((TInt(), TUnit()), None))
+        out = checker.step_instruction(st, Ralloc("r1", 2))
+        assert out.chi.get("r1") == TRef((TInt(), TUnit()))
+        assert out.sigma == NIL_STACK
+
+    def test_balloc_makes_box(self, checker):
+        st = state(sigma=StackTy((TInt(),), None))
+        out = checker.step_instruction(st, Balloc("r1", 1))
+        assert out.chi.get("r1") == TBox(TupleTy((TInt(),)))
+
+    def test_alloc_underflow(self, checker):
+        with pytest.raises(FTTypeError, match="exposed"):
+            checker.step_instruction(state(), Ralloc("r1", 1))
+
+    def test_alloc_cannot_consume_marker(self, checker):
+        sigma = StackTy((cont(),), "z")
+        st = state(RegFileTy(), sigma, QIdx(0), ZE)
+        with pytest.raises(FTTypeError, match="marker"):
+            checker.step_instruction(st, Balloc("r1", 1))
+
+    def test_alloc_shifts_marker(self, checker):
+        sigma = StackTy((TInt(), cont()), "z")
+        st = state(RegFileTy(), sigma, QIdx(1), ZE)
+        out = checker.step_instruction(st, Ralloc("r1", 1))
+        assert out.q == QIdx(0)
+
+
+class TestUnpackUnfold:
+    def test_unpack_opens(self, checker):
+        ex = TExists("a", TRef((TVar("a"),)))
+        chi = RegFileTy.of(r2=ex)
+        out = checker.step_instruction(state(chi),
+                                       Unpack("b", "r1", RegOp("r2")))
+        assert out.chi.get("r1") == TRef((TVar("b"),))
+        assert out.delta[-1] == DeltaBind(KIND_ALPHA, "b")
+
+    def test_unpack_non_existential_fails(self, checker):
+        chi = RegFileTy.of(r2=TInt())
+        with pytest.raises(FTTypeError, match="non-existential"):
+            checker.step_instruction(state(chi),
+                                     Unpack("b", "r1", RegOp("r2")))
+
+    def test_unpack_shadowing_rejected(self, checker):
+        ex = TExists("a", TVar("a"))
+        chi = RegFileTy.of(r2=ex)
+        st = state(chi, delta=(DeltaBind(KIND_ALPHA, "b"),))
+        with pytest.raises(FTTypeError, match="shadows"):
+            checker.step_instruction(st, Unpack("b", "r1", RegOp("r2")))
+
+    def test_unfold_unrolls(self, checker):
+        mu = TRec("a", TRef((TVar("a"),)))
+        chi = RegFileTy.of(r2=mu)
+        out = checker.step_instruction(state(chi),
+                                       UnfoldI("r1", RegOp("r2")))
+        assert out.chi.get("r1") == TRef((mu,))
+
+    def test_unfold_non_mu_fails(self, checker):
+        chi = RegFileTy.of(r2=TInt())
+        with pytest.raises(FTTypeError, match="non-recursive"):
+            checker.step_instruction(state(chi), UnfoldI("r1", RegOp("r2")))

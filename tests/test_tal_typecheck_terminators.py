@@ -1,0 +1,237 @@
+"""Per-rule unit tests for T terminator typing: halt, jmp, ret, and the
+two call rules (paper Fig 2)."""
+
+import pytest
+
+from repro.errors import FTTypeError
+from repro.tal.syntax import (
+    BOX, Call, CodeType, DeltaBind, Halt, HeapTy, Jmp, KIND_ALPHA,
+    KIND_EPS, KIND_ZETA, Loc, NIL_STACK, QEnd, QEps, QIdx, QReg, RegFileTy,
+    RegOp, Ret, StackTy, TBox, TInt, TUnit, TVar, WLoc,
+)
+from repro.tal.typecheck import InstrState, TalTypechecker
+
+ZE = (DeltaBind(KIND_ZETA, "z"), DeltaBind(KIND_EPS, "e"))
+END_INT = QEnd(TInt(), NIL_STACK)
+
+
+def cont(tail="z", val=None):
+    return TBox(CodeType((), RegFileTy.of(r1=val or TInt()),
+                         StackTy((), tail), QEps("e")))
+
+
+def callee_type(arg_prefix=(), out_prefix=()):
+    """box forall[z, e].{ra: forall[].{r1:int; out_prefix::z} e;
+    arg_prefix :: z} ra"""
+    cont_ty = TBox(CodeType((), RegFileTy.of(r1=TInt()),
+                            StackTy(tuple(out_prefix), "z"), QEps("e")))
+    return CodeType(ZE, RegFileTy.of(ra=cont_ty),
+                    StackTy(tuple(arg_prefix), "z"), QReg("ra"))
+
+
+def state(chi=None, sigma=NIL_STACK, q=END_INT, delta=()):
+    return InstrState(delta, chi if chi is not None else RegFileTy(),
+                      sigma, q)
+
+
+class TestHalt:
+    def test_ok(self):
+        chi = RegFileTy.of(r1=TInt())
+        TalTypechecker().check_terminator(
+            state(chi), Halt(TInt(), NIL_STACK, "r1"))
+
+    def test_requires_end_marker(self):
+        chi = RegFileTy.of(r1=TInt(), ra=cont())
+        st = state(chi, StackTy((), "z"), QReg("ra"), ZE)
+        with pytest.raises(FTTypeError, match="end"):
+            TalTypechecker().check_terminator(
+                st, Halt(TInt(), StackTy((), "z"), "r1"))
+
+    def test_type_must_match_marker(self):
+        chi = RegFileTy.of(r1=TUnit())
+        with pytest.raises(FTTypeError, match="promises"):
+            TalTypechecker().check_terminator(
+                state(chi), Halt(TUnit(), NIL_STACK, "r1"))
+
+    def test_stack_must_match_marker(self):
+        chi = RegFileTy.of(r1=TInt())
+        st = state(chi, StackTy((TInt(),), None))
+        with pytest.raises(FTTypeError, match="stack"):
+            TalTypechecker().check_terminator(
+                st, Halt(TInt(), StackTy((TInt(),), None), "r1"))
+
+    def test_register_must_hold_announced_type(self):
+        chi = RegFileTy.of(r1=TUnit())
+        with pytest.raises(FTTypeError):
+            TalTypechecker().check_terminator(
+                state(chi), Halt(TInt(), NIL_STACK, "r1"))
+
+    def test_register_unset_fails(self):
+        with pytest.raises(FTTypeError):
+            TalTypechecker().check_terminator(
+                state(), Halt(TInt(), NIL_STACK, "r1"))
+
+
+class TestJmp:
+    def _checker(self, ct):
+        return TalTypechecker(HeapTy.of({Loc("l"): (BOX, ct)}))
+
+    def test_paper_example(self):
+        # l : box forall[].{r2: unit; int::nil} end{unit; nil}
+        ct = CodeType((), RegFileTy.of(r2=TUnit()),
+                      StackTy((TInt(),), None), QEnd(TUnit(), NIL_STACK))
+        chi = RegFileTy.of(r1=TInt(), r2=TUnit())
+        st = state(chi, StackTy((TInt(),), None), QEnd(TUnit(), NIL_STACK))
+        self._checker(ct).check_terminator(st, Jmp(WLoc(Loc("l"))))
+
+    def test_stack_mismatch(self):
+        ct = CodeType((), RegFileTy(), StackTy((TInt(),), None), END_INT)
+        with pytest.raises(FTTypeError, match="stack"):
+            self._checker(ct).check_terminator(state(), Jmp(WLoc(Loc("l"))))
+
+    def test_marker_mismatch(self):
+        ct = CodeType((), RegFileTy(), NIL_STACK, QEnd(TUnit(), NIL_STACK))
+        with pytest.raises(FTTypeError, match="intra-component"):
+            self._checker(ct).check_terminator(state(), Jmp(WLoc(Loc("l"))))
+
+    def test_non_code_target(self):
+        chi = RegFileTy.of(r1=TInt())
+        with pytest.raises(FTTypeError, match="non-code"):
+            TalTypechecker().check_terminator(state(chi), Jmp(RegOp("r1")))
+
+
+class TestRet:
+    def test_ok(self):
+        chi = RegFileTy.of(ra=cont(), r1=TInt())
+        st = state(chi, StackTy((), "z"), QReg("ra"), ZE)
+        TalTypechecker().check_terminator(st, Ret("ra", "r1"))
+
+    def test_marker_must_be_the_ret_register(self):
+        chi = RegFileTy.of(ra=cont(), r2=cont(), r1=TInt())
+        st = state(chi, StackTy((), "z"), QReg("ra"), ZE)
+        with pytest.raises(FTTypeError, match="marker"):
+            TalTypechecker().check_terminator(st, Ret("r2", "r1"))
+
+    def test_marker_on_stack_cannot_ret(self):
+        chi = RegFileTy.of(r1=TInt())
+        st = state(chi, StackTy((cont(),), "z"), QIdx(0), ZE)
+        with pytest.raises(FTTypeError):
+            TalTypechecker().check_terminator(st, Ret("ra", "r1"))
+
+    def test_result_register_must_match_continuation(self):
+        chi = RegFileTy.of(ra=cont(), r2=TInt())
+        st = state(chi, StackTy((), "z"), QReg("ra"), ZE)
+        with pytest.raises(FTTypeError, match="expects it in r1"):
+            TalTypechecker().check_terminator(st, Ret("ra", "r2"))
+
+    def test_result_type_must_match(self):
+        chi = RegFileTy.of(ra=cont(), r1=TUnit())
+        st = state(chi, StackTy((), "z"), QReg("ra"), ZE)
+        with pytest.raises(FTTypeError, match="continuation expects"):
+            TalTypechecker().check_terminator(st, Ret("ra", "r1"))
+
+    def test_stack_must_match_continuation(self):
+        chi = RegFileTy.of(ra=cont(), r1=TInt())
+        st = state(chi, StackTy((TInt(),), "z"), QReg("ra"), ZE)
+        with pytest.raises(FTTypeError, match="stack"):
+            TalTypechecker().check_terminator(st, Ret("ra", "r1"))
+
+
+class TestCallUnderEndMarker:
+    """The first call rule: the caller itself ends by halting."""
+
+    def _checker(self, ct=None):
+        ct = ct if ct is not None else callee_type()
+        return TalTypechecker(HeapTy.of({Loc("l"): (BOX, ct)}))
+
+    def _chi(self):
+        # continuation for the callee: halts with int over nil
+        k = TBox(CodeType((), RegFileTy.of(r1=TInt()), NIL_STACK, END_INT))
+        return RegFileTy.of(ra=k)
+
+    def test_ok(self):
+        st = state(self._chi(), NIL_STACK, END_INT)
+        self._checker().check_terminator(
+            st, Call(WLoc(Loc("l")), NIL_STACK, END_INT))
+
+    def test_q_param_must_equal_current_marker(self):
+        st = state(self._chi(), NIL_STACK, END_INT)
+        with pytest.raises(FTTypeError, match="must pass that marker"):
+            self._checker().check_terminator(
+                st, Call(WLoc(Loc("l")), NIL_STACK,
+                         QEnd(TUnit(), NIL_STACK)))
+
+    def test_callee_must_abstract_zeta_eps(self):
+        ct = CodeType((), RegFileTy.of(ra=cont()), NIL_STACK, QReg("ra"))
+        st = state(self._chi(), NIL_STACK, END_INT)
+        with pytest.raises(FTTypeError, match="zeta, eps"):
+            self._checker(ct).check_terminator(
+                st, Call(WLoc(Loc("l")), NIL_STACK, END_INT))
+
+    def test_argument_prefix_checked(self):
+        ct = callee_type(arg_prefix=(TInt(),))
+        st = state(self._chi(), StackTy((TUnit(),), None), END_INT)
+        with pytest.raises(FTTypeError, match="slot 0"):
+            self._checker(ct).check_terminator(
+                st, Call(WLoc(Loc("l")), NIL_STACK, END_INT))
+
+    def test_protected_tail_must_match(self):
+        st = state(self._chi(), StackTy((TInt(),), None), END_INT)
+        with pytest.raises(FTTypeError, match="tail"):
+            self._checker().check_terminator(
+                st, Call(WLoc(Loc("l")), NIL_STACK, END_INT))
+
+    def test_continuation_register_type_checked(self):
+        # caller's ra holds a continuation with the wrong value type
+        bad_k = TBox(CodeType((), RegFileTy.of(r1=TUnit()), NIL_STACK,
+                              END_INT))
+        st = state(RegFileTy.of(ra=bad_k), NIL_STACK, END_INT)
+        with pytest.raises(FTTypeError):
+            self._checker().check_terminator(
+                st, Call(WLoc(Loc("l")), NIL_STACK, END_INT))
+
+    def test_marker_in_register_cannot_call(self):
+        # there is no call rule for q = register
+        chi = self._chi().set("r7", cont())
+        st = state(chi, StackTy((), "z"),
+                   QReg("r7"), ZE)
+        with pytest.raises(FTTypeError, match="end.*or a"):
+            self._checker().check_terminator(
+                st, Call(WLoc(Loc("l")), StackTy((), "z"), END_INT))
+
+
+class TestCallUnderIndexMarker:
+    """The second call rule: marker on the stack, shifted by i + k - j."""
+
+    def _setup(self, arg_prefix=(TInt(),), out_prefix=()):
+        ct = callee_type(arg_prefix, out_prefix)
+        checker = TalTypechecker(HeapTy.of({Loc("l"): (BOX, ct)}))
+        # current stack: args :: kont :: z ; marker at len(args)
+        kont = cont()
+        sigma = StackTy(tuple(arg_prefix) + (kont,), "z")
+        chi = RegFileTy.of(
+            ra=TBox(CodeType((), RegFileTy.of(r1=TInt()),
+                             StackTy(tuple(out_prefix) + (kont,), "z"),
+                             QIdx(len(out_prefix)))))
+        return checker, sigma, chi, kont
+
+    def test_ok_with_shift(self):
+        checker, sigma, chi, kont = self._setup()
+        st = state(chi, sigma, QIdx(1), ZE)
+        checker.check_terminator(
+            st, Call(WLoc(Loc("l")), StackTy((kont,), "z"), QIdx(0)))
+
+    def test_wrong_shift_rejected(self):
+        checker, sigma, chi, kont = self._setup()
+        st = state(chi, sigma, QIdx(1), ZE)
+        with pytest.raises(FTTypeError, match="relocate"):
+            checker.check_terminator(
+                st, Call(WLoc(Loc("l")), StackTy((kont,), "z"), QIdx(1)))
+
+    def test_marker_inside_arguments_rejected(self):
+        checker, sigma, chi, kont = self._setup()
+        # marker at slot 0, but slot 0 is consumed as the callee's argument
+        st = state(chi, StackTy((TInt(), kont), "z"), QIdx(0), ZE)
+        with pytest.raises(FTTypeError, match="within"):
+            checker.check_terminator(
+                st, Call(WLoc(Loc("l")), StackTy((kont,), "z"), QIdx(0)))

@@ -1,0 +1,205 @@
+"""Unit tests for the T well-formedness and marker-restriction judgments."""
+
+import pytest
+
+from repro.errors import FTTypeError
+from repro.tal.retmarker import (
+    continuation_parts, is_continuation_type, ret_addr_type, ret_type,
+)
+from repro.tal.syntax import (
+    CodeType, DeltaBind, KIND_ALPHA, KIND_EPS, KIND_ZETA, NIL_STACK, QEnd,
+    QEps, QIdx, QOut, QReg, RegFileTy, StackTy, TBox, TExists, TInt, TRec,
+    TRef, TupleTy, TUnit, TVar,
+)
+from repro.tal.wellformed import (
+    check_chi_minus_q_wf, check_chi_wf, check_delta_wf, check_psi_wf,
+    check_q_restriction, check_q_wf, check_stack_wf, check_type_wf,
+)
+
+ZBIND = DeltaBind(KIND_ZETA, "z")
+EBIND = DeltaBind(KIND_EPS, "e")
+ABIND = DeltaBind(KIND_ALPHA, "a")
+
+
+def cont(tail="z"):
+    return TBox(CodeType((), RegFileTy.of(r1=TInt()),
+                         StackTy((), tail), QEps("e")))
+
+
+class TestTypeWf:
+    def test_base(self):
+        check_type_wf((), TInt())
+        check_type_wf((), TUnit())
+
+    def test_bound_var_ok(self):
+        check_type_wf((ABIND,), TVar("a"))
+
+    def test_unbound_var_fails(self):
+        with pytest.raises(FTTypeError, match="unbound"):
+            check_type_wf((), TVar("a"))
+
+    def test_binder_introduces(self):
+        check_type_wf((), TExists("a", TVar("a")))
+        check_type_wf((), TRec("a", TRef((TVar("a"),))))
+
+    def test_zeta_not_a_type_var(self):
+        with pytest.raises(FTTypeError):
+            check_type_wf((ZBIND,), TVar("z"))
+
+
+class TestStackWf:
+    def test_nil(self):
+        check_stack_wf((), NIL_STACK)
+
+    def test_bound_tail(self):
+        check_stack_wf((ZBIND,), StackTy((TInt(),), "z"))
+
+    def test_unbound_tail_fails(self):
+        with pytest.raises(FTTypeError, match="stack variable"):
+            check_stack_wf((), StackTy((), "z"))
+
+    def test_prefix_checked(self):
+        with pytest.raises(FTTypeError):
+            check_stack_wf((ZBIND,), StackTy((TVar("a"),), "z"))
+
+
+class TestDeltaAndChiWf:
+    def test_duplicate_delta_rejected(self):
+        with pytest.raises(FTTypeError, match="duplicate"):
+            check_delta_wf((ABIND, ABIND))
+
+    def test_chi_entries_checked(self):
+        with pytest.raises(FTTypeError):
+            check_chi_wf((), RegFileTy.of(r1=TVar("a")))
+
+    def test_psi_code_type(self):
+        ct = CodeType((ZBIND, EBIND), RegFileTy.of(ra=cont()),
+                      StackTy((), "z"), QReg("ra"))
+        check_psi_wf((), ct)
+
+    def test_psi_code_type_leaky_var_fails(self):
+        ct = CodeType((ZBIND,), RegFileTy.of(r1=TVar("a")),
+                      StackTy((), "z"), QOut())
+        with pytest.raises(FTTypeError):
+            check_psi_wf((), ct)
+
+    def test_psi_tuple(self):
+        check_psi_wf((), TupleTy((TInt(), TUnit())))
+
+
+class TestQWf:
+    def test_eps_bound(self):
+        check_q_wf((EBIND,), QEps("e"))
+
+    def test_eps_unbound_fails(self):
+        with pytest.raises(FTTypeError, match="unbound return-marker"):
+            check_q_wf((), QEps("e"))
+
+    def test_end_checks_components(self):
+        with pytest.raises(FTTypeError):
+            check_q_wf((), QEnd(TVar("a"), NIL_STACK))
+
+    def test_out_always_ok(self):
+        check_q_wf((), QOut())
+
+
+class TestQRestriction:
+    def test_register_marker_needs_entry(self):
+        with pytest.raises(FTTypeError, match="absent"):
+            check_q_restriction((), RegFileTy(), NIL_STACK, QReg("ra"))
+
+    def test_register_marker_needs_continuation_shape(self):
+        chi = RegFileTy.of(ra=TInt())
+        with pytest.raises(FTTypeError, match="not.*continuation"):
+            check_q_restriction((), chi, NIL_STACK, QReg("ra"))
+
+    def test_register_marker_ok(self):
+        chi = RegFileTy.of(ra=cont())
+        check_q_restriction((ZBIND, EBIND), chi, StackTy((), "z"),
+                            QReg("ra"))
+
+    def test_index_marker_must_be_exposed(self):
+        with pytest.raises(FTTypeError, match="not exposed"):
+            check_q_restriction((), RegFileTy(), NIL_STACK, QIdx(0))
+
+    def test_index_marker_ok(self):
+        sigma = StackTy((cont(),), "z")
+        check_q_restriction((ZBIND, EBIND), RegFileTy(), sigma, QIdx(0))
+
+    def test_index_marker_needs_continuation_slot(self):
+        sigma = StackTy((TInt(),), None)
+        with pytest.raises(FTTypeError, match="continuation"):
+            check_q_restriction((), RegFileTy(), sigma, QIdx(0))
+
+    def test_eps_marker_needs_binding(self):
+        with pytest.raises(FTTypeError, match="abstract"):
+            check_q_restriction((), RegFileTy(), NIL_STACK, QEps("e"))
+        check_q_restriction((EBIND,), RegFileTy(), NIL_STACK, QEps("e"))
+
+    def test_end_and_out_ok(self):
+        check_q_restriction((), RegFileTy(), NIL_STACK,
+                            QEnd(TInt(), NIL_STACK))
+        check_q_restriction((), RegFileTy(), NIL_STACK, QOut())
+
+
+class TestChiMinusQ:
+    def test_marker_entry_exempt(self):
+        # chi \ ra may mention free variables only in the ra entry.
+        chi = RegFileTy.of(ra=cont("z"), r1=TInt())
+        check_chi_minus_q_wf((), chi, QReg("ra"))
+
+    def test_other_entries_not_exempt(self):
+        chi = RegFileTy.of(ra=cont("z"), r1=TVar("a"))
+        with pytest.raises(FTTypeError):
+            check_chi_minus_q_wf((), chi, QReg("ra"))
+
+
+class TestRetTypeMetafunctions:
+    def test_continuation_shape_recognized(self):
+        assert is_continuation_type(cont())
+        assert not is_continuation_type(TInt())
+        assert not is_continuation_type(TBox(TupleTy((TInt(),))))
+
+    def test_two_register_chi_is_not_continuation(self):
+        ct = CodeType((), RegFileTy.of(r1=TInt(), r2=TInt()), NIL_STACK,
+                      QOut())
+        assert not is_continuation_type(TBox(ct))
+
+    def test_leftover_binders_not_continuation(self):
+        ct = CodeType((ZBIND,), RegFileTy.of(r1=TInt()), StackTy((), "z"),
+                      QEps("e"))
+        assert not is_continuation_type(TBox(ct))
+
+    def test_parts(self):
+        reg, ty, sigma, q = continuation_parts(cont())
+        assert reg == "r1" and ty == TInt()
+        assert sigma == StackTy((), "z") and q == QEps("e")
+
+    def test_ret_type_from_register(self):
+        chi = RegFileTy.of(ra=cont())
+        ty, sigma = ret_type(QReg("ra"), chi, NIL_STACK)
+        assert ty == TInt() and sigma == StackTy((), "z")
+
+    def test_ret_type_from_stack(self):
+        sigma = StackTy((cont(),), "z")
+        ty, out = ret_type(QIdx(0), RegFileTy(), sigma)
+        assert ty == TInt()
+
+    def test_ret_type_from_end(self):
+        ty, sigma = ret_type(QEnd(TUnit(), NIL_STACK), RegFileTy(),
+                             NIL_STACK)
+        assert ty == TUnit() and sigma == NIL_STACK
+
+    def test_ret_type_undefined_for_eps(self):
+        with pytest.raises(FTTypeError, match="undefined"):
+            ret_type(QEps("e"), RegFileTy(), NIL_STACK)
+
+    def test_ret_addr_type(self):
+        chi = RegFileTy.of(ra=cont())
+        ct = ret_addr_type(QReg("ra"), chi, NIL_STACK)
+        assert isinstance(ct, CodeType)
+        assert ct.q == QEps("e")
+
+    def test_ret_addr_type_undefined_for_end(self):
+        with pytest.raises(FTTypeError, match="undefined"):
+            ret_addr_type(QEnd(TInt(), NIL_STACK), RegFileTy(), NIL_STACK)
