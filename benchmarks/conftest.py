@@ -7,9 +7,32 @@ matches the figure) and reports timing via pytest-benchmark.  Run with::
 
 The ``record`` fixture collects the reproduced rows so a bench run doubles
 as the data source for EXPERIMENTS.md.
+
+The ``benchmark`` fixture is wrapped: after the (uninstrumented) timing
+rounds, the workload runs once more under :mod:`repro.obs` metrics and the
+per-benchmark counter deltas -- machine steps, boundary crossings, JIT
+cache activity -- are written to ``BENCH_obs.json`` at the repository
+root.  Timings are never taken with instrumentation on; the artifact gives
+future PRs a step/crossing trajectory to diff against.
 """
 
+import json
+import pathlib
+
 import pytest
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+_BENCH_OBS_PATH = _REPO_ROOT / "BENCH_obs.json"
+
+#: benchmark node name -> {counter: value} for one instrumented run.
+_OBS_RESULTS = {}
+
+#: The headline counters summarized per benchmark (full counter dumps stay
+#: in the "counters" key).
+_SUMMARY_KEYS = (
+    "t.machine.steps", "f.machine.steps",
+    "ft.boundary.f_to_t", "ft.boundary.t_to_f",
+)
 
 
 @pytest.fixture
@@ -25,3 +48,51 @@ def record(capsys):
 
     emit.lines = lines
     return emit
+
+
+def _record_obs_run(node_name, fn, args, kwargs):
+    """Replay ``fn`` once under metrics-only instrumentation."""
+    from repro import obs
+
+    obs.reset()
+    obs.enable(record=False)            # metrics only; no event retention
+    try:
+        fn(*args, **kwargs)
+    finally:
+        obs.disable()
+    counters = obs.OBS.metrics.snapshot()["counters"]
+    obs.reset()
+    entry = {k: counters[k] for k in _SUMMARY_KEYS if k in counters}
+    entry["counters"] = counters
+    _OBS_RESULTS[node_name] = entry
+
+
+@pytest.fixture
+def benchmark(benchmark, request):
+    """pytest-benchmark's fixture, plus one instrumented run for counts.
+
+    The override requests the plugin fixture of the same name and swaps the
+    instance into a subclass whose ``__call__`` replays the workload once
+    under ``repro.obs`` after the (uninstrumented) timing rounds.  The
+    object stays a ``BenchmarkFixture``, which the plugin's report hook
+    insists on.
+    """
+    node_name = request.node.name
+
+    class _InstrumentedBenchmark(type(benchmark)):
+        def __call__(self, fn, *args, **kwargs):
+            result = super().__call__(fn, *args, **kwargs)
+            _record_obs_run(node_name, fn, args, kwargs)
+            return result
+
+    benchmark.__class__ = _InstrumentedBenchmark
+    return benchmark
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _OBS_RESULTS:
+        return
+    payload = {name: _OBS_RESULTS[name] for name in sorted(_OBS_RESULTS)}
+    _BENCH_OBS_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")

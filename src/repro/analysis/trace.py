@@ -2,20 +2,31 @@
 
 The paper's Figs 4 and 12 draw, for each inter-block transfer, the
 instruction causing the jump and the relevant register/stack state at jump
-time.  :func:`control_flow_table` distills a machine's
-:class:`~repro.tal.machine.TraceEvent` stream into exactly those rows;
-:func:`format_table` renders them for the benchmark harness, which compares
-the rows against the figures.
+time.  :func:`control_flow_table` distills a control-transfer event stream
+into exactly those rows; :func:`format_table` renders them for the
+benchmark harness, which compares the rows against the figures.
+
+The table sits on the unified observability event model: it accepts both
+a machine's in-process :class:`~repro.tal.machine.TraceEvent` list and the
+serializable :class:`~repro.obs.events.MachineEvent` stream published on
+the :mod:`repro.obs` bus (including events re-loaded from a JSONL trace by
+:func:`repro.obs.trace_export.load_jsonl`) -- the two share their field
+layout, and both produce identical rows for the same run.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+import re
 
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.obs.events import MachineEvent
 from repro.tal.machine import TraceEvent
 
 __all__ = ["FlowRow", "control_flow_table", "format_table"]
+
+ControlEvent = Union[TraceEvent, MachineEvent]
 
 #: Event kinds that correspond to arrows in the paper's diagrams.
 CONTROL_KINDS = ("call", "jmp", "ret", "bnz", "halt", "boundary")
@@ -39,24 +50,18 @@ class FlowRow:
         return f"{self.kind}{arrow}{info}  |  {regs}  |  {stack}"
 
 
+#: The loader's freshness suffix: ``%`` immediately followed by digits.
+#: A ``%`` *not* followed by digits is part of the label and is kept.
+_FRESHNESS = re.compile(r"%\d+")
+
+
 def _pretty_word(w) -> str:
-    text = str(w)
     # Strip the freshness suffixes the loader appends to labels so rows
     # read like the paper's figures (l2ret%4 -> l2ret).
-    out = []
-    i = 0
-    while i < len(text):
-        if text[i] == "%":
-            i += 1
-            while i < len(text) and text[i].isdigit():
-                i += 1
-            continue
-        out.append(text[i])
-        i += 1
-    return "".join(out)
+    return _FRESHNESS.sub("", str(w))
 
 
-def control_flow_table(events: Iterable[TraceEvent],
+def control_flow_table(events: Iterable[ControlEvent],
                        registers: Optional[Sequence[str]] = None,
                        kinds: Sequence[str] = CONTROL_KINDS) -> List[FlowRow]:
     """Project a trace onto diagram rows.

@@ -7,9 +7,16 @@ The reproduction's counterpart to the paper artifact's in-browser tools::
     funtal run FILE [--fuel N] [--trace]   # evaluate; --trace prints the
                                  # jump-level control-flow table
     funtal examples [NAME]       # list / run the built-in paper examples
+    funtal trace NAME --format jsonl|chrome|table
+                                 # run a paper example under the
+                                 # observability layer and export the trace
+    funtal stats [NAME] [--json] # metrics snapshot (optionally after
+                                 # running an example under instrumentation)
 
 FILE contains either an F(T) expression or a bare T component in the
-surface syntax (see README).  ``-`` reads from stdin.
+surface syntax (see README).  ``-`` reads from stdin.  Figure names
+(``fig11``, ``fig16``, ``fig17``) alias the corresponding examples; see
+``docs/observability.md`` for the tracing workflow.
 """
 
 from __future__ import annotations
@@ -157,7 +164,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
 
 def _example_entries() -> Dict[str, Tuple[str, Callable[[], FExpr]]]:
-    from repro.f.syntax import App, IntE
+    from repro.f.syntax import App, IntE, TupleE
     from repro.papers_examples import (
         fig11_jit, fig16_two_blocks, fig17_factorial,
     )
@@ -176,7 +183,26 @@ def _example_entries() -> Dict[str, Tuple[str, Callable[[], FExpr]]]:
                    lambda: App(fig17_factorial.build_fact_f(), (IntE(6),))),
         "fact-t": ("Fig 17 imperative factorial of 6",
                    lambda: App(fig17_factorial.build_fact_t(), (IntE(6),))),
+        "fig17": ("Fig 17 both factorials of 6 (functional, then "
+                  "imperative)",
+                  lambda: TupleE((
+                      App(fig17_factorial.build_fact_f(), (IntE(6),)),
+                      App(fig17_factorial.build_fact_t(), (IntE(6),))))),
     }
+
+
+#: Figure-number aliases accepted wherever an example name is.
+EXAMPLE_ALIASES = {
+    "fig11": "jit",
+    "fig11-source": "jit-source",
+    "fig16": "two-blocks-2",
+}
+
+
+def _resolve_example(name: str):
+    """Look up an example by name or figure alias; None when unknown."""
+    entries = _example_entries()
+    return entries.get(EXAMPLE_ALIASES.get(name, name))
 
 
 EXAMPLES = _example_entries
@@ -189,10 +215,11 @@ def cmd_examples(args: argparse.Namespace) -> int:
         for name, (blurb, _) in entries.items():
             print(f"  {name:14s} {blurb}")
         return 0
-    if args.name not in entries:
+    entry = _resolve_example(args.name)
+    if entry is None:
         print(f"unknown example {args.name!r}", file=sys.stderr)
         return 2
-    blurb, build = entries[args.name]
+    blurb, build = entry
     program = build()
     print(f"-- {blurb}")
     print(program)
@@ -205,6 +232,112 @@ def cmd_examples(args: argparse.Namespace) -> int:
         print(format_table(control_flow_table(machine.trace),
                            title="control flow"))
     return 0
+
+
+def _run_example_instrumented(name: str, fuel: int):
+    """Run a paper example under the observability layer; returns
+    ``(value, machine, events, metrics_snapshot)`` or ``None`` if the name
+    is unknown."""
+    from repro import obs
+
+    entry = _resolve_example(name)
+    if entry is None:
+        return None
+    _, build = entry
+    program = build()
+    obs.reset()
+    obs.enable(record=True)
+    try:
+        value, machine = evaluate_ft(program, fuel=fuel, trace=True)
+        # Append the final counter totals to the stream (while the bus is
+        # still recording) so exported traces are self-contained -- one
+        # Counter event per metric, not one per increment.
+        obs.OBS.metrics.flush_to(obs.OBS.bus)
+    finally:
+        obs.disable()
+    events = obs.OBS.bus.drain()
+    return value, machine, events, obs.OBS.metrics.snapshot()
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro import obs
+    from repro.obs.events import MachineEvent
+
+    result = _run_example_instrumented(args.example, args.fuel)
+    if result is None:
+        print(f"unknown example {args.example!r} (see 'funtal examples')",
+              file=sys.stderr)
+        return 2
+    value, machine, events, snapshot = result
+
+    try:
+        out = open(args.out, "w", encoding="utf-8") if args.out \
+            else sys.stdout
+    except OSError as err:
+        print(f"error: cannot write {args.out}: {err}", file=sys.stderr)
+        return 1
+    try:
+        if args.format == "jsonl":
+            obs.export_jsonl(events, out)
+        elif args.format == "chrome":
+            obs.export_chrome(events, out)
+        else:
+            machine_events = [e for e in events
+                              if isinstance(e, MachineEvent)]
+            rows = control_flow_table(machine_events)
+            print(f"value: {value}", file=out)
+            print(file=out)
+            print(format_table(rows, title=f"{args.example} control flow"),
+                  file=out)
+            crossings = {
+                k: v for k, v in snapshot["counters"].items()
+                if k.startswith("ft.boundary.")}
+            print(file=out)
+            print("boundary crossings: "
+                  + (_json.dumps(crossings) if crossings else "none"),
+                  file=out)
+    finally:
+        if args.out:
+            out.close()
+    if args.out:
+        print(f"wrote {len(events)} events to {args.out}", file=sys.stderr)
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro import obs
+
+    if args.example:
+        result = _run_example_instrumented(args.example, args.fuel)
+        if result is None:
+            print(f"unknown example {args.example!r} "
+                  "(see 'funtal examples')", file=sys.stderr)
+            return 2
+        snapshot = result[3]
+    else:
+        snapshot = obs.OBS.metrics.snapshot()
+    if args.json:
+        print(_json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        print(obs.OBS.metrics.format_table() if args.example
+              else _format_snapshot(snapshot))
+    return 0
+
+
+def _format_snapshot(snapshot: Dict) -> str:
+    if not any(snapshot.values()):
+        return "(no metrics recorded in this process)"
+    lines = []
+    for section in ("counters", "gauges"):
+        for name, value in snapshot[section].items():
+            lines.append(f"{name}  {value}")
+    for name, h in snapshot["histograms"].items():
+        lines.append(f"{name}  count={h['count']} mean={h['mean']}")
+    return "\n".join(lines)
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -261,6 +394,31 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p_ex.add_argument("name", nargs="?")
     p_ex.add_argument("--trace", action="store_true")
     p_ex.set_defaults(fn=cmd_examples)
+
+    p_tr = sub.add_parser(
+        "trace",
+        help="run a paper example under the observability layer and "
+             "export the structured trace")
+    p_tr.add_argument("example",
+                      help="example name or figure alias (e.g. fig17)")
+    p_tr.add_argument("--format", choices=("jsonl", "chrome", "table"),
+                      default="table",
+                      help="jsonl: one event per line; chrome: "
+                           "chrome://tracing JSON; table: control-flow "
+                           "table + crossing counters")
+    p_tr.add_argument("--out", help="write to a file instead of stdout")
+    p_tr.add_argument("--fuel", type=int, default=1_000_000)
+    p_tr.set_defaults(fn=cmd_trace)
+
+    p_st = sub.add_parser(
+        "stats",
+        help="print the metrics snapshot (counters / gauges / histograms)")
+    p_st.add_argument("example", nargs="?",
+                      help="optionally run this example under "
+                           "instrumentation first")
+    p_st.add_argument("--json", action="store_true")
+    p_st.add_argument("--fuel", type=int, default=1_000_000)
+    p_st.set_defaults(fn=cmd_stats)
     return parser
 
 

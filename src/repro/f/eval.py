@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.errors import FuelExhausted, MachineError
+from repro.obs.events import OBS
 from repro.f.syntax import (
     App, BinOp, FExpr, Fold, If0, IntE, is_value, Lam, Proj, subst_expr,
     TupleE, Unfold, UnitE,
@@ -159,11 +160,15 @@ def step(e: FExpr) -> Optional[FExpr]:
 
 def evaluate(e: FExpr, fuel: int = 100_000) -> FExpr:
     """Run ``e`` to a value, spending at most ``fuel`` small steps."""
-    for _ in range(fuel):
-        nxt = step(e)
-        if nxt is None:
+    with OBS.span("f.evaluate", "f"):
+        obs_on = OBS.enabled
+        for _ in range(fuel):
+            nxt = step(e)
+            if nxt is None:
+                return e
+            if obs_on:
+                OBS.metrics.inc("f.machine.steps")
+            e = nxt
+        if step(e) is None:
             return e
-        e = nxt
-    if step(e) is None:
-        return e
-    raise FuelExhausted(fuel)
+        raise FuelExhausted(fuel)

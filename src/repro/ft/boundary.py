@@ -31,6 +31,7 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from repro.errors import MachineError
+from repro.obs.events import OBS
 from repro.f.syntax import (
     App, FArrow, FExpr, FInt, Fold as FFold, FRec, FTupleT, FType, FUnit,
     IntE, is_value, Lam, TupleE, UnitE, Var,
@@ -64,6 +65,8 @@ __all__ = [
 def f_to_t(v: FExpr, ty: FType, mem: Memory) -> WordValue:
     """``TFtau(v, M) = (w, M')`` -- translate an F value into T,
     allocating in ``mem`` as needed."""
+    if OBS.enabled:
+        OBS.metrics.inc("ft.translate.f_to_t")
     if not is_value(v):
         raise MachineError(f"boundary translation of a non-value {v}")
     if isinstance(ty, FInt):
@@ -219,6 +222,8 @@ def build_stack_lambda_wrapper(v: Lam, ty: FStackArrow) -> HCode:
 
 def t_to_f(w: WordValue, ty: FType, mem: Memory) -> FExpr:
     """``tauFT(w, M) = (v, M')`` -- translate a T word into F."""
+    if OBS.enabled:
+        OBS.metrics.inc("ft.translate.t_to_f")
     if isinstance(ty, FInt):
         if not isinstance(w, WInt):
             raise MachineError(f"FT[int] applied to {w}")

@@ -30,6 +30,7 @@ from typing import Optional, Tuple
 
 from repro.errors import FuelExhausted, MachineError
 from repro.f.eval import reduce_redex, split_context
+from repro.obs.events import OBS
 from repro.f.syntax import FExpr, is_value
 from repro.ft.boundary import f_to_t, t_to_f
 from repro.ft.syntax import Boundary, Import, Protect
@@ -49,8 +50,8 @@ class FTMachine(TalMachine):
     """
 
     def __init__(self, memory: Optional[Memory] = None, trace: bool = False,
-                 fuel: int = 1_000_000):
-        super().__init__(memory, trace)
+                 fuel: int = 1_000_000, max_events: Optional[int] = None):
+        super().__init__(memory, trace, max_events=max_events)
         self.fuel_left = fuel
 
     def consume(self, n: int = 1) -> None:
@@ -68,12 +69,15 @@ class FTMachine(TalMachine):
             # protect is erased at runtime; it only constrains typing.
             return rest
         if isinstance(i, Import):
-            self.emit("boundary", None, detail=f"TF[{i.ty}] enter")
-            value = self.eval_fexpr(i.expr)
-            word = f_to_t(value, i.ty, self.memory)
-            self.memory.set_reg(i.rd, word)
-            self.emit("boundary", None,
-                      detail=f"TF[{i.ty}] -> {i.rd} = {word}")
+            if OBS.enabled:
+                OBS.metrics.inc("ft.boundary.t_to_f")
+            with OBS.span("ft.import", "f", ty=i.ty):
+                self.emit("boundary", None, detail=f"TF[{i.ty}] enter")
+                value = self.eval_fexpr(i.expr)
+                word = f_to_t(value, i.ty, self.memory)
+                self.memory.set_reg(i.rd, word)
+                self.emit("boundary", None,
+                          detail=f"TF[{i.ty}] -> {i.rd} = {word}")
             return rest
         return super().exec_extended_instruction(i, rest)
 
@@ -105,6 +109,8 @@ class FTMachine(TalMachine):
             contracted = reduce_redex(cur)
             if contracted is not None:
                 self.steps += 1
+                if OBS.enabled:
+                    OBS.metrics.inc("f.machine.steps")
                 cur = contracted
                 continue
             split = split_context(cur)
@@ -144,11 +150,14 @@ class FTMachine(TalMachine):
         return contracted
 
     def _cross_boundary(self, e: Boundary) -> FExpr:
-        self.emit("boundary", None, detail=f"FT[{e.ty}] enter")
-        halted = self.run_t(self.load_component(e.comp))
-        value = t_to_f(halted.word, e.ty, self.memory)
-        self.emit("boundary", None, detail=f"FT[{e.ty}] -> {value}")
-        return value
+        if OBS.enabled:
+            OBS.metrics.inc("ft.boundary.f_to_t")
+        with OBS.span("ft.boundary", "t", ty=e.ty):
+            self.emit("boundary", None, detail=f"FT[{e.ty}] enter")
+            halted = self.run_t(self.load_component(e.comp))
+            value = t_to_f(halted.word, e.ty, self.memory)
+            self.emit("boundary", None, detail=f"FT[{e.ty}] -> {value}")
+            return value
 
     # ------------------------------------------------------------------
     # Driving
@@ -163,7 +172,8 @@ class FTMachine(TalMachine):
 
     def evaluate(self, e: FExpr) -> FExpr:
         """Entry point for F-outside programs."""
-        return self.eval_fexpr(e)
+        with OBS.span("ft.evaluate", "f"):
+            return self.eval_fexpr(e)
 
     def run_component(self, comp: Component,
                       fuel: Optional[int] = None) -> HaltedState:
@@ -174,15 +184,18 @@ class FTMachine(TalMachine):
         return self.run_t(self.load_component(comp))
 
 
-def evaluate_ft(e: FExpr, fuel: int = 1_000_000,
-                trace: bool = False) -> Tuple[FExpr, FTMachine]:
+def evaluate_ft(e: FExpr, fuel: int = 1_000_000, trace: bool = False,
+                max_events: Optional[int] = None
+                ) -> Tuple[FExpr, FTMachine]:
     """Evaluate a closed FT expression in a fresh memory."""
-    machine = FTMachine(trace=trace, fuel=fuel)
+    machine = FTMachine(trace=trace, fuel=fuel, max_events=max_events)
     return machine.evaluate(e), machine
 
 
 def run_ft_component(comp: Component, fuel: int = 1_000_000,
-                     trace: bool = False) -> Tuple[HaltedState, FTMachine]:
+                     trace: bool = False,
+                     max_events: Optional[int] = None
+                     ) -> Tuple[HaltedState, FTMachine]:
     """Run a closed FT component (T outside) in a fresh memory."""
-    machine = FTMachine(trace=trace, fuel=fuel)
+    machine = FTMachine(trace=trace, fuel=fuel, max_events=max_events)
     return machine.run_component(comp), machine

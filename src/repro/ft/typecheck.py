@@ -33,6 +33,7 @@ from dataclasses import replace
 from typing import Dict, Optional, Tuple
 
 from repro.errors import FTTypeError
+from repro.obs.events import OBS
 from repro.f.syntax import (
     App, BinOp, FArrow, FExpr, FInt, Fold, FRec, FTupleT, FType, FUnit,
     ftype_equal, If0, IntE, Lam, Proj, TupleE, Unfold, UnitE, Var,
@@ -125,6 +126,8 @@ class FTTypechecker(TalTypechecker):
         return super().step_in_sequence(st, instr, rest)
 
     def _step_protect(self, st: InstrState, i: Protect) -> InstrState:
+        if OBS.enabled:
+            OBS.metrics.inc("typecheck.ft.protect")
         m = len(i.phi)
         if st.sigma.depth < m:
             raise _fail(
@@ -161,6 +164,8 @@ class FTTypechecker(TalTypechecker):
         return q  # register and eps markers are unaffected
 
     def _step_import(self, st: InstrState, i: Import) -> InstrState:
+        if OBS.enabled:
+            OBS.metrics.inc("typecheck.ft.import")
         front = strip_tail(st.sigma, i.protected, i)
         m = len(front)
         if isinstance(st.q, QIdx):
@@ -213,6 +218,8 @@ class FTTypechecker(TalTypechecker):
 
     def check_fexpr(self, delta: Delta, chi: RegFileTy, sigma: StackTy,
                     e: FExpr) -> Tuple[FType, StackTy]:
+        if OBS.enabled:
+            OBS.metrics.inc(f"typecheck.ft.expr.{type(e).__name__.lower()}")
         if isinstance(e, Var):
             if e.name not in self.gamma:
                 raise _fail(f"unbound variable {e.name!r}", "ft.expr", e)
@@ -370,6 +377,8 @@ class FTTypechecker(TalTypechecker):
 
     def _check_boundary(self, delta: Delta, sigma: StackTy,
                         e: Boundary) -> Tuple[FType, StackTy]:
+        if OBS.enabled:
+            OBS.metrics.inc("typecheck.ft.boundary")
         target = type_translation(e.ty)
         if e.delta.pops > sigma.depth:
             raise _fail(

@@ -30,6 +30,7 @@ import itertools
 from typing import Dict, List, Tuple
 
 from repro.errors import FTTypeError
+from repro.obs.events import OBS
 from repro.f.syntax import (
     App, BinOp, FArrow, FExpr, FInt, Fold, If0, IntE, Lam, Proj, TupleE,
     Unfold, UnitE, Var,
@@ -43,11 +44,23 @@ from repro.tal.syntax import (
 )
 
 __all__ = ["is_compilable", "compile_function", "jit_rewrite",
-           "CompileError"]
+           "CompileError", "clear_compile_cache"]
 
 _label_counter = itertools.count()
 
 _OPS = {"+": "add", "-": "sub", "*": "mul"}
+
+# Structurally identical lambdas compile to interchangeable components (the
+# machine renames heap labels freshly at every load), so compilation is
+# memoized on the (frozen, hashable) source lambda.  Bounded FIFO so a
+# long-running JIT rewriting many distinct lambdas cannot grow unboundedly.
+_COMPILE_CACHE: Dict[Lam, Lam] = {}
+_COMPILE_CACHE_LIMIT = 512
+
+
+def clear_compile_cache() -> None:
+    """Drop all memoized compilations (used by tests and benchmarks)."""
+    _COMPILE_CACHE.clear()
 
 
 class CompileError(FTTypeError):
@@ -171,6 +184,22 @@ def compile_function(lam: Lam) -> Lam:
     if not is_compilable(lam):
         raise CompileError(f"lambda is not compilable: {lam}",
                            judgment="jit.compile", subject=str(lam))
+    cached = _COMPILE_CACHE.get(lam)
+    if cached is not None:
+        if OBS.enabled:
+            OBS.metrics.inc("jit.cache.hit")
+        return cached
+    if OBS.enabled:
+        OBS.metrics.inc("jit.cache.miss")
+    with OBS.span("jit.compile", "jit", arity=len(lam.params)):
+        compiled = _compile_uncached(lam)
+    if len(_COMPILE_CACHE) >= _COMPILE_CACHE_LIMIT:
+        _COMPILE_CACHE.pop(next(iter(_COMPILE_CACHE)))
+    _COMPILE_CACHE[lam] = compiled
+    return compiled
+
+
+def _compile_uncached(lam: Lam) -> Lam:
     arity = len(lam.params)
     env = {name: i for i, (name, _) in enumerate(lam.params)}
     fn_label = f"jitfn{next(_label_counter)}"
@@ -195,6 +224,8 @@ def compile_function(lam: Lam) -> Lam:
         InstrSeq((Protect((), "z"), Mv("r1", WLoc(Loc(fn_label)))),
                  Halt(type_translation(arrow), zstack, "r1")),
         tuple(heap))
+    if OBS.enabled:
+        OBS.metrics.inc("jit.compile")
     return Lam(lam.params,
                App(Boundary(arrow, comp),
                    tuple(Var(x) for x, _ in lam.params)))

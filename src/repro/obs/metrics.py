@@ -1,0 +1,169 @@
+"""Counters, gauges, and histograms for the observability layer.
+
+A :class:`MetricsRegistry` is a plain-dict aggregator: ``inc`` is one
+dictionary update, so per-machine-step counting stays cheap even when
+instrumentation is on.  The registry is deliberately decoupled from the
+event bus -- per-increment events would flood a trace with millions of
+lines -- and instead :meth:`MetricsRegistry.flush_to` publishes one
+:class:`~repro.obs.events.Counter`/:class:`~repro.obs.events.Gauge` event
+per metric (the final totals) when an exporter wants them in-band.
+
+Canonical counter names used by the instrumentation hooks:
+
+===============================  ============================================
+``f.machine.steps``              pure-F reduction steps (both machines)
+``t.machine.steps``              T instruction/terminator steps
+``t.machine.components_loaded``  component heap merges
+``t.subst.instantiate``          code-block instantiations at jump time
+``t.subst.unpack``               type substitutions from ``unpack``
+``ft.boundary.f_to_t``           F-to-T crossings (``tauFT e`` components run)
+``ft.boundary.t_to_f``           T-to-F crossings (``import`` evaluations)
+``ft.translate.f_to_t``          value translations ``TFtau(v, M)``
+``ft.translate.t_to_f``          value translations ``tauFT(w, M)``
+``typecheck.t.instr.<op>``       T instruction typing rules, per opcode
+``typecheck.t.term.<op>``        T terminator typing rules, per opcode
+``typecheck.t.component``        component checks
+``typecheck.ft.expr.<form>``     FT expression judgments, per syntax form
+``typecheck.ft.import`` / ``.protect`` / ``.boundary``  the Fig 7 rules
+``jit.compile``                  actual compilations performed
+``jit.cache.hit`` / ``.miss``    compile-cache outcomes
+``trace.truncated``              bounded traces that hit their event cap
+===============================  ============================================
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = ["HistogramSummary", "MetricsRegistry"]
+
+
+class HistogramSummary:
+    """Streaming count/total/min/max summary of observed values."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total": round(self.total, 3),
+            "mean": round(self.mean, 3),
+            "min": round(self.min, 3) if self.min is not None else 0.0,
+            "max": round(self.max, 3) if self.max is not None else 0.0,
+        }
+
+
+class MetricsRegistry:
+    """Process-wide named counters, gauges, and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, HistogramSummary] = {}
+        self._lock = threading.Lock()
+
+    # -- the hot path ---------------------------------------------------
+
+    def inc(self, name: str, n: int = 1) -> None:
+        # One dict update; racing threads may drop an increment, which is
+        # an accepted trade for not locking the machine's step loop.
+        self._counters[name] = self._counters.get(name, 0) + n
+
+    def observe(self, name: str, value: float) -> None:
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms.setdefault(name, HistogramSummary())
+        hist.observe(value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self._gauges[name] = value
+
+    # -- reading --------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-ready copy: ``{"counters": ..., "gauges": ...,
+        "histograms": ...}`` with deterministic key order."""
+        with self._lock:
+            return {
+                "counters": dict(sorted(self._counters.items())),
+                "gauges": dict(sorted(self._gauges.items())),
+                "histograms": {
+                    k: v.as_dict()
+                    for k, v in sorted(self._histograms.items())
+                },
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    # -- bridging to the bus --------------------------------------------
+
+    def flush_to(self, bus, ts: Optional[int] = None) -> int:
+        """Publish one Counter/Gauge event per metric (final totals);
+        returns the number of events published."""
+        from repro.obs.events import Counter, Gauge
+
+        if ts is None:
+            ts = time.perf_counter_ns()
+        published = 0
+        for name, value in sorted(self._counters.items()):
+            bus.publish(Counter(name, value, ts))
+            published += 1
+        for name, value in sorted(self._gauges.items()):
+            bus.publish(Gauge(name, value, ts))
+            published += 1
+        return published
+
+    def format_table(self) -> str:
+        """Human-readable snapshot for ``funtal stats``."""
+        snap = self.snapshot()
+        lines: List[str] = []
+        if snap["counters"]:
+            width = max(len(k) for k in snap["counters"])
+            lines.append("counters")
+            lines.append("--------")
+            for name, value in snap["counters"].items():
+                lines.append(f"{name:<{width}}  {value}")
+        if snap["gauges"]:
+            width = max(len(k) for k in snap["gauges"])
+            lines.append("")
+            lines.append("gauges")
+            lines.append("------")
+            for name, value in snap["gauges"].items():
+                lines.append(f"{name:<{width}}  {value}")
+        if snap["histograms"]:
+            width = max(len(k) for k in snap["histograms"])
+            lines.append("")
+            lines.append("histograms (count / mean / min / max)")
+            lines.append("-------------------------------------")
+            for name, h in snap["histograms"].items():
+                lines.append(
+                    f"{name:<{width}}  {h['count']} / {h['mean']} / "
+                    f"{h['min']} / {h['max']}")
+        return "\n".join(lines) if lines else "(no metrics recorded)"

@@ -1,0 +1,223 @@
+"""Structured trace export: JSONL and Chrome-trace, with a round-trip loader.
+
+Three machine-readable views of an event stream:
+
+* :func:`export_jsonl` / :func:`load_jsonl` -- one JSON object per line,
+  tagged by ``"type"``; ``load_jsonl(export_jsonl(events))`` reconstructs
+  the original typed events exactly (dataclass equality), so traces can be
+  archived and re-analyzed offline.
+* :func:`export_chrome` -- the Chrome trace-event JSON format: open the
+  output in ``chrome://tracing`` (or https://ui.perfetto.dev) to see spans
+  as nested slices, counters as tracks, and machine control transfers as
+  instant events.
+* :func:`build_span_tree` -- reconstructs the nesting forest from the
+  ``parent_id`` chain, used by the tests to assert well-bracketed
+  cross-language spans.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, TextIO, \
+    Tuple, Union
+
+from repro.obs.events import Counter, Gauge, MachineEvent, ObsEvent, Span
+
+__all__ = [
+    "event_to_dict", "event_from_dict", "export_jsonl", "load_jsonl",
+    "export_chrome", "build_span_tree", "SpanNode",
+]
+
+
+# ---------------------------------------------------------------------------
+# JSONL
+# ---------------------------------------------------------------------------
+
+def event_to_dict(event: ObsEvent) -> Dict[str, Any]:
+    """A JSON-ready dict with a ``"type"`` tag."""
+    if isinstance(event, Span):
+        return {
+            "type": "span", "name": event.name, "cat": event.cat,
+            "start": event.start, "end": event.end,
+            "span_id": event.span_id, "parent_id": event.parent_id,
+            "args": {k: v for k, v in event.args},
+        }
+    if isinstance(event, Counter):
+        return {"type": "counter", "name": event.name, "value": event.value,
+                "ts": event.ts, "cat": event.cat}
+    if isinstance(event, Gauge):
+        return {"type": "gauge", "name": event.name, "value": event.value,
+                "ts": event.ts, "cat": event.cat}
+    if isinstance(event, MachineEvent):
+        return {
+            "type": "machine", "step": event.step, "kind": event.kind,
+            "target": event.target,
+            "regs": [[r, w] for r, w in event.regs],
+            "stack": list(event.stack), "detail": event.detail,
+            "ts": event.ts,
+        }
+    raise TypeError(f"not an observability event: {event!r}")
+
+
+def event_from_dict(data: Dict[str, Any]) -> ObsEvent:
+    """Inverse of :func:`event_to_dict`."""
+    tag = data.get("type")
+    if tag == "span":
+        return Span(
+            data["name"], data["cat"], data["start"], data["end"],
+            data["span_id"], data.get("parent_id"),
+            tuple((k, v) for k, v in data.get("args", {}).items()))
+    if tag == "counter":
+        return Counter(data["name"], data["value"], data["ts"],
+                       data.get("cat", "metric"))
+    if tag == "gauge":
+        return Gauge(data["name"], data["value"], data["ts"],
+                     data.get("cat", "metric"))
+    if tag == "machine":
+        return MachineEvent(
+            data["step"], data["kind"], data.get("target"),
+            tuple((r, w) for r, w in data.get("regs", [])),
+            tuple(data.get("stack", [])), data.get("detail", ""),
+            data.get("ts", 0))
+    raise ValueError(f"unknown event type tag {tag!r}")
+
+
+def _open_sink(sink: Union[str, TextIO, None]):
+    """Return ``(file, should_close)`` for a path / file / None (StringIO)."""
+    if sink is None:
+        return io.StringIO(), False
+    if isinstance(sink, str):
+        return open(sink, "w", encoding="utf-8"), True
+    return sink, False
+
+
+def export_jsonl(events: Iterable[ObsEvent],
+                 sink: Union[str, TextIO, None] = None) -> str:
+    """Write one JSON object per line; returns the full text."""
+    out, close = _open_sink(sink)
+    lines = []
+    try:
+        for event in events:
+            line = json.dumps(event_to_dict(event), sort_keys=True)
+            out.write(line + "\n")
+            lines.append(line)
+    finally:
+        if close:
+            out.close()
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def load_jsonl(source: Union[str, TextIO]) -> List[ObsEvent]:
+    """Load events from JSONL text, a path, or an open file."""
+    if isinstance(source, str):
+        if "\n" in source or source.lstrip().startswith("{"):
+            text = source
+        else:
+            with open(source, "r", encoding="utf-8") as handle:
+                text = handle.read()
+    else:
+        text = source.read()
+    events: List[ObsEvent] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            events.append(event_from_dict(json.loads(line)))
+    return events
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event format
+# ---------------------------------------------------------------------------
+
+def _ns_to_us(ns: int) -> float:
+    return ns / 1000.0
+
+
+def export_chrome(events: Iterable[ObsEvent],
+                  sink: Union[str, TextIO, None] = None) -> str:
+    """Write a ``chrome://tracing``-loadable JSON document."""
+    trace_events: List[Dict[str, Any]] = []
+    for event in events:
+        if isinstance(event, Span):
+            trace_events.append({
+                "name": event.name, "cat": event.cat or "span", "ph": "X",
+                "ts": _ns_to_us(event.start),
+                "dur": _ns_to_us(event.duration_ns),
+                "pid": 1, "tid": 1,
+                "args": {k: v for k, v in event.args},
+            })
+        elif isinstance(event, (Counter, Gauge)):
+            trace_events.append({
+                "name": event.name, "cat": event.cat, "ph": "C",
+                "ts": _ns_to_us(event.ts), "pid": 1,
+                "args": {event.name: event.value},
+            })
+        elif isinstance(event, MachineEvent):
+            name = event.kind if not event.target else \
+                f"{event.kind} -> {event.pretty_label()}"
+            trace_events.append({
+                "name": name, "cat": "machine", "ph": "i",
+                "ts": _ns_to_us(event.ts), "pid": 1, "tid": 1, "s": "t",
+                "args": {
+                    "step": event.step, "detail": event.detail,
+                    "regs": {r: w for r, w in event.regs},
+                    "stack": list(event.stack),
+                },
+            })
+    document = json.dumps(
+        {"traceEvents": trace_events, "displayTimeUnit": "ms"},
+        sort_keys=True)
+    out, close = _open_sink(sink)
+    try:
+        out.write(document + "\n")
+    finally:
+        if close:
+            out.close()
+    return document
+
+
+# ---------------------------------------------------------------------------
+# Span trees
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SpanNode:
+    """A span plus its (start-ordered) children."""
+
+    span: Span
+    children: List["SpanNode"] = field(default_factory=list)
+
+    def walk(self):
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def pretty(self, indent: int = 0) -> str:
+        lines = [" " * indent + f"{self.span.name} [{self.span.cat}]"]
+        for child in self.children:
+            lines.append(child.pretty(indent + 2))
+        return "\n".join(lines)
+
+
+def build_span_tree(events: Iterable[ObsEvent]) -> List[SpanNode]:
+    """Reconstruct the nesting forest from ``parent_id`` links.
+
+    Spans arrive in *completion* order (children first); the result's
+    roots and every ``children`` list are sorted by start time.
+    """
+    spans = [e for e in events if isinstance(e, Span)]
+    nodes = {s.span_id: SpanNode(s) for s in spans}
+    roots: List[SpanNode] = []
+    for span in spans:
+        node = nodes[span.span_id]
+        parent = nodes.get(span.parent_id) if span.parent_id else None
+        if parent is not None:
+            parent.children.append(node)
+        else:
+            roots.append(node)
+    for node in nodes.values():
+        node.children.sort(key=lambda n: n.span.start)
+    roots.sort(key=lambda n: n.span.start)
+    return roots

@@ -26,10 +26,12 @@ FT's extra instructions are handled by the subclass hook
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.errors import FuelExhausted, MachineError
+from repro.obs.events import MachineEvent, OBS
 from repro.tal.heap import Memory, RegSnapshot, StackSnapshot
 from repro.tal.subst import instantiate_code_block
 from repro.tal.syntax import (
@@ -155,20 +157,42 @@ class TalMachine:
     """Executes T instruction sequences against a shared memory."""
 
     def __init__(self, memory: Optional[Memory] = None,
-                 trace: bool = False):
+                 trace: bool = False, max_events: Optional[int] = None):
         self.memory = memory if memory is not None else Memory()
         self.trace_enabled = trace
         self.trace: List[TraceEvent] = []
+        self.max_events = max_events
+        self._truncated = False
         self.steps = 0
 
     # -- tracing ------------------------------------------------------
 
     def emit(self, kind: str, target: Optional[str] = None,
              detail: str = "") -> None:
-        if self.trace_enabled:
-            self.trace.append(TraceEvent(
-                self.steps, kind, target, self.memory.snapshot_regs(),
-                self.memory.snapshot_stack(), detail))
+        publish = OBS.enabled and OBS.bus.active
+        if not (self.trace_enabled and not self._truncated) and not publish:
+            return
+        ev = TraceEvent(
+            self.steps, kind, target, self.memory.snapshot_regs(),
+            self.memory.snapshot_stack(), detail)
+        if self.trace_enabled and not self._truncated:
+            if self.max_events is None or len(self.trace) < self.max_events:
+                self.trace.append(ev)
+            else:
+                # cap hit: record one sentinel, then stop retaining events
+                # so fuel-heavy runs can't exhaust memory while tracing.
+                self._truncated = True
+                self.trace.append(TraceEvent(
+                    self.steps, "truncated", None, (), (),
+                    f"trace capped at {self.max_events} events"))
+                if OBS.enabled:
+                    OBS.metrics.inc("trace.truncated")
+        if publish:
+            OBS.bus.publish(MachineEvent(
+                ev.step, ev.kind, ev.target,
+                tuple((r, str(w)) for r, w in ev.regs),
+                tuple(str(w) for w in ev.stack), ev.detail,
+                time.perf_counter_ns()))
 
     # -- component loading --------------------------------------------
 
@@ -179,6 +203,8 @@ class TalMachine:
         for loc, h in comp.heap:
             self.memory.bind(mapping[loc], rename_locs(h, mapping), BOX)
         instrs = rename_locs(comp.instrs, mapping)
+        if OBS.enabled:
+            OBS.metrics.inc("t.machine.components_loaded")
         self.emit("enter", None,
                   detail=f"merged {len(mapping)} block(s)")
         return instrs
@@ -230,6 +256,8 @@ class TalMachine:
             raise MachineError(
                 f"block {loc} instantiated with {len(all_omegas)} "
                 f"arguments but abstracts {len(block.delta)}")
+        if OBS.enabled:
+            OBS.metrics.inc("t.subst.instantiate")
         inst = instantiate_code_block(block, all_omegas)
         if inst.delta:
             raise MachineError(
@@ -297,6 +325,8 @@ class TalMachine:
             if not isinstance(w, Pack):
                 raise MachineError(f"unpack of non-package value {w}")
             mem.set_reg(i.rd, w.body)  # type: ignore[arg-type]
+            if OBS.enabled:
+                OBS.metrics.inc("t.subst.unpack")
             return subst_instr_seq(
                 rest, Subst.single(KIND_ALPHA, i.alpha, w.hidden))
         if isinstance(i, UnfoldI):
@@ -343,6 +373,8 @@ class TalMachine:
         if isinstance(state, HaltedState):
             return state
         self.steps += 1
+        if OBS.enabled:
+            OBS.metrics.inc("t.machine.steps")
         if state.instrs:
             head, rest = state.instrs[0], state.rest
             if isinstance(head, Bnz):
@@ -361,14 +393,15 @@ class TalMachine:
         return self.exec_terminator(state.term)
 
     def run_seq(self, iseq: InstrSeq, fuel: int = 1_000_000) -> HaltedState:
-        state: MachineState = iseq
-        for _ in range(fuel):
+        with OBS.span("t.run_seq", "t"):
+            state: MachineState = iseq
+            for _ in range(fuel):
+                if isinstance(state, HaltedState):
+                    return state
+                state = self.step(state)
             if isinstance(state, HaltedState):
                 return state
-            state = self.step(state)
-        if isinstance(state, HaltedState):
-            return state
-        raise FuelExhausted(fuel)
+            raise FuelExhausted(fuel)
 
     def run_component(self, comp: Component,
                       fuel: int = 1_000_000) -> HaltedState:
@@ -376,8 +409,10 @@ class TalMachine:
 
 
 def run_component(comp: Component, fuel: int = 1_000_000,
-                  trace: bool = False) -> Tuple[HaltedState, TalMachine]:
+                  trace: bool = False,
+                  max_events: Optional[int] = None
+                  ) -> Tuple[HaltedState, TalMachine]:
     """Run a closed T component in a fresh memory; returns the halt state
     and the machine (for its memory and trace)."""
-    machine = TalMachine(trace=trace)
+    machine = TalMachine(trace=trace, max_events=max_events)
     return machine.run_component(comp, fuel), machine

@@ -45,6 +45,7 @@ from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple
 
 from repro.errors import FTTypeError
+from repro.obs.events import OBS
 from repro.tal.equality import (
     chis_equal, qs_equal, stacks_equal, types_equal,
 )
@@ -197,6 +198,8 @@ class TalTypechecker:
 
     def step_instruction(self, st: InstrState, i: Instruction) -> InstrState:
         """``Psi; Delta; chi; sigma; q |- iota => Delta'; chi'; sigma'; q'``."""
+        if OBS.enabled:
+            OBS.metrics.inc(f"typecheck.t.instr.{type(i).__name__.lower()}")
         if isinstance(i, Mv):
             return self._step_mv(st, i)
         if isinstance(i, Aop):
@@ -435,6 +438,8 @@ class TalTypechecker:
     # ------------------------------------------------------------------
 
     def check_terminator(self, st: InstrState, t: Terminator) -> None:
+        if OBS.enabled:
+            OBS.metrics.inc(f"typecheck.t.term.{type(t).__name__.lower()}")
         if isinstance(t, Halt):
             self._check_halt(st, t)
         elif isinstance(t, Jmp):
@@ -655,6 +660,8 @@ class TalTypechecker:
     def check_component(self, st: InstrState,
                         comp: Component) -> Tuple[TalType, StackTy]:
         """``Psi; Delta; chi; sigma; q |- (I, H) : tau; sigma'``."""
+        if OBS.enabled:
+            OBS.metrics.inc("typecheck.t.component")
         for loc, _ in comp.heap:
             if loc in self.psi:
                 raise _fail(

@@ -1,5 +1,7 @@
 """Tests for the ``funtal`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -88,3 +90,64 @@ class TestExamples:
 
     def test_unknown_name(self, capsys):
         assert main(["examples", "nope"]) == 2
+
+    def test_figure_alias(self, capsys):
+        assert main(["examples", "fig11"]) == 0
+        assert "value:" in capsys.readouterr().out
+
+
+class TestTrace:
+    def test_jsonl_parses_and_counts_crossings(self, capsys):
+        assert main(["trace", "fig17", "--format", "jsonl"]) == 0
+        out = capsys.readouterr().out
+        events = [json.loads(line) for line in out.splitlines() if line]
+        assert events
+        counters = {e["name"]: e["value"] for e in events
+                    if e["type"] == "counter"}
+        # Fig 17: fact_t applied crosses F->T twice (the arrow boundary
+        # and the callback lambda's) and T->F once (the argument import);
+        # fact_f stays in F.
+        assert counters["ft.boundary.f_to_t"] == 2
+        assert counters["ft.boundary.t_to_f"] == 1
+
+    def test_table_format(self, capsys):
+        assert main(["trace", "fig17", "--format", "table"]) == 0
+        out = capsys.readouterr().out
+        assert "control flow" in out
+        assert "boundary crossings:" in out
+
+    def test_chrome_format(self, capsys):
+        assert main(["trace", "fig16", "--format", "chrome"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["traceEvents"]
+
+    def test_out_file(self, tmp_path, capsys):
+        path = str(tmp_path / "trace.jsonl")
+        assert main(["trace", "fig17", "--format", "jsonl",
+                     "--out", path]) == 0
+        from repro.obs.trace_export import load_jsonl
+
+        assert load_jsonl(path)
+        assert "wrote" in capsys.readouterr().err
+
+    def test_unknown_example(self, capsys):
+        assert main(["trace", "nope"]) == 2
+
+
+class TestStats:
+    def test_json_smoke(self, capsys):
+        assert main(["stats", "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert set(snapshot) == {"counters", "gauges", "histograms"}
+
+    def test_example_json(self, capsys):
+        assert main(["stats", "fig17", "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["counters"]["ft.boundary.f_to_t"] == 2
+
+    def test_example_table(self, capsys):
+        assert main(["stats", "fact-t"]) == 0
+        assert "t.machine.steps" in capsys.readouterr().out
+
+    def test_unknown_example(self, capsys):
+        assert main(["stats", "nope"]) == 2
