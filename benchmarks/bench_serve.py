@@ -1,0 +1,151 @@
+"""Serving-layer benchmarks: batch throughput vs the sequential baseline,
+and result-cache effectiveness on resubmission.
+
+Writes ``BENCH_serve.json`` at the repository root (alongside
+``BENCH_obs.json``) so CI can archive the serving trajectory:
+
+* ``throughput`` -- the same job list run (a) sequentially in-process
+  (the ``funtal examples --run`` baseline) and (b) through a 4-worker
+  :class:`~repro.serve.pool.WorkerPool` batch, with the measured speedup
+  and the host's CPU count.  The ISSUE's >= 2x acceptance bound is only
+  *asserted* when the host actually has >= 4 CPUs -- a single-core
+  container cannot express parallel speedup, but the numbers are
+  recorded either way so a multi-core CI run enforces it.
+* ``cache`` -- a cold batch vs an identical resubmitted batch; the
+  resubmission must be >= 90% cache-served (asserted unconditionally,
+  it is deterministic).
+"""
+
+import json
+import os
+import pathlib
+import time
+
+import pytest
+
+from repro.serve.cache import ResultCache
+from repro.serve.executor import execute_job
+from repro.serve.pool import WorkerPool
+from repro.serve.protocol import Job, JobOptions
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+_BENCH_SERVE_PATH = _REPO_ROOT / "BENCH_serve.json"
+
+_RESULTS = {}
+
+REPEATS = 20          # example set x repeats = the benchmark batch
+WORKERS = 4
+
+
+def _cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:      # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _example_jobs(repeats: int, no_cache: bool = False):
+    from repro.papers_examples import example_entries
+
+    return [Job("run", id=f"{name}#{rep}", example=name,
+                options=JobOptions(no_cache=no_cache))
+            for rep in range(repeats)
+            for name in example_entries()]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def write_artifact():
+    """Collect every benchmark's rows, then write the JSON artifact."""
+    yield
+    if _RESULTS:
+        _RESULTS["cpus"] = _cpus()
+        _BENCH_SERVE_PATH.write_text(
+            json.dumps(_RESULTS, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+
+
+def test_batch_throughput_vs_sequential(record):
+    jobs = _example_jobs(REPEATS, no_cache=True)
+
+    # Warm the in-process machinery, then time the sequential baseline.
+    execute_job(jobs[0])
+    start = time.perf_counter()
+    seq_results = [execute_job(job) for job in jobs]
+    sequential_s = time.perf_counter() - start
+    assert all(r.ok for r in seq_results)
+
+    with WorkerPool(WORKERS) as pool:
+        # One warm-up round trip so worker spawn cost is not billed to
+        # the steady-state batch measurement.
+        pool.submit(Job("run", example="fig17",
+                        options=JobOptions(no_cache=True))).wait(30.0)
+        start = time.perf_counter()
+        results = pool.run_batch(jobs, timeout=300.0)
+        batch_s = time.perf_counter() - start
+    assert all(r.ok for r in results)
+
+    cpus = _cpus()
+    speedup = sequential_s / batch_s if batch_s else float("inf")
+    _RESULTS["throughput"] = {
+        "jobs": len(jobs),
+        "workers": WORKERS,
+        "sequential_s": round(sequential_s, 4),
+        "batch_s": round(batch_s, 4),
+        "speedup": round(speedup, 3),
+        "jobs_per_s_batch": round(len(jobs) / batch_s, 1),
+        "speedup_asserted": cpus >= WORKERS,
+    }
+    record(f"serve: {len(jobs)} jobs sequential={sequential_s:.3f}s "
+           f"batch({WORKERS}w)={batch_s:.3f}s speedup={speedup:.2f}x "
+           f"(cpus={cpus})")
+    if cpus >= WORKERS:
+        # The ISSUE acceptance bound; meaningless without the cores.
+        assert speedup >= 2.0, (
+            f"batch on {WORKERS} workers only {speedup:.2f}x faster "
+            f"than sequential on a {cpus}-CPU host")
+
+
+def test_cache_resubmission_hit_rate(record):
+    jobs = _example_jobs(REPEATS)
+    with WorkerPool(WORKERS, cache=ResultCache(4096)) as pool:
+        start = time.perf_counter()
+        cold = pool.run_batch(jobs, timeout=300.0)
+        cold_s = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = pool.run_batch(jobs, timeout=300.0)
+        warm_s = time.perf_counter() - start
+    assert all(r.ok for r in cold) and all(r.ok for r in warm)
+
+    hit_rate = sum(r.cached for r in warm) / len(warm)
+    _RESULTS["cache"] = {
+        "jobs": len(jobs),
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "warm_speedup": round(cold_s / warm_s, 2) if warm_s else None,
+        "hit_rate": round(hit_rate, 3),
+    }
+    record(f"serve: resubmitted batch hit rate {hit_rate:.0%} "
+           f"cold={cold_s:.3f}s warm={warm_s:.3f}s")
+    assert hit_rate >= 0.9
+
+
+def test_single_job_latency(record):
+    """Round-trip latency through the pool for one tiny job, cold cache
+    vs cache-served -- the interactive-use numbers."""
+    job = Job("run", source="((2 + 3) * 10)")
+    with WorkerPool(1, cache=ResultCache(64)) as pool:
+        pool.submit(Job("run", example="fig17")).wait(30.0)   # warm-up
+        start = time.perf_counter()
+        fresh = pool.submit(job).wait(30.0)
+        fresh_ms = (time.perf_counter() - start) * 1000.0
+        start = time.perf_counter()
+        served = pool.submit(job).wait(30.0)
+        served_ms = (time.perf_counter() - start) * 1000.0
+    assert fresh.ok and served.ok and served.cached
+    _RESULTS["latency"] = {
+        "fresh_ms": round(fresh_ms, 3),
+        "cached_ms": round(served_ms, 3),
+    }
+    record(f"serve: single-job latency fresh={fresh_ms:.2f}ms "
+           f"cached={served_ms:.3f}ms")
+    assert served_ms < fresh_ms

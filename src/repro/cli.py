@@ -7,16 +7,29 @@ The reproduction's counterpart to the paper artifact's in-browser tools::
     funtal run FILE [--fuel N] [--trace]   # evaluate; --trace prints the
                                  # jump-level control-flow table
     funtal examples [NAME]       # list / run the built-in paper examples
+    funtal examples --run        # run every example sequentially
     funtal trace NAME --format jsonl|chrome|table
                                  # run a paper example under the
                                  # observability layer and export the trace
     funtal stats [NAME] [--json] # metrics snapshot (optionally after
                                  # running an example under instrumentation)
+    funtal serve [--port P] [--workers N]  # JSON-lines TCP evaluation
+                                 # service over a crash-isolated pool
+    funtal submit FILE [--kind K]          # send one job to a server
+    funtal batch FILE.jsonl [--workers N]  # run a job file on a local pool
+    funtal batch --examples --workers 4    # ... or all paper examples
 
 FILE contains either an F(T) expression or a bare T component in the
 surface syntax (see README).  ``-`` reads from stdin.  Figure names
 (``fig11``, ``fig16``, ``fig17``) alias the corresponding examples; see
-``docs/observability.md`` for the tracing workflow.
+``docs/observability.md`` for the tracing workflow and
+``docs/serving.md`` for the evaluation service.
+
+Exit codes: 0 success; 1 library error (parse/type/machine); 2 bad
+usage/unknown name; 3 equivalence refuted; 4 lint warnings; 5 fuel
+exhausted (:class:`~repro.errors.FuelExhausted` -- the bounded machines'
+divergence verdict, reported as one line, never a traceback); 6 a served
+job failed (crashed/timed out/rejected).
 """
 
 from __future__ import annotations
@@ -26,15 +39,24 @@ import sys
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.analysis.trace import control_flow_table, format_table
-from repro.errors import FunTALError
+from repro.errors import FuelExhausted, FunTALError
 from repro.f.syntax import FExpr
 from repro.ft.machine import evaluate_ft, run_ft_component
 from repro.ft.typecheck import check_ft_component, check_ft_expr
+from repro.papers_examples import (
+    EXAMPLE_ALIASES, example_entries as _example_entries,
+    resolve_example as _resolve_example,
+)
 from repro.surface.parser import parse_program
 from repro.surface.pretty import pretty_component
 from repro.tal.syntax import Component, NIL_STACK, QEnd, TalType
 
-__all__ = ["main", "EXAMPLES"]
+__all__ = ["main", "EXAMPLES", "EXIT_FUEL_EXHAUSTED", "EXIT_JOB_FAILED"]
+
+#: Dedicated exit code for FuelExhausted (bounded evaluation ran dry).
+EXIT_FUEL_EXHAUSTED = 5
+#: Dedicated exit code for a failed served job (submit/batch).
+EXIT_JOB_FAILED = 6
 
 
 def _load(path: str) -> str:
@@ -163,53 +185,34 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 0 if total == 0 else 4
 
 
-def _example_entries() -> Dict[str, Tuple[str, Callable[[], FExpr]]]:
-    from repro.f.syntax import App, IntE, TupleE
-    from repro.papers_examples import (
-        fig11_jit, fig16_two_blocks, fig17_factorial,
-    )
-
-    return {
-        "jit-source": ("Fig 11 source program (pure F)",
-                       fig11_jit.build_source),
-        "jit": ("Fig 11 JIT-compiled mixed program", fig11_jit.build_jit),
-        "two-blocks-1": ("Fig 16 one-block add-two, applied to 5",
-                         lambda: App(fig16_two_blocks.build_f1(),
-                                     (IntE(5),))),
-        "two-blocks-2": ("Fig 16 two-block add-two, applied to 5",
-                         lambda: App(fig16_two_blocks.build_f2(),
-                                     (IntE(5),))),
-        "fact-f": ("Fig 17 functional factorial of 6",
-                   lambda: App(fig17_factorial.build_fact_f(), (IntE(6),))),
-        "fact-t": ("Fig 17 imperative factorial of 6",
-                   lambda: App(fig17_factorial.build_fact_t(), (IntE(6),))),
-        "fig17": ("Fig 17 both factorials of 6 (functional, then "
-                  "imperative)",
-                  lambda: TupleE((
-                      App(fig17_factorial.build_fact_f(), (IntE(6),)),
-                      App(fig17_factorial.build_fact_t(), (IntE(6),))))),
-    }
-
-
-#: Figure-number aliases accepted wherever an example name is.
-EXAMPLE_ALIASES = {
-    "fig11": "jit",
-    "fig11-source": "jit-source",
-    "fig16": "two-blocks-2",
-}
-
-
-def _resolve_example(name: str):
-    """Look up an example by name or figure alias; None when unknown."""
-    entries = _example_entries()
-    return entries.get(EXAMPLE_ALIASES.get(name, name))
-
-
+#: Back-compat alias: the registry now lives in repro.papers_examples.
 EXAMPLES = _example_entries
+
+
+def _run_one_example(name: str, blurb: str, build: Callable[[], FExpr],
+                     trace: bool) -> None:
+    program = build()
+    print(f"-- {name}: {blurb}")
+    print(program)
+    ty, _ = check_ft_expr(program)
+    print(f"type: {ty}")
+    value, machine = evaluate_ft(program, trace=trace)
+    print(f"value: {value}")
+    if trace:
+        print()
+        print(format_table(control_flow_table(machine.trace),
+                           title="control flow"))
 
 
 def cmd_examples(args: argparse.Namespace) -> int:
     entries = _example_entries()
+    if args.run:
+        # Sequentially typecheck + evaluate every example -- the one-
+        # process baseline that `funtal batch --examples` parallelizes.
+        for name, (blurb, build) in entries.items():
+            _run_one_example(name, blurb, build, args.trace)
+        print(f"ran {len(entries)} examples")
+        return 0
     if not args.name:
         print("built-in paper examples (funtal examples NAME to run):")
         for name, (blurb, _) in entries.items():
@@ -219,29 +222,22 @@ def cmd_examples(args: argparse.Namespace) -> int:
     if entry is None:
         print(f"unknown example {args.name!r}", file=sys.stderr)
         return 2
-    blurb, build = entry
-    program = build()
-    print(f"-- {blurb}")
-    print(program)
-    ty, _ = check_ft_expr(program)
-    print(f"type: {ty}")
-    value, machine = evaluate_ft(program, trace=args.trace)
-    print(f"value: {value}")
-    if args.trace:
-        print()
-        print(format_table(control_flow_table(machine.trace),
-                           title="control flow"))
+    _run_one_example(args.name, entry[0], entry[1], args.trace)
     return 0
 
 
 def _run_example_instrumented(name: str, fuel: int):
     """Run a paper example under the observability layer; returns
-    ``(value, machine, events, metrics_snapshot)`` or ``None`` if the name
-    is unknown."""
+    ``(value, machine, events, metrics_snapshot)`` or ``None`` (after
+    printing the shared unknown-example message) if the name is unknown.
+    This is the one instrumented-run path shared by ``funtal trace`` and
+    ``funtal stats``."""
     from repro import obs
 
     entry = _resolve_example(name)
     if entry is None:
+        print(f"unknown example {name!r} (see 'funtal examples')",
+              file=sys.stderr)
         return None
     _, build = entry
     program = build()
@@ -267,8 +263,6 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
     result = _run_example_instrumented(args.example, args.fuel)
     if result is None:
-        print(f"unknown example {args.example!r} (see 'funtal examples')",
-              file=sys.stderr)
         return 2
     value, machine, events, snapshot = result
 
@@ -314,12 +308,11 @@ def cmd_stats(args: argparse.Namespace) -> int:
     if args.example:
         result = _run_example_instrumented(args.example, args.fuel)
         if result is None:
-            print(f"unknown example {args.example!r} "
-                  "(see 'funtal examples')", file=sys.stderr)
             return 2
         snapshot = result[3]
     else:
         snapshot = obs.OBS.metrics.snapshot()
+        snapshot["jit_compile_cache"] = _jit_cache_stats()
     if args.json:
         print(_json.dumps(snapshot, indent=2, sort_keys=True))
     else:
@@ -328,16 +321,170 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _jit_cache_stats() -> Dict:
+    """The JIT's compile cache (a shared :class:`repro.serve.cache.LRUCache`)
+    as a stats dict, without forcing the jit import if it never ran."""
+    import sys as _sys
+
+    compiler = _sys.modules.get("repro.jit.compiler")
+    if compiler is None:
+        return {"size": 0, "maxsize": 0, "hits": 0, "misses": 0,
+                "evictions": 0}
+    return compiler.COMPILE_CACHE.stats()
+
+
 def _format_snapshot(snapshot: Dict) -> str:
-    if not any(snapshot.values()):
-        return "(no metrics recorded in this process)"
     lines = []
     for section in ("counters", "gauges"):
         for name, value in snapshot[section].items():
             lines.append(f"{name}  {value}")
     for name, h in snapshot["histograms"].items():
         lines.append(f"{name}  count={h['count']} mean={h['mean']}")
+    jit_cache = snapshot.get("jit_compile_cache", {})
+    if jit_cache.get("hits") or jit_cache.get("misses"):
+        lines.append(
+            "jit compile cache  size={size}/{maxsize} hits={hits} "
+            "misses={misses} evictions={evictions}".format(**jit_cache))
+    if not lines:
+        return "(no metrics recorded in this process)"
     return "\n".join(lines)
+
+
+def _job_from_args(args: argparse.Namespace):
+    """Build a protocol Job from submit-style CLI options."""
+    from repro.serve.protocol import Job, JobOptions
+
+    options = JobOptions(
+        fuel=args.fuel, timeout=args.timeout,
+        result_type=args.result_type, trace=getattr(args, "trace", False),
+        optimize=getattr(args, "optimize", False),
+        check=getattr(args, "check", False),
+        seed=getattr(args, "seed", 0),
+        type=getattr(args, "type", None),
+        right=_load(args.right) if getattr(args, "right", None) else None,
+        no_cache=getattr(args, "no_cache", False),
+    )
+    if args.example:
+        return Job(args.kind, example=args.example, options=options)
+    if not args.file:
+        raise FunTALError("need a FILE or --example")
+    return Job(args.kind, source=_load(args.file), options=options)
+
+
+def _result_exit_code(result) -> int:
+    if result.ok:
+        return 0
+    if result.status == "fuel_exhausted":
+        return EXIT_FUEL_EXHAUSTED
+    if result.status in ("timeout", "crashed", "rejected"):
+        return EXIT_JOB_FAILED
+    return 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro import obs
+    from repro.serve.server import ServeServer
+
+    obs.enable(record=False)        # serve.* counters on, no event buffer
+    server = ServeServer(
+        args.host, args.port, workers=args.workers,
+        cache_size=args.cache_size, queue_size=args.queue_size,
+        default_timeout=args.timeout, max_retries=args.max_retries)
+
+    async def _serve() -> None:
+        # Bind first, announce second: with --port 0 the kernel picks the
+        # port, so the banner must read it back from the bound socket.
+        await server.start()
+        print(f"funtal serve: listening on {args.host}:{server.port} "
+              f"({args.workers} workers, cache {args.cache_size}, "
+              f"queue {args.queue_size})", file=sys.stderr, flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.pool.close()
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.serve.client import ServeClient
+
+    job = _job_from_args(args)
+    with ServeClient(args.host, args.port) as client:
+        result = client.submit(job)
+    print(_json.dumps(result.to_dict(), sort_keys=True))
+    return _result_exit_code(result)
+
+
+def _batch_rounds(args: argparse.Namespace):
+    """The batch's work as a list of *rounds*.  Each round is one
+    ``run_batch`` call, so with ``--repeat`` every round after the first
+    is a genuine resubmission that can be served from the result cache
+    (whereas one bulk submission would race its own first round)."""
+    from repro.serve.protocol import Job, JobOptions, jobs_from_jsonl
+
+    if args.examples:
+        return [
+            [Job("run", id=f"{name}#{rep}", example=name,
+                 options=JobOptions(timeout=args.timeout,
+                                    no_cache=args.no_cache))
+             for name in _example_entries()]
+            for rep in range(args.repeat)]
+    if not args.file:
+        raise FunTALError("need a FILE.jsonl or --examples")
+    jobs = jobs_from_jsonl(_load(args.file))
+    for job in jobs:
+        if args.no_cache:
+            job.options.no_cache = True
+        if args.timeout and job.options.timeout is None:
+            job.options.timeout = args.timeout
+    return [jobs]
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    import json as _json
+    import time as _time
+
+    from repro import obs
+    from repro.serve.cache import ResultCache
+    from repro.serve.pool import WorkerPool
+
+    obs.enable(record=False)
+    rounds = _batch_rounds(args)
+    out = open(args.out, "w", encoding="utf-8") if args.out else sys.stdout
+    try:
+        start = _time.perf_counter()
+        results = []
+        with WorkerPool(args.workers,
+                        cache=None if args.no_cache
+                        else ResultCache(args.cache_size),
+                        default_timeout=args.timeout or 30.0,
+                        max_retries=args.max_retries) as pool:
+            for round_jobs in rounds:
+                results.extend(pool.run_batch(round_jobs))
+        wall = _time.perf_counter() - start
+        for result in results:
+            print(_json.dumps(result.to_dict(), sort_keys=True), file=out)
+    finally:
+        if args.out:
+            out.close()
+    ok = sum(r.ok for r in results)
+    cached = sum(r.cached for r in results)
+    summary = {
+        "jobs": len(results), "ok": ok, "failed": len(results) - ok,
+        "cached": cached, "workers": args.workers,
+        "wall_s": round(wall, 3),
+        "jobs_per_s": round(len(results) / wall, 1) if wall else 0.0,
+    }
+    print(f"batch: {_json.dumps(summary, sort_keys=True)}", file=sys.stderr)
+    return 0 if ok == len(results) else EXIT_JOB_FAILED
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -393,6 +540,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p_ex = sub.add_parser("examples", help="list or run paper examples")
     p_ex.add_argument("name", nargs="?")
     p_ex.add_argument("--trace", action="store_true")
+    p_ex.add_argument("--run", action="store_true",
+                      help="run every example sequentially (the one-"
+                           "process baseline for 'funtal batch "
+                           "--examples')")
     p_ex.set_defaults(fn=cmd_examples)
 
     p_tr = sub.add_parser(
@@ -419,6 +570,64 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p_st.add_argument("--json", action="store_true")
     p_st.add_argument("--fuel", type=int, default=1_000_000)
     p_st.set_defaults(fn=cmd_stats)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the JSON-lines TCP evaluation service over a "
+             "crash-isolated worker pool")
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=4017)
+    p_srv.add_argument("--workers", type=int, default=2)
+    p_srv.add_argument("--cache-size", type=int, default=1024,
+                       help="result-cache entries (0 disables caching)")
+    p_srv.add_argument("--queue-size", type=int, default=256,
+                       help="bounded pending queue (backpressure limit)")
+    p_srv.add_argument("--timeout", type=float, default=30.0,
+                       help="default per-job wall-clock seconds")
+    p_srv.add_argument("--max-retries", type=int, default=2)
+    p_srv.set_defaults(fn=cmd_serve)
+
+    p_sub = sub.add_parser(
+        "submit", help="submit one job to a running funtal serve")
+    p_sub.add_argument("file", nargs="?",
+                       help="program file ('-' for stdin)")
+    p_sub.add_argument("--kind", default="run",
+                       choices=("parse", "typecheck", "run", "jit",
+                                "equiv"))
+    p_sub.add_argument("--example", help="built-in example instead of FILE")
+    p_sub.add_argument("--host", default="127.0.0.1")
+    p_sub.add_argument("--port", type=int, default=4017)
+    p_sub.add_argument("--fuel", type=int, default=None)
+    p_sub.add_argument("--timeout", type=float, default=None,
+                       help="per-job wall-clock seconds")
+    p_sub.add_argument("--result-type", default="int")
+    p_sub.add_argument("--trace", action="store_true")
+    p_sub.add_argument("--optimize", action="store_true")
+    p_sub.add_argument("--check", action="store_true")
+    p_sub.add_argument("--seed", type=int, default=0)
+    p_sub.add_argument("--type", help="equiv: the common F type")
+    p_sub.add_argument("--right", help="equiv: right-hand program file")
+    p_sub.add_argument("--no-cache", action="store_true")
+    p_sub.set_defaults(fn=cmd_submit)
+
+    p_bat = sub.add_parser(
+        "batch",
+        help="run a .jsonl job file (or all paper examples) on a local "
+             "worker pool")
+    p_bat.add_argument("file", nargs="?",
+                       help="jobs, one JSON object per line ('-' stdin)")
+    p_bat.add_argument("--examples", action="store_true",
+                       help="run every built-in paper example instead "
+                            "of a file")
+    p_bat.add_argument("--repeat", type=int, default=1,
+                       help="with --examples: submit the set N times")
+    p_bat.add_argument("--workers", type=int, default=4)
+    p_bat.add_argument("--cache-size", type=int, default=1024)
+    p_bat.add_argument("--no-cache", action="store_true")
+    p_bat.add_argument("--timeout", type=float, default=None)
+    p_bat.add_argument("--max-retries", type=int, default=2)
+    p_bat.add_argument("--out", help="write results here instead of stdout")
+    p_bat.set_defaults(fn=cmd_batch)
     return parser
 
 
@@ -427,6 +636,12 @@ def main(argv: Optional[list] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.fn(args)
+    except FuelExhausted as err:
+        # Deliberate single line + dedicated code: running out of fuel is
+        # the bounded machines' verdict on (potential) divergence, not an
+        # internal error, so scripts must be able to tell them apart.
+        print(f"FuelExhausted: {err}", file=sys.stderr)
+        return EXIT_FUEL_EXHAUSTED
     except FunTALError as err:
         print(f"error: {err}", file=sys.stderr)
         return 1

@@ -52,11 +52,12 @@ class FTMachine(TalMachine):
     def __init__(self, memory: Optional[Memory] = None, trace: bool = False,
                  fuel: int = 1_000_000, max_events: Optional[int] = None):
         super().__init__(memory, trace, max_events=max_events)
+        self.fuel = fuel            # the budget (for error reporting)
         self.fuel_left = fuel
 
     def consume(self, n: int = 1) -> None:
         if self.fuel_left < n:
-            raise FuelExhausted(self.fuel_left)
+            raise FuelExhausted(self.fuel)
         self.fuel_left -= n
 
     # ------------------------------------------------------------------

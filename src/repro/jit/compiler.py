@@ -31,6 +31,7 @@ from typing import Dict, List, Tuple
 
 from repro.errors import FTTypeError
 from repro.obs.events import OBS
+from repro.serve.cache import LRUCache
 from repro.f.syntax import (
     App, BinOp, FArrow, FExpr, FInt, Fold, If0, IntE, Lam, Proj, TupleE,
     Unfold, UnitE, Var,
@@ -44,7 +45,7 @@ from repro.tal.syntax import (
 )
 
 __all__ = ["is_compilable", "compile_function", "jit_rewrite",
-           "CompileError", "clear_compile_cache"]
+           "CompileError", "clear_compile_cache", "COMPILE_CACHE"]
 
 _label_counter = itertools.count()
 
@@ -52,15 +53,17 @@ _OPS = {"+": "add", "-": "sub", "*": "mul"}
 
 # Structurally identical lambdas compile to interchangeable components (the
 # machine renames heap labels freshly at every load), so compilation is
-# memoized on the (frozen, hashable) source lambda.  Bounded FIFO so a
-# long-running JIT rewriting many distinct lambdas cannot grow unboundedly.
-_COMPILE_CACHE: Dict[Lam, Lam] = {}
-_COMPILE_CACHE_LIMIT = 512
+# memoized on the (frozen, hashable) source lambda.  The bound comes from
+# the shared serving-layer LRU (this used to be an ad-hoc FIFO dict), so a
+# long-running JIT rewriting many distinct lambdas cannot grow unboundedly
+# and its hit/miss/eviction accounting shows up in ``funtal stats``
+# alongside every other cache.
+COMPILE_CACHE: LRUCache = LRUCache(512, metric_prefix="jit.cache")
 
 
 def clear_compile_cache() -> None:
     """Drop all memoized compilations (used by tests and benchmarks)."""
-    _COMPILE_CACHE.clear()
+    COMPILE_CACHE.clear()
 
 
 class CompileError(FTTypeError):
@@ -184,18 +187,12 @@ def compile_function(lam: Lam) -> Lam:
     if not is_compilable(lam):
         raise CompileError(f"lambda is not compilable: {lam}",
                            judgment="jit.compile", subject=str(lam))
-    cached = _COMPILE_CACHE.get(lam)
+    cached = COMPILE_CACHE.get(lam)
     if cached is not None:
-        if OBS.enabled:
-            OBS.metrics.inc("jit.cache.hit")
         return cached
-    if OBS.enabled:
-        OBS.metrics.inc("jit.cache.miss")
     with OBS.span("jit.compile", "jit", arity=len(lam.params)):
         compiled = _compile_uncached(lam)
-    if len(_COMPILE_CACHE) >= _COMPILE_CACHE_LIMIT:
-        _COMPILE_CACHE.pop(next(iter(_COMPILE_CACHE)))
-    _COMPILE_CACHE[lam] = compiled
+    COMPILE_CACHE.put(lam, compiled)
     return compiled
 
 

@@ -26,8 +26,26 @@ Canonical counter names used by the instrumentation hooks:
 ``typecheck.ft.expr.<form>``     FT expression judgments, per syntax form
 ``typecheck.ft.import`` / ``.protect`` / ``.boundary``  the Fig 7 rules
 ``jit.compile``                  actual compilations performed
-``jit.cache.hit`` / ``.miss``    compile-cache outcomes
+``jit.cache.hit`` / ``.miss`` / ``.eviction``  compile-cache outcomes
 ``trace.truncated``              bounded traces that hit their event cap
+===============================  ============================================
+
+The serving layer (:mod:`repro.serve`) adds its own family:
+
+===============================  ============================================
+``serve.jobs.submitted``         jobs accepted into the pool queue
+``serve.jobs.completed``         jobs resolved ``ok``
+``serve.jobs.failed``            jobs resolved error/fuel/timeout/crashed
+``serve.jobs.retried``           re-dispatches after a crash or hang
+``serve.jobs.rejected``          backpressure/protocol rejections (server)
+``serve.cache.hit`` / ``.miss`` / ``.eviction``  result-cache outcomes
+``serve.worker.spawn``           worker processes started (incl. respawns)
+``serve.worker.crash``           workers lost to a crashed job
+``serve.worker.timeout``         workers killed for overrunning a deadline
+``serve.worker.respawn``         replacements brought up after a loss
+``serve.connections``            TCP connections accepted (counter)
+``serve.queue.depth``            pending + backoff-delayed jobs (gauge)
+``serve.job.ms``                 submit-to-resolve latency (histogram)
 ===============================  ============================================
 """
 

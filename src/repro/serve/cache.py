@@ -1,0 +1,158 @@
+"""Content-addressed result caching (and the shared LRU that backs it).
+
+Two layers:
+
+* :class:`LRUCache` -- a small, thread-safe, generic LRU with hit/miss/
+  eviction accounting and optional :mod:`repro.obs` counter mirroring.
+  It also backs the JIT's compile cache (:mod:`repro.jit.compiler`
+  previously kept its own ad-hoc FIFO dict; that is now this class with
+  ``metric_prefix="jit.cache"``).
+* :class:`ResultCache` -- the service-level cache: finished
+  :class:`~repro.serve.protocol.JobResult`\\ s addressed by
+  :func:`job_cache_key`, the SHA-256 of the job's canonical JSON identity
+  ``(kind, source-or-example, semantic options)``.  Only ``ok`` results
+  are stored; a hit is returned as a *copy* flagged ``cached=True`` so
+  the stored record stays pristine.
+
+Wall-clock options (``timeout``) and fault-injection hooks never reach
+the key -- two jobs that demand the same semantics share one entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import replace
+from typing import Any, Dict, Hashable, Optional
+
+from repro.obs.events import OBS
+from repro.serve.protocol import Job, JobResult
+
+__all__ = ["LRUCache", "ResultCache", "job_cache_key"]
+
+
+class LRUCache:
+    """Bounded least-recently-used mapping with hit/miss accounting.
+
+    ``metric_prefix`` mirrors the accounting into the process-wide
+    metrics registry (``<prefix>.hit`` / ``.miss`` / ``.eviction``) when
+    instrumentation is enabled, so cache behaviour shows up in
+    ``funtal stats`` alongside machine steps and boundary crossings.
+    """
+
+    def __init__(self, maxsize: int = 1024,
+                 metric_prefix: Optional[str] = None):
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self.metric_prefix = metric_prefix
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _count(self, outcome: str) -> None:
+        if self.metric_prefix and OBS.enabled:
+            OBS.metrics.inc(f"{self.metric_prefix}.{outcome}")
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                hit = False
+            else:
+                self._data.move_to_end(key)
+                self.hits += 1
+                hit = True
+        self._count("hit" if hit else "miss")
+        return value if hit else default
+
+    def put(self, key: Hashable, value: Any) -> None:
+        evicted = False
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            if len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+                evicted = True
+        if evicted:
+            self._count("eviction")
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "size": len(self._data),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+
+def job_cache_key(job: Job) -> str:
+    """The content address of a job: SHA-256 over its canonical identity.
+
+    Two jobs collide exactly when they demand the same computation: same
+    kind, same program text (or example name), same semantic options.
+    The job ``id`` and operational options are excluded.
+    """
+    identity = {
+        "kind": job.kind,
+        "source": job.source,
+        "example": job.example,
+        "options": job.options.semantic_dict(),
+    }
+    blob = json.dumps(identity, separators=(",", ":"), sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed cache of successful job results."""
+
+    def __init__(self, maxsize: int = 1024):
+        self._lru = LRUCache(maxsize, metric_prefix="serve.cache")
+
+    def get(self, job: Job) -> Optional[JobResult]:
+        """A cached result for ``job`` (flagged ``cached=True``), or None.
+        Jobs opting out via ``no_cache`` always miss (and are counted)."""
+        if job.options.no_cache:
+            self._lru._count("miss")
+            self._lru.misses += 1
+            return None
+        stored = self._lru.get(job_cache_key(job))
+        if stored is None:
+            return None
+        return replace(stored, id=job.id, cached=True, attempts=0)
+
+    def put(self, job: Job, result: JobResult) -> None:
+        """Store a finished result; only ``ok`` outcomes are kept."""
+        if result.ok and not job.options.no_cache:
+            self._lru.put(job_cache_key(job), replace(result, cached=False))
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def clear(self) -> None:
+        self._lru.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return self._lru.stats()

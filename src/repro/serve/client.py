@@ -1,0 +1,137 @@
+"""Synchronous client library for the ``repro.serve`` TCP protocol.
+
+:class:`ServeClient` speaks the JSON-lines wire format over one socket::
+
+    from repro.serve.client import ServeClient
+    from repro.serve.protocol import Job, JobOptions
+
+    with ServeClient(port=4017) as client:
+        result = client.submit(Job("run", example="fig17"))
+        print(result.status, result.output)
+
+        jobs = [Job("run", example=name) for name in ("fact-f", "fact-t")]
+        for result in client.stream(jobs):       # arrival order
+            print(result.id, result.duration_ms)
+
+        results = client.submit_batch(jobs)      # submission order
+
+The server replies out of submission order (results return as workers
+finish), so every call correlates replies by job id; ids are assigned
+client-side (``c1``, ``c2``, ...) when the caller did not pick any.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.errors import FunTALError
+from repro.serve.protocol import (
+    Job, JobResult, ProtocolError, decode_line, encode_line,
+)
+
+__all__ = ["ServeClient", "ClientError"]
+
+
+class ClientError(FunTALError):
+    """The connection failed or the server broke protocol."""
+
+
+class ServeClient:
+    """One connection to a running ``funtal serve`` instance."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 4017,
+                 timeout: Optional[float] = 60.0):
+        self.host = host
+        self.port = port
+        self._ids = itertools.count(1)
+        try:
+            self._sock = socket.create_connection((host, port),
+                                                  timeout=timeout)
+        except OSError as err:
+            raise ClientError(
+                f"cannot connect to {host}:{port}: {err}") from None
+        self._rfile = self._sock.makefile("rb")
+
+    # -- plumbing --------------------------------------------------------
+
+    def _send(self, message: dict) -> None:
+        try:
+            self._sock.sendall(encode_line(message))
+        except OSError as err:
+            raise ClientError(f"send failed: {err}") from None
+
+    def _recv(self) -> dict:
+        line = self._rfile.readline()
+        if not line:
+            raise ClientError("server closed the connection")
+        try:
+            return decode_line(line)
+        except ProtocolError as err:
+            raise ClientError(f"bad server reply: {err}") from None
+
+    def _ensure_id(self, job: Job) -> Job:
+        if not job.id:
+            job.id = f"c{next(self._ids)}"
+        return job
+
+    # -- API -------------------------------------------------------------
+
+    def ping(self) -> bool:
+        self._send({"op": "ping"})
+        return self._recv().get("op") == "pong"
+
+    def stats(self) -> dict:
+        self._send({"op": "stats"})
+        reply = self._recv()
+        if reply.get("op") != "stats":
+            raise ClientError(f"expected stats reply, got {reply!r}")
+        return reply
+
+    def submit(self, job: Job) -> JobResult:
+        """Submit one job and wait for its result."""
+        return self.submit_batch([job])[0]
+
+    def stream(self, jobs: Iterable[Job]) -> Iterator[JobResult]:
+        """Submit everything up front, then yield results *as the server
+        finishes them* (arrival order, not submission order)."""
+        expected = set()
+        for job in jobs:
+            self._ensure_id(job)
+            if job.id in expected:
+                raise ClientError(f"duplicate job id {job.id!r}")
+            expected.add(job.id)
+            self._send(job.to_dict())
+        while expected:
+            data = self._recv()
+            result = JobResult.from_dict(data)
+            # Unsolicited ids (e.g. rejects for unparsable lines) are
+            # surfaced too -- the caller sent every line we read replies
+            # for on this socket.
+            expected.discard(result.id)
+            yield result
+
+    def submit_batch(self, jobs: List[Job]) -> List[JobResult]:
+        """Submit everything, return results in submission order."""
+        jobs = [self._ensure_id(job) for job in jobs]
+        by_id: Dict[str, JobResult] = {}
+        for result in self.stream(jobs):
+            by_id[result.id] = result
+        return [by_id[job.id] for job in jobs]
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

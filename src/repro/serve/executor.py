@@ -1,0 +1,191 @@
+"""Worker-side job execution: one :class:`Job` in, one :class:`JobResult` out.
+
+:func:`execute_job` is the single function a pool worker runs.  It is a
+plain module-level function (picklable under every multiprocessing start
+method) and *total*: every outcome, including typing errors, parse errors
+and fuel exhaustion, is folded into a :class:`JobResult` -- only genuine
+crashes (segfault-alikes, ``os._exit``) and wall-clock hangs escape, and
+those are the pool's department.
+
+Job kinds mirror the CLI subcommands:
+
+=============  ===========================================================
+``parse``      parse + pretty-print back
+``typecheck``  infer the type (and out-stack); bare T components halt at
+               ``options.result_type``
+``run``        evaluate under ``options.fuel``; reports value/halt word,
+               machine steps consumed, optionally the control-flow table
+``jit``        compile an F lambda to typed assembly (``options.optimize``
+               / ``options.check`` as in ``funtal jit``)
+``equiv``      bounded contextual-equivalence check of ``source`` vs
+               ``options.right`` at ``options.type``
+=============  ===========================================================
+
+Programs come either inline (``source``) or as a built-in paper example
+(``example``), resolved through the registry in
+:mod:`repro.papers_examples`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict, Tuple
+
+from repro.errors import FuelExhausted, FunTALError
+from repro.serve.protocol import Job, JobResult
+
+__all__ = ["execute_job", "DEFAULT_FUEL"]
+
+#: Step budget used when a job does not set one.
+DEFAULT_FUEL = 1_000_000
+
+
+def _resolve_program(job: Job) -> Tuple[Any, bool]:
+    """(program node, is_component).  Inline sources go through the
+    surface parser; examples come from the registry pre-built."""
+    from repro.surface.parser import parse_program
+    from repro.tal.syntax import Component
+
+    if job.example is not None:
+        from repro.papers_examples import resolve_example
+
+        entry = resolve_example(job.example)
+        if entry is None:
+            raise FunTALError(f"unknown example {job.example!r}")
+        node = entry[1]()
+    else:
+        node = parse_program(job.source)
+    return node, isinstance(node, Component)
+
+
+def _do_parse(job: Job) -> Dict[str, Any]:
+    from repro.surface.pretty import pretty_component
+
+    node, is_component = _resolve_program(job)
+    pretty = pretty_component(node) if is_component else str(node)
+    return {"pretty": pretty,
+            "node": "component" if is_component else "expression"}
+
+
+def _do_typecheck(job: Job) -> Dict[str, Any]:
+    from repro.ft.typecheck import check_ft_component, check_ft_expr
+    from repro.surface.parser import parse_ttype
+    from repro.tal.syntax import NIL_STACK, QEnd
+
+    node, is_component = _resolve_program(job)
+    if is_component:
+        result = parse_ttype(job.options.result_type)
+        ty, sigma = check_ft_component(node, q=QEnd(result, NIL_STACK))
+    else:
+        ty, sigma = check_ft_expr(node)
+    return {"type": str(ty), "stack": str(sigma),
+            "node": "component" if is_component else "expression"}
+
+
+def _do_run(job: Job) -> Dict[str, Any]:
+    from repro.ft.machine import evaluate_ft, run_ft_component
+
+    fuel = job.options.fuel or DEFAULT_FUEL
+    node, is_component = _resolve_program(job)
+    trace = job.options.trace
+    if is_component:
+        halted, machine = run_ft_component(node, fuel=fuel, trace=trace)
+        out = {"halted": str(halted.word), "type": str(halted.ty)}
+    else:
+        value, machine = evaluate_ft(node, fuel=fuel, trace=trace)
+        out = {"value": str(value)}
+    out["steps"] = fuel - machine.fuel_left
+    if trace:
+        from repro.analysis.trace import control_flow_table, format_table
+
+        out["control_flow"] = format_table(
+            control_flow_table(machine.trace), title="control flow")
+    return out
+
+
+def _do_jit(job: Job) -> Dict[str, Any]:
+    from repro.f.syntax import App, Lam, Var
+    from repro.jit.compiler import compile_function, is_compilable
+    from repro.surface.pretty import pretty_component
+
+    node, is_component = _resolve_program(job)
+    if is_component or not is_compilable(node):
+        raise FunTALError(
+            "not a compilable lambda (first-order arithmetic fragment: "
+            "int parameters; literals, parameters, + - *, if0)")
+    compiled = compile_function(node)
+    comp = compiled.body.fn.comp
+    if job.options.optimize:
+        from repro.tal.optimize import optimize_component
+
+        comp = optimize_component(comp)
+    out: Dict[str, Any] = {"assembly": pretty_component(comp),
+                           "blocks": 1 + len(comp.heap)}
+    if job.options.check:
+        from repro.equiv.checker import check_equivalence
+        from repro.f.typecheck import typecheck as f_typecheck
+        from repro.ft.syntax import Boundary
+
+        rebuilt = Lam(compiled.params,
+                      App(Boundary(compiled.body.fn.ty, comp),
+                          tuple(Var(x) for x, _ in compiled.params)))
+        report = check_equivalence(
+            node, rebuilt, f_typecheck(node),
+            fuel=job.options.fuel or 25_000)
+        out["equivalent"] = report.equivalent
+        out["report"] = str(report)
+    return out
+
+
+def _do_equiv(job: Job) -> Dict[str, Any]:
+    from repro.equiv.checker import check_equivalence
+    from repro.surface.parser import parse_fexpr, parse_ftype
+
+    left = parse_fexpr(job.source) if job.source is not None else None
+    if left is None:
+        left, _ = _resolve_program(job)
+    right = parse_fexpr(job.options.right)
+    ty = parse_ftype(job.options.type)
+    report = check_equivalence(left, right, ty,
+                               fuel=job.options.fuel or 30_000,
+                               seed=job.options.seed)
+    return {"equivalent": report.equivalent, "report": str(report),
+            "agreements": len(report.agreements)}
+
+
+_EXECUTORS = {
+    "parse": _do_parse,
+    "typecheck": _do_typecheck,
+    "run": _do_run,
+    "jit": _do_jit,
+    "equiv": _do_equiv,
+}
+
+
+def execute_job(job: Job) -> JobResult:
+    """Execute ``job`` to a result; never raises for program-level
+    failures.  The fault-injection options act *before* execution so the
+    resilience tests can stage crashes and hangs deterministically."""
+    if job.options.inject_sleep > 0:
+        time.sleep(job.options.inject_sleep)
+    if job.options.inject_crash:
+        # Simulate a segfault: bypass all exception handling and die.
+        os._exit(23)
+    start = time.perf_counter()
+    try:
+        output = _EXECUTORS[job.kind](job)
+        status, error, error_type = "ok", "", ""
+    except FuelExhausted as err:
+        output, status = {"fuel": err.fuel}, "fuel_exhausted"
+        error, error_type = str(err), "FuelExhausted"
+    except FunTALError as err:
+        output, status = {}, "error"
+        error, error_type = str(err), type(err).__name__
+    except RecursionError as err:
+        output, status = {}, "error"
+        error, error_type = f"recursion limit: {err}", "RecursionError"
+    duration_ms = (time.perf_counter() - start) * 1000.0
+    return JobResult(id=job.id, kind=job.kind, status=status, output=output,
+                     error=error, error_type=error_type,
+                     duration_ms=round(duration_ms, 3), worker=os.getpid())

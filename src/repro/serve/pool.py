@@ -1,0 +1,641 @@
+"""A crash-isolated multiprocessing worker pool with per-job timeouts.
+
+Architecture: each worker is a separate OS process connected to the pool
+by its own duplex :func:`multiprocessing.Pipe`.  A single *manager*
+thread owns all worker state and multiplexes a persistent
+:mod:`selectors` instance over
+
+* every worker's pipe end (results arriving),
+* every worker's process *sentinel* (death detection, even when the pipe
+  stays open because a sibling inherited a dup of it), and
+* a self-kick socket written by :meth:`WorkerPool.submit` (so dispatch
+  latency is not bounded by the poll interval).
+
+**Job batching.**  Paper-example jobs run in well under a millisecond, so
+per-job round-trips would leave the manager thread as the bottleneck.
+Dispatch therefore sends *chunks*: an idle worker receives up to
+``chunk_max`` jobs in one message (sized ``ceil(pending / idle)``, so a
+shallow queue still gets single-job latency) and executes them in order,
+streaming each result back individually.  Streaming keeps fault blame
+precise: the manager tracks the worker's in-flight FIFO, the head of
+which is by construction the job being executed right now.
+
+Fault model -- the pool survives anything a job does to its worker:
+
+* **crash** (``os._exit``, segfault, unpicklable explosion): the process
+  sentinel fires, the worker is reaped and respawned;
+* **hang** (infinite loop, ``inject_sleep``): the head job's wall-clock
+  deadline passes (the deadline re-arms as each result arrives), the
+  worker is killed, reaped, and respawned;
+* the *head* job -- the culprit -- is retried with exponential backoff up
+  to ``max_retries`` extra dispatches, then reported failed with status
+  ``crashed``/``timeout``; its chunk-mates never started, so they are
+  requeued without touching their retry budgets.  The pool itself never
+  goes down.
+
+Backpressure: the pending queue is bounded (``queue_size``); ``submit``
+either blocks or raises :class:`QueueFull` (``block=False``), which the
+TCP server surfaces to clients as a ``rejected`` result.
+
+A :class:`~repro.serve.cache.ResultCache` can be attached; ``submit``
+then resolves content-addressed hits instantly and successful results are
+inserted on completion.  Instrumentation (when :mod:`repro.obs` is
+enabled): ``serve.jobs.*`` / ``serve.worker.*`` counters, a
+``serve.queue.depth`` gauge, a ``serve.job.ms`` histogram, and one
+``serve.job`` span per job covering submit -> resolve.
+"""
+
+from __future__ import annotations
+
+import collections
+import multiprocessing
+import os
+import selectors
+import signal
+import socket
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.obs import events as obs_events
+from repro.obs.events import OBS
+from repro.serve.cache import ResultCache
+from repro.serve.protocol import Job, JobResult
+
+__all__ = ["WorkerPool", "Ticket", "PoolClosed", "QueueFull",
+           "DEFAULT_TIMEOUT"]
+
+#: Per-job wall-clock budget when neither the job nor the pool sets one.
+DEFAULT_TIMEOUT = 30.0
+
+
+class PoolClosed(RuntimeError):
+    """submit() after close()."""
+
+
+class QueueFull(RuntimeError):
+    """Bounded queue at capacity and ``block=False``."""
+
+
+class Ticket:
+    """A future for one submitted job."""
+
+    __slots__ = ("job", "attempts", "not_before", "start_ns", "_event",
+                 "_lock", "_result", "_callbacks")
+
+    def __init__(self, job: Job):
+        self.job = job
+        self.attempts = 0           # execution attempts charged so far
+        self.not_before = 0.0       # backoff gate (monotonic seconds)
+        self.start_ns = time.perf_counter_ns()
+        self._event = threading.Event()
+        self._lock = threading.Lock()
+        self._result: Optional[JobResult] = None
+        self._callbacks: List[Callable[[JobResult], None]] = []
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    @property
+    def result(self) -> Optional[JobResult]:
+        return self._result
+
+    def wait(self, timeout: Optional[float] = None) -> Optional[JobResult]:
+        """Block until resolved; None only if ``timeout`` elapses."""
+        self._event.wait(timeout)
+        return self._result
+
+    def add_done_callback(self, fn: Callable[[JobResult], None]) -> None:
+        """Run ``fn(result)`` on resolution (immediately if already
+        done).  Callbacks fire on the resolving thread -- keep them
+        short and thread-safe (e.g. ``loop.call_soon_threadsafe``)."""
+        with self._lock:
+            if self._result is None:
+                self._callbacks.append(fn)
+                return
+        fn(self._result)
+
+    def _resolve(self, result: JobResult) -> None:
+        with self._lock:
+            self._result = result
+            callbacks, self._callbacks = self._callbacks, []
+        self._event.set()
+        for fn in callbacks:
+            fn(result)
+
+    def _timeout_for(self, default: float) -> float:
+        return self.job.options.timeout or default
+
+
+class _Worker:
+    """Manager-thread-private record of one live worker process.
+
+    ``inflight`` is the FIFO of tickets dispatched to this worker; the
+    head is the job the worker is executing *right now* (it streams
+    results back in order), so crash/timeout blame lands exactly there.
+    """
+
+    __slots__ = ("wid", "proc", "conn", "inflight", "deadline")
+
+    def __init__(self, wid: int, proc, conn):
+        self.wid = wid
+        self.proc = proc
+        self.conn = conn
+        self.inflight: "collections.deque[Ticket]" = collections.deque()
+        self.deadline = 0.0
+
+
+def _worker_main(conn) -> None:
+    """The worker loop: recv a chunk of job dicts, execute in order,
+    stream one result dict back per job."""
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    from repro.serve.executor import execute_job
+    from repro.serve.protocol import Job, JobResult, ProtocolError
+
+    while True:
+        try:
+            chunk = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        if chunk is None:
+            break
+        for msg in chunk:
+            try:
+                result = execute_job(Job.from_dict(msg))
+            except ProtocolError as err:
+                result = JobResult(id=str(msg.get("id", "")),
+                                   kind=str(msg.get("kind", "")),
+                                   status="rejected", error=str(err),
+                                   error_type="ProtocolError",
+                                   worker=os.getpid())
+            except Exception as err:  # executor is total; belt and braces
+                result = JobResult(id=str(msg.get("id", "")),
+                                   kind=str(msg.get("kind", "")),
+                                   status="error", error=str(err),
+                                   error_type=type(err).__name__,
+                                   worker=os.getpid())
+            try:
+                conn.send(result.to_dict())
+            except (BrokenPipeError, EOFError, OSError):
+                return
+
+
+def _preload_executor_deps() -> None:
+    """Import the executor's lazy dependencies *in the parent* before
+    forking, so workers inherit warm modules instead of each paying the
+    full import bill on its first job.  (Spawned workers on non-POSIX
+    platforms still import on demand.)"""
+    import repro.analysis.trace          # noqa: F401
+    import repro.equiv.checker           # noqa: F401
+    import repro.ft.machine              # noqa: F401
+    import repro.ft.typecheck            # noqa: F401
+    import repro.jit.compiler            # noqa: F401
+    import repro.papers_examples         # noqa: F401
+    import repro.surface.parser          # noqa: F401
+    import repro.surface.pretty          # noqa: F401
+
+
+def _pick_context(name: Optional[str]):
+    """fork where available (instant respawns, no re-import); spawn
+    elsewhere.  The worker target and executor are module-level, so every
+    start method works."""
+    if name:
+        return multiprocessing.get_context(name)
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")
+
+
+class WorkerPool:
+    """See the module docstring.  Thread-safe; use as a context manager."""
+
+    def __init__(self, workers: int = 2, *,
+                 max_retries: int = 2,
+                 default_timeout: float = DEFAULT_TIMEOUT,
+                 queue_size: int = 256,
+                 retry_backoff: float = 0.05,
+                 chunk_max: int = 16,
+                 cache: Optional[ResultCache] = None,
+                 mp_context: Optional[str] = None):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.max_retries = max_retries
+        self.default_timeout = default_timeout
+        self.queue_size = queue_size
+        self.retry_backoff = retry_backoff
+        self.chunk_max = max(1, chunk_max)
+        self.cache = cache
+        self._ctx = _pick_context(mp_context)
+
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._all_done = threading.Condition(self._lock)
+        self._pending: "collections.deque[Ticket]" = collections.deque()
+        self._delayed: List[Ticket] = []
+        self._outstanding = 0
+        self._closing = False
+        self._closed = False
+
+        self._kick_r, self._kick_w = socket.socketpair()
+        self._kick_r.setblocking(False)
+        self._kick_w.setblocking(False)
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(self._kick_r, selectors.EVENT_READ,
+                                ("kick", None))
+
+        # Workers are started before the manager thread so the first
+        # forks happen from a single-threaded parent.
+        _preload_executor_deps()
+        self._workers: Dict[int, _Worker] = {}
+        for wid in range(workers):
+            self._workers[wid] = self._spawn(wid)
+        self._manager = threading.Thread(target=self._loop,
+                                         name="funtal-pool-manager",
+                                         daemon=True)
+        self._manager.start()
+
+    # -- metrics helpers -------------------------------------------------
+
+    @staticmethod
+    def _inc(name: str) -> None:
+        if OBS.enabled:
+            OBS.metrics.inc(name)
+
+    def _gauge_depth_locked(self) -> None:
+        if OBS.enabled:
+            OBS.metrics.set_gauge("serve.queue.depth",
+                                  len(self._pending) + len(self._delayed))
+
+    # -- submission ------------------------------------------------------
+
+    def submit(self, job: Job, *, block: bool = True,
+               timeout: Optional[float] = None) -> Ticket:
+        """Enqueue ``job``; returns its :class:`Ticket`.  Resolves
+        immediately on a cache hit.  Raises :class:`PoolClosed` after
+        :meth:`close`, :class:`QueueFull` when the bounded queue is at
+        capacity and ``block`` is false."""
+        ticket = Ticket(job)
+        if self._closing:
+            raise PoolClosed("pool is closed")
+        if self.cache is not None:
+            hit = self.cache.get(job)
+            if hit is not None:
+                ticket._resolve(hit)
+                return ticket
+        with self._not_full:
+            while len(self._pending) + len(self._delayed) >= self.queue_size:
+                if self._closing:
+                    raise PoolClosed("pool is closed")
+                if not block:
+                    raise QueueFull(
+                        f"pending queue at capacity ({self.queue_size})")
+                self._not_full.wait(timeout)
+            if self._closing:
+                raise PoolClosed("pool is closed")
+            self._pending.append(ticket)
+            self._outstanding += 1
+            self._inc("serve.jobs.submitted")
+            self._gauge_depth_locked()
+        self._kick()
+        return ticket
+
+    def submit_batch(self, jobs: List[Job]) -> List[Ticket]:
+        """Bulk :meth:`submit`: cache hits resolve up front, the misses
+        enter the queue under one lock acquisition and one manager
+        wakeup, so the dispatcher sees the whole batch at once and can
+        cut full-size chunks immediately."""
+        if self._closing:
+            raise PoolClosed("pool is closed")
+        tickets = []
+        queued = []
+        for job in jobs:
+            ticket = Ticket(job)
+            tickets.append(ticket)
+            hit = self.cache.get(job) if self.cache is not None else None
+            if hit is not None:
+                ticket._resolve(hit)
+            else:
+                queued.append(ticket)
+        offset = 0
+        while offset < len(queued):
+            with self._not_full:
+                while len(self._pending) + len(self._delayed) \
+                        >= self.queue_size:
+                    if self._closing:
+                        raise PoolClosed("pool is closed")
+                    self._not_full.wait()
+                if self._closing:
+                    raise PoolClosed("pool is closed")
+                room = self.queue_size - len(self._pending) \
+                    - len(self._delayed)
+                take = queued[offset:offset + room]
+                self._pending.extend(take)
+                self._outstanding += len(take)
+                if OBS.enabled:
+                    OBS.metrics.inc("serve.jobs.submitted", len(take))
+                self._gauge_depth_locked()
+                offset += len(take)
+            self._kick()
+        return tickets
+
+    def run_batch(self, jobs: List[Job],
+                  timeout: Optional[float] = None) -> List[JobResult]:
+        """Submit everything, wait for everything; results in job order."""
+        tickets = self.submit_batch(jobs)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        results = []
+        for t in tickets:
+            left = None if deadline is None else \
+                max(0.0, deadline - time.monotonic())
+            result = t.wait(left)
+            if result is None:
+                result = JobResult.failure(t.job, "timeout",
+                                           "client-side wait timed out",
+                                           attempts=t.attempts)
+            results.append(result)
+        return results
+
+    def _kick(self) -> None:
+        try:
+            self._kick_w.send(b"\0")
+        except (BlockingIOError, OSError):
+            pass  # manager already has a wakeup pending
+
+    # -- worker lifecycle (manager thread only, after init) --------------
+
+    def _spawn(self, wid: int) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(target=_worker_main, args=(child_conn,),
+                                 name=f"funtal-worker-{wid}", daemon=True)
+        proc.start()
+        child_conn.close()
+        worker = _Worker(wid, proc, parent_conn)
+        self._selector.register(parent_conn, selectors.EVENT_READ,
+                                ("conn", worker))
+        self._selector.register(proc.sentinel, selectors.EVENT_READ,
+                                ("sentinel", worker))
+        self._inc("serve.worker.spawn")
+        return worker
+
+    def _reap_and_respawn(self, worker: _Worker) -> None:
+        for key in (worker.conn, worker.proc.sentinel):
+            try:
+                self._selector.unregister(key)
+            except (KeyError, ValueError):
+                pass
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        if worker.proc.is_alive():
+            worker.proc.kill()
+        worker.proc.join(timeout=5.0)
+        if not self._closing:
+            self._workers[worker.wid] = self._spawn(worker.wid)
+            self._inc("serve.worker.respawn")
+        else:
+            self._workers.pop(worker.wid, None)
+
+    def _fail_worker(self, worker: _Worker, status: str) -> None:
+        """The worker crashed or its head job overran the deadline: reap
+        and respawn it, retry-or-fail the head (the job being executed),
+        requeue the untouched chunk-mates without penalty."""
+        inflight = worker.inflight
+        worker.inflight = collections.deque()
+        self._inc("serve.worker."
+                  + ("timeout" if status == "timeout" else "crash"))
+        self._reap_and_respawn(worker)
+        if inflight:
+            head = inflight.popleft()
+            self._retry_or_fail(head, status)
+        if inflight:
+            with self._lock:
+                self._pending.extendleft(reversed(inflight))
+                self._gauge_depth_locked()
+
+    def _retry_or_fail(self, ticket: Ticket, status: str) -> None:
+        if ticket.attempts <= self.max_retries:
+            delay = self.retry_backoff * (2 ** (ticket.attempts - 1))
+            ticket.not_before = time.monotonic() + delay
+            with self._lock:
+                self._delayed.append(ticket)
+                self._gauge_depth_locked()
+            self._inc("serve.jobs.retried")
+            return
+        what = "hung (wall-clock timeout)" if status == "timeout" \
+            else "crashed its worker"
+        self._finish(ticket, JobResult.failure(
+            ticket.job, status,
+            f"job {what} {ticket.attempts} time(s); retry budget "
+            f"({self.max_retries}) exhausted", attempts=ticket.attempts))
+
+    def _finish(self, ticket: Ticket, result: JobResult) -> None:
+        result.attempts = max(result.attempts, ticket.attempts)
+        if self.cache is not None:
+            self.cache.put(ticket.job, result)
+        end_ns = time.perf_counter_ns()
+        if OBS.enabled:
+            OBS.metrics.inc("serve.jobs.completed" if result.ok
+                            else "serve.jobs.failed")
+            OBS.metrics.observe("serve.job.ms",
+                                (end_ns - ticket.start_ns) / 1e6)
+            if OBS.bus.active:
+                OBS.bus.publish(obs_events.Span(
+                    "serve.job", "serve", ticket.start_ns, end_ns,
+                    next(obs_events._span_ids), None,
+                    (("kind", ticket.job.kind),
+                     ("status", result.status),
+                     ("attempts", str(ticket.attempts)))))
+        ticket._resolve(result)
+        with self._all_done:
+            self._outstanding -= 1
+            if self._outstanding == 0:
+                self._all_done.notify_all()
+
+    # -- the manager loop ------------------------------------------------
+
+    def _arm_deadline(self, worker: _Worker) -> None:
+        """(Re)start the head job's wall clock."""
+        if worker.inflight:
+            head = worker.inflight[0]
+            head.attempts += 1
+            worker.deadline = time.monotonic() \
+                + head._timeout_for(self.default_timeout)
+
+    def _assign(self) -> None:
+        now = time.monotonic()
+        with self._lock:
+            if self._delayed:
+                due = [t for t in self._delayed if t.not_before <= now]
+                for t in due:
+                    self._delayed.remove(t)
+                    self._pending.appendleft(t)   # retries jump the queue
+        idle = [w for w in self._workers.values() if not w.inflight]
+        for i, worker in enumerate(idle):
+            with self._not_full:
+                if not self._pending:
+                    break
+                # Spread the queue over the remaining idle workers; a
+                # shallow queue yields single-job chunks (low latency), a
+                # deep one yields up to chunk_max (amortized round-trips).
+                share = -(-len(self._pending) // (len(idle) - i))
+                take = min(share, self.chunk_max, len(self._pending))
+                chunk = [self._pending.popleft() for _ in range(take)]
+                self._gauge_depth_locked()
+                self._not_full.notify(take)
+            worker.inflight.extend(chunk)
+            self._arm_deadline(worker)
+            try:
+                worker.conn.send([t.job.to_dict() for t in chunk])
+            except (BrokenPipeError, OSError):
+                self._fail_worker(worker, "crashed")
+
+    def _drain_results(self, worker: _Worker) -> None:
+        """Consume every result the worker has streamed so far."""
+        while worker.inflight:
+            try:
+                if not worker.conn.poll():
+                    return
+                data = worker.conn.recv()
+                result = JobResult.from_dict(data)
+            except Exception:
+                self._fail_worker(worker, "crashed")
+                return
+            ticket = worker.inflight.popleft()
+            self._finish(ticket, result)
+            self._arm_deadline(worker)
+
+    def _wait_timeout(self) -> float:
+        now = time.monotonic()
+        timeout = 0.2
+        for w in self._workers.values():
+            if w.inflight:
+                timeout = min(timeout, max(0.0, w.deadline - now))
+        with self._lock:
+            for t in self._delayed:
+                timeout = min(timeout, max(0.0, t.not_before - now))
+        return timeout
+
+    def _loop(self) -> None:
+        while True:
+            with self._lock:
+                idle_exit = (self._closed and not self._pending
+                             and not self._delayed
+                             and all(not w.inflight
+                                     for w in self._workers.values()))
+            if idle_exit:
+                break
+            self._assign()
+
+            ready = self._selector.select(self._wait_timeout())
+
+            # Results first, so a job that finished just before its
+            # deadline (or its worker's death rattle) still counts.
+            dead: List[_Worker] = []
+            for key, _ in ready:
+                tag, worker = key.data
+                if tag == "kick":
+                    try:
+                        while self._kick_r.recv(8192):
+                            pass
+                    except (BlockingIOError, OSError):
+                        pass
+                elif tag == "conn":
+                    self._drain_results(worker)
+                elif tag == "sentinel":
+                    dead.append(worker)
+
+            for worker in dead:
+                if worker is not self._workers.get(worker.wid):
+                    continue  # already reaped via its pipe this round
+                if worker.proc.is_alive():
+                    continue
+                self._drain_results(worker)    # salvage the death rattle
+                if worker is self._workers.get(worker.wid):
+                    self._fail_worker(worker, "crashed")
+
+            now = time.monotonic()
+            for worker in list(self._workers.values()):
+                if worker.inflight and now > worker.deadline:
+                    self._fail_worker(worker, "timeout")
+
+        # Shutdown: politely stop workers, then make sure.
+        for worker in list(self._workers.values()):
+            try:
+                worker.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in list(self._workers.values()):
+            worker.proc.join(timeout=2.0)
+            if worker.proc.is_alive():
+                worker.proc.kill()
+                worker.proc.join(timeout=5.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        self._selector.close()
+
+    # -- lifecycle -------------------------------------------------------
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until every submitted job has resolved."""
+        with self._all_done:
+            if self._outstanding == 0:
+                return True
+            return self._all_done.wait_for(
+                lambda: self._outstanding == 0, timeout)
+
+    def close(self, drain: bool = True,
+              timeout: Optional[float] = None) -> None:
+        """Stop accepting work; by default wait for in-flight jobs, then
+        shut the workers down.  ``drain=False`` abandons the queue
+        (pending tickets resolve ``rejected``)."""
+        with self._lock:
+            already = self._closing
+            self._closing = True
+            self._not_full.notify_all()
+        if already:
+            self._manager.join(timeout=timeout)
+            return
+        if drain:
+            self.drain(timeout)
+        else:
+            with self._lock:
+                abandoned = list(self._pending) + list(self._delayed)
+                self._pending.clear()
+                self._delayed.clear()
+            for ticket in abandoned:
+                self._finish(ticket, JobResult.failure(
+                    ticket.job, "rejected", "pool closed",
+                    attempts=ticket.attempts))
+        with self._lock:
+            self._closed = True
+        self._kick()
+        self._manager.join(timeout=timeout or 30.0)
+        self._kick_r.close()
+        self._kick_w.close()
+
+    def stats(self) -> Dict[str, object]:
+        """Operational snapshot (workers, queue, cache)."""
+        with self._lock:
+            queued = len(self._pending) + len(self._delayed)
+            outstanding = self._outstanding
+        return {
+            "workers": len(self._workers),
+            "queued": queued,
+            "outstanding": outstanding,
+            "queue_size": self.queue_size,
+            "chunk_max": self.chunk_max,
+            "max_retries": self.max_retries,
+            "default_timeout": self.default_timeout,
+            "cache": self.cache.stats() if self.cache is not None else None,
+        }
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

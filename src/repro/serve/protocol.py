@@ -1,0 +1,240 @@
+"""Typed jobs/results and the JSON-lines wire format of ``repro.serve``.
+
+One request or response per line, each a single JSON object.  A request is
+either a *job* (the default when no ``op`` key is present) or a control
+operation (``{"op": "ping"}``, ``{"op": "stats"}``).  A job names one of
+the five kinds mirroring the CLI -- ``parse``, ``typecheck``, ``run``,
+``jit``, ``equiv`` -- and supplies the program either inline (``source``,
+surface syntax) or by built-in paper-example name (``example``).
+
+The dataclasses are the single source of truth: the wire dicts, the
+content-address used by :mod:`repro.serve.cache`, and the worker-side
+executor all consume :class:`Job`; the server, client, and CLI all consume
+:class:`JobResult`.  ``from_dict`` is strict -- unknown keys and unknown
+option names raise :class:`ProtocolError` -- so that a typo'd option fails
+loudly instead of silently missing the cache.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Dict, List, Optional
+
+from repro.errors import FunTALError
+
+__all__ = [
+    "JOB_KINDS", "RESULT_STATUSES", "ProtocolError",
+    "JobOptions", "Job", "JobResult",
+    "encode_line", "decode_line",
+]
+
+#: The five request kinds, mirroring the CLI subcommands.
+JOB_KINDS = ("parse", "typecheck", "run", "jit", "equiv")
+
+#: Every status a result can carry.  ``ok`` is the only cacheable one;
+#: ``rejected`` is produced by the server under backpressure (bounded
+#: queue full) or for malformed requests.
+RESULT_STATUSES = ("ok", "error", "fuel_exhausted", "timeout", "crashed",
+                   "rejected")
+
+
+class ProtocolError(FunTALError):
+    """A wire message was malformed (bad JSON, unknown kind/option, ...)."""
+
+
+@dataclass
+class JobOptions:
+    """Per-job knobs.  Only non-default values go on the wire, so the
+    canonical JSON used for cache keys stays minimal and stable.
+
+    ``timeout`` is *wall-clock seconds* enforced by the worker pool;
+    ``fuel`` is the machines' step budget.  The two ``inject_*`` fields
+    are fault-injection hooks used by the resilience tests (and handy for
+    drills): ``inject_crash`` makes the worker die with ``os._exit`` and
+    ``inject_sleep`` stalls it before execution.  Both are excluded from
+    the cache key, as is ``timeout`` (operational, not semantic) and
+    ``no_cache`` itself.
+    """
+
+    fuel: Optional[int] = None          # machine step budget
+    timeout: Optional[float] = None     # wall-clock seconds (pool enforced)
+    result_type: str = "int"            # halt type for bare T components
+    trace: bool = False                 # run: include the control-flow table
+    optimize: bool = False              # jit: run the peephole optimizer
+    check: bool = False                 # jit: discharge the equiv obligation
+    seed: int = 0                       # equiv: context-generator seed
+    type: Optional[str] = None          # equiv: the common F type
+    right: Optional[str] = None         # equiv: right-hand source
+    no_cache: bool = False              # bypass the result cache
+    inject_crash: bool = False          # fault injection: kill the worker
+    inject_sleep: float = 0.0           # fault injection: stall the worker
+
+    #: Option names that do not affect the *semantic* result and are
+    #: therefore excluded from the content address.
+    NON_SEMANTIC = ("timeout", "no_cache", "inject_crash", "inject_sleep")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Wire dict containing only the non-default entries."""
+        out = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if value != f.default:
+                out[f.name] = value
+        return out
+
+    def semantic_dict(self) -> Dict[str, Any]:
+        """The entries that feed the cache key."""
+        return {k: v for k, v in self.to_dict().items()
+                if k not in self.NON_SEMANTIC}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobOptions":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ProtocolError(
+                f"unknown job option(s): {', '.join(sorted(unknown))}")
+        return cls(**data)
+
+
+@dataclass
+class Job:
+    """One unit of work: a kind plus a program (inline or by example)."""
+
+    kind: str
+    id: str = ""
+    source: Optional[str] = None        # surface-syntax program text
+    example: Optional[str] = None       # built-in paper example name
+    options: JobOptions = field(default_factory=JobOptions)
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOB_KINDS:
+            raise ProtocolError(
+                f"unknown job kind {self.kind!r} "
+                f"(expected one of {', '.join(JOB_KINDS)})")
+        if (self.source is None) == (self.example is None):
+            raise ProtocolError(
+                "a job needs exactly one of 'source' or 'example'")
+        if self.kind == "equiv":
+            if self.options.right is None or self.options.type is None:
+                raise ProtocolError(
+                    "equiv jobs need options.right and options.type")
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"kind": self.kind}
+        if self.id:
+            out["id"] = self.id
+        if self.source is not None:
+            out["source"] = self.source
+        if self.example is not None:
+            out["example"] = self.example
+        opts = self.options.to_dict()
+        if opts:
+            out["options"] = opts
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Job":
+        extra = set(data) - {"kind", "id", "source", "example", "options",
+                             "op", "v"}
+        if extra:
+            raise ProtocolError(
+                f"unknown job field(s): {', '.join(sorted(extra))}")
+        if "kind" not in data:
+            raise ProtocolError("job is missing 'kind'")
+        return cls(
+            kind=data["kind"],
+            id=str(data.get("id", "")),
+            source=data.get("source"),
+            example=data.get("example"),
+            options=JobOptions.from_dict(data.get("options", {}) or {}),
+        )
+
+
+@dataclass
+class JobResult:
+    """The outcome of one job, as it travels back over the wire."""
+
+    id: str
+    kind: str
+    status: str                         # one of RESULT_STATUSES
+    output: Dict[str, Any] = field(default_factory=dict)
+    error: str = ""
+    error_type: str = ""
+    attempts: int = 1                   # dispatch attempts consumed
+    cached: bool = False                # served from the result cache
+    duration_ms: float = 0.0            # executor wall time (the cached
+                                        # value keeps the original run's)
+    worker: Optional[int] = None        # pid of the executing worker
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = asdict(self)
+        if self.worker is None:
+            del out["worker"]
+        if not self.error:
+            del out["error"]
+            del out["error_type"]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobResult":
+        if data.get("status") not in RESULT_STATUSES:
+            raise ProtocolError(
+                f"unknown result status {data.get('status')!r}")
+        return cls(
+            id=str(data.get("id", "")),
+            kind=data.get("kind", ""),
+            status=data["status"],
+            output=data.get("output", {}) or {},
+            error=data.get("error", ""),
+            error_type=data.get("error_type", ""),
+            attempts=int(data.get("attempts", 1)),
+            cached=bool(data.get("cached", False)),
+            duration_ms=float(data.get("duration_ms", 0.0)),
+            worker=data.get("worker"),
+        )
+
+    @classmethod
+    def failure(cls, job: "Job", status: str, error: str,
+                error_type: str = "", attempts: int = 1) -> "JobResult":
+        return cls(id=job.id, kind=job.kind, status=status, error=error,
+                   error_type=error_type or status, attempts=attempts)
+
+
+def encode_line(message: Dict[str, Any]) -> bytes:
+    """One wire line: compact JSON + newline."""
+    return json.dumps(message, separators=(",", ":"),
+                      sort_keys=True).encode("utf-8") + b"\n"
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    """Parse one wire line into a dict; :class:`ProtocolError` on junk."""
+    try:
+        data = json.loads(line.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as err:
+        raise ProtocolError(f"bad wire line: {err}") from None
+    if not isinstance(data, dict):
+        raise ProtocolError("wire line is not a JSON object")
+    return data
+
+
+def jobs_from_jsonl(text: str) -> List[Job]:
+    """Parse a ``.jsonl`` batch file (blank lines and ``#`` comments ok)."""
+    jobs = []
+    for i, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            job = Job.from_dict(decode_line(line.encode("utf-8")))
+        except ProtocolError as err:
+            raise ProtocolError(f"line {i}: {err}") from None
+        if not job.id:
+            job.id = f"job-{i}"
+        jobs.append(job)
+    return jobs

@@ -37,11 +37,17 @@ class TestRun:
         assert "control flow" in out
 
     def test_fuel_flag(self, program_file, capsys):
-        # a spinning component runs out of the given fuel
+        # A spinning component runs out of the given fuel: dedicated exit
+        # code, one-line verdict, no traceback.
+        from repro.cli import EXIT_FUEL_EXHAUSTED
+
         path = program_file(
             "(jmp spin, {spin -> code[]{.; nil} end{int; nil}. jmp spin})")
-        assert main(["run", path, "--fuel", "500"]) == 1
-        assert "error" in capsys.readouterr().err
+        assert main(["run", path, "--fuel", "500"]) == EXIT_FUEL_EXHAUSTED
+        err = capsys.readouterr().err
+        assert err.startswith("FuelExhausted:")
+        assert "500 steps" in err
+        assert len(err.strip().splitlines()) == 1
 
 
 class TestTypecheck:
@@ -138,7 +144,10 @@ class TestStats:
     def test_json_smoke(self, capsys):
         assert main(["stats", "--json"]) == 0
         snapshot = json.loads(capsys.readouterr().out)
-        assert set(snapshot) == {"counters", "gauges", "histograms"}
+        assert set(snapshot) == {"counters", "gauges", "histograms",
+                                 "jit_compile_cache"}
+        assert set(snapshot["jit_compile_cache"]) >= {"hits", "misses",
+                                                      "size"}
 
     def test_example_json(self, capsys):
         assert main(["stats", "fig17", "--json"]) == 0
