@@ -18,6 +18,12 @@ The reproduction's counterpart to the paper artifact's in-browser tools::
     funtal submit FILE [--kind K]          # send one job to a server
     funtal batch FILE.jsonl [--workers N]  # run a job file on a local pool
     funtal batch --examples --workers 4    # ... or all paper examples
+    funtal chaos [--seeds 0,1,2] [--rate R]  # deterministic fault drill
+                                 # over the paper examples (resilience)
+
+``run``, ``trace``, ``stats``, ``submit``, and ``batch`` share the
+uniform resource-governor knobs ``--fuel`` / ``--heap`` / ``--depth``
+(see ``docs/resilience.md``).
 
 FILE contains either an F(T) expression or a bare T component in the
 surface syntax (see README).  ``-`` reads from stdin.  Figure names
@@ -26,10 +32,11 @@ surface syntax (see README).  ``-`` reads from stdin.  Figure names
 ``docs/serving.md`` for the evaluation service.
 
 Exit codes: 0 success; 1 library error (parse/type/machine); 2 bad
-usage/unknown name; 3 equivalence refuted; 4 lint warnings; 5 fuel
-exhausted (:class:`~repro.errors.FuelExhausted` -- the bounded machines'
-divergence verdict, reported as one line, never a traceback); 6 a served
-job failed (crashed/timed out/rejected).
+usage/unknown name; 3 equivalence refuted; 4 lint warnings; 5 a resource
+governor tripped (:class:`~repro.errors.ResourceExhausted` -- fuel, heap
+cells, or stack depth; the bounded machines' verdict, reported as one
+line, never a traceback); 6 a served job failed (crashed/timed out/
+rejected).
 """
 
 from __future__ import annotations
@@ -39,7 +46,7 @@ import sys
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.analysis.trace import control_flow_table, format_table
-from repro.errors import FuelExhausted, FunTALError
+from repro.errors import FunTALError, ResourceExhausted
 from repro.f.syntax import FExpr
 from repro.ft.machine import evaluate_ft, run_ft_component
 from repro.ft.typecheck import check_ft_component, check_ft_expr
@@ -47,16 +54,35 @@ from repro.papers_examples import (
     EXAMPLE_ALIASES, example_entries as _example_entries,
     resolve_example as _resolve_example,
 )
+from repro.resilience.budget import Budget
 from repro.surface.parser import parse_program
 from repro.surface.pretty import pretty_component
 from repro.tal.syntax import Component, NIL_STACK, QEnd, TalType
 
 __all__ = ["main", "EXAMPLES", "EXIT_FUEL_EXHAUSTED", "EXIT_JOB_FAILED"]
 
-#: Dedicated exit code for FuelExhausted (bounded evaluation ran dry).
+#: Dedicated exit code for ResourceExhausted (a budget governor tripped:
+#: fuel, heap cells, or stack depth).  The name keeps its historical
+#: spelling -- fuel was the first and is still the most common governor.
 EXIT_FUEL_EXHAUSTED = 5
-#: Dedicated exit code for a failed served job (submit/batch).
+#: Dedicated exit code for a failed served job (crashed/timed out/rejected).
 EXIT_JOB_FAILED = 6
+
+
+def _add_budget_args(parser: argparse.ArgumentParser) -> None:
+    """The uniform resource-governor knobs (shared by run/trace/stats/
+    submit/batch/chaos).  ``None`` defers to the unified defaults in
+    :mod:`repro.resilience.budget`."""
+    parser.add_argument("--fuel", type=int, default=None,
+                        help="machine step budget (default 1,000,000)")
+    parser.add_argument("--heap", type=int, default=None,
+                        help="heap-cell budget (default 1,000,000)")
+    parser.add_argument("--depth", type=int, default=None,
+                        help="stack-depth budget (default 1,000,000)")
+
+
+def _budget_from_args(args: argparse.Namespace) -> Budget:
+    return Budget(fuel=args.fuel, heap=args.heap, depth=args.depth)
 
 
 def _load(path: str) -> str:
@@ -93,12 +119,13 @@ def cmd_typecheck(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     node = parse_program(_load(args.file))
+    budget = _budget_from_args(args)
     if isinstance(node, Component):
-        halted, machine = run_ft_component(node, fuel=args.fuel,
-                                           trace=args.trace)
+        halted, machine = run_ft_component(node, trace=args.trace,
+                                           budget=budget)
         print(f"halted with {halted.word} : {halted.ty}")
     else:
-        value, machine = evaluate_ft(node, fuel=args.fuel, trace=args.trace)
+        value, machine = evaluate_ft(node, trace=args.trace, budget=budget)
         print(f"value: {value}")
     if args.trace:
         rows = control_flow_table(machine.trace)
@@ -226,7 +253,7 @@ def cmd_examples(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_example_instrumented(name: str, fuel: int):
+def _run_example_instrumented(name: str, budget: Budget):
     """Run a paper example under the observability layer; returns
     ``(value, machine, events, metrics_snapshot)`` or ``None`` (after
     printing the shared unknown-example message) if the name is unknown.
@@ -244,7 +271,7 @@ def _run_example_instrumented(name: str, fuel: int):
     obs.reset()
     obs.enable(record=True)
     try:
-        value, machine = evaluate_ft(program, fuel=fuel, trace=True)
+        value, machine = evaluate_ft(program, trace=True, budget=budget)
         # Append the final counter totals to the stream (while the bus is
         # still recording) so exported traces are self-contained -- one
         # Counter event per metric, not one per increment.
@@ -261,7 +288,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
     from repro import obs
     from repro.obs.events import MachineEvent
 
-    result = _run_example_instrumented(args.example, args.fuel)
+    result = _run_example_instrumented(args.example, _budget_from_args(args))
     if result is None:
         return 2
     value, machine, events, snapshot = result
@@ -306,13 +333,15 @@ def cmd_stats(args: argparse.Namespace) -> int:
     from repro import obs
 
     if args.example:
-        result = _run_example_instrumented(args.example, args.fuel)
+        result = _run_example_instrumented(args.example,
+                                           _budget_from_args(args))
         if result is None:
             return 2
         snapshot = result[3]
     else:
         snapshot = obs.OBS.metrics.snapshot()
         snapshot["jit_compile_cache"] = _jit_cache_stats()
+    snapshot["jit_quarantine"] = _jit_quarantine_stats()
     if args.json:
         print(_json.dumps(snapshot, indent=2, sort_keys=True))
     else:
@@ -333,6 +362,17 @@ def _jit_cache_stats() -> Dict:
     return compiler.COMPILE_CACHE.stats()
 
 
+def _jit_quarantine_stats() -> Dict:
+    """The JIT safety net's circuit breaker as a stats dict, without
+    forcing the safety-net import if no guarded run happened."""
+    import sys as _sys
+
+    safety_net = _sys.modules.get("repro.resilience.safety_net")
+    if safety_net is None:
+        return {"size": 0, "hits": 0, "entries": []}
+    return safety_net.QUARANTINE.stats()
+
+
 def _format_snapshot(snapshot: Dict) -> str:
     lines = []
     for section in ("counters", "gauges"):
@@ -345,6 +385,12 @@ def _format_snapshot(snapshot: Dict) -> str:
         lines.append(
             "jit compile cache  size={size}/{maxsize} hits={hits} "
             "misses={misses} evictions={evictions}".format(**jit_cache))
+    quarantine = snapshot.get("jit_quarantine", {})
+    if quarantine.get("size") or quarantine.get("hits"):
+        lines.append("jit quarantine  size={size} hits={hits}".format(
+            **{k: quarantine[k] for k in ("size", "hits")}))
+        for lam, why in quarantine.get("entries", []):
+            lines.append(f"  quarantined {lam}  ({why})")
     if not lines:
         return "(no metrics recorded in this process)"
     return "\n".join(lines)
@@ -355,7 +401,11 @@ def _job_from_args(args: argparse.Namespace):
     from repro.serve.protocol import Job, JobOptions
 
     options = JobOptions(
-        fuel=args.fuel, timeout=args.timeout,
+        fuel=args.fuel, heap=getattr(args, "heap", None),
+        depth=getattr(args, "depth", None),
+        checkpoint=getattr(args, "checkpoint", False),
+        jit=getattr(args, "jit", False),
+        timeout=args.timeout,
         result_type=args.result_type, trace=getattr(args, "trace", False),
         optimize=getattr(args, "optimize", False),
         check=getattr(args, "check", False),
@@ -374,7 +424,11 @@ def _job_from_args(args: argparse.Namespace):
 def _result_exit_code(result) -> int:
     if result.ok:
         return 0
-    if result.status == "fuel_exhausted":
+    if result.status == "suspended":
+        # A checkpointing run that handed back its snapshot did exactly
+        # what was asked; resuming is the caller's next move.
+        return 0
+    if result.status in ("fuel_exhausted", "resource_exhausted"):
         return EXIT_FUEL_EXHAUSTED
     if result.status in ("timeout", "crashed", "rejected"):
         return EXIT_JOB_FAILED
@@ -433,7 +487,8 @@ def _batch_rounds(args: argparse.Namespace):
     if args.examples:
         return [
             [Job("run", id=f"{name}#{rep}", example=name,
-                 options=JobOptions(timeout=args.timeout,
+                 options=JobOptions(fuel=args.fuel, heap=args.heap,
+                                    depth=args.depth, timeout=args.timeout,
                                     no_cache=args.no_cache))
              for name in _example_entries()]
             for rep in range(args.repeat)]
@@ -445,6 +500,9 @@ def _batch_rounds(args: argparse.Namespace):
             job.options.no_cache = True
         if args.timeout and job.options.timeout is None:
             job.options.timeout = args.timeout
+        for knob in ("fuel", "heap", "depth"):
+            if getattr(args, knob) and getattr(job.options, knob) is None:
+                setattr(job.options, knob, getattr(args, knob))
     return [jobs]
 
 
@@ -487,6 +545,141 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return 0 if ok == len(results) else EXIT_JOB_FAILED
 
 
+def _chaos_one(name: str, build, reference: str, seed: int, rate: float,
+               seams, fuel: Optional[int]) -> Tuple[str, Dict]:
+    """One chaos trial: run ``name`` under a seeded fault plane through
+    the guarded JIT, then suspend/checkpoint/resume it at half fuel.
+
+    Returns ``(verdict, detail)``.  A verdict is *acceptable* when it is
+    ``"ok"`` (right answer despite injected faults -- the safety net
+    absorbed them) or a structured degradation (``fault:*``,
+    ``exhausted:*``, ``snapshot-error``); it is a *failure* when the
+    answer is wrong or a non-FunTAL exception escapes.
+    """
+    from repro.errors import InjectedFault, SnapshotError
+    from repro.ft.machine import FTMachine
+    from repro.jit.compiler import clear_compile_cache
+    from repro.resilience.chaos import FaultPlane
+    from repro.resilience.safety_net import Quarantine, run_guarded
+
+    detail: Dict = {}
+    clear_compile_cache()
+    quarantine = Quarantine()
+    with FaultPlane(seed=seed, rate=rate, seams=seams) as plane:
+        # Trial 1: full run through the guarded JIT.
+        try:
+            value, _machine, report = run_guarded(
+                build(), fuel=fuel, quarantine=quarantine)
+            verdict = "ok" if str(value) == reference \
+                else f"WRONG-ANSWER:{value}"
+            detail["fell_back"] = report.fell_back
+            detail["quarantined"] = len(quarantine)
+        except InjectedFault as err:
+            verdict = f"fault:{err.seam}"
+        except ResourceExhausted as err:
+            verdict = f"exhausted:{err.resource}"
+        except SnapshotError:
+            verdict = "snapshot-error"
+        except FunTALError as err:
+            verdict = f"error:{type(err).__name__}"
+        except Exception as err:   # noqa: BLE001 -- the whole point
+            verdict = f"UNHANDLED:{type(err).__name__}:{err}"
+
+        # Trial 2: suspend at a tiny fuel slice, checkpoint through the
+        # (possibly faulting) pickle seam, restore, resume to the end.
+        try:
+            machine = FTMachine(budget=Budget(fuel=5))
+            entry = _resolve_example(name)
+            try:
+                machine.evaluate(entry[1]())
+                resume_verdict = "finished-early"
+            except ResourceExhausted:
+                if not machine.suspended:
+                    resume_verdict = "exhausted:terminal"
+                else:
+                    snap = machine.snapshot()
+                    revived = FTMachine.restore(snap)
+                    outcome = revived.resume(fuel=fuel or 1_000_000)
+                    resume_verdict = "ok" if str(outcome) == reference \
+                        else f"WRONG-ANSWER:{outcome}"
+        except InjectedFault as err:
+            resume_verdict = f"fault:{err.seam}"
+        except ResourceExhausted as err:
+            resume_verdict = f"exhausted:{err.resource}"
+        except SnapshotError:
+            resume_verdict = "snapshot-error"
+        except FunTALError as err:
+            resume_verdict = f"error:{type(err).__name__}"
+        except Exception as err:   # noqa: BLE001
+            resume_verdict = f"UNHANDLED:{type(err).__name__}:{err}"
+    detail["resume"] = resume_verdict
+    detail["faults"] = plane.summary()["faults"]
+    if "WRONG" in resume_verdict or "UNHANDLED" in resume_verdict:
+        verdict = resume_verdict if verdict == "ok" else verdict
+    return verdict, detail
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.resilience.chaos import SEAMS
+
+    seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+    seams = None
+    if args.seams:
+        seams = [s.strip() for s in args.seams.split(",") if s.strip()]
+        unknown = set(seams) - set(SEAMS)
+        if unknown:
+            print(f"unknown seam(s): {', '.join(sorted(unknown))} "
+                  f"(known: {', '.join(sorted(SEAMS))})", file=sys.stderr)
+            return 2
+    entries = _example_entries()
+    if args.examples:
+        picked = {}
+        for name in args.examples.split(","):
+            entry = _resolve_example(name.strip())
+            if entry is None:
+                print(f"unknown example {name.strip()!r}", file=sys.stderr)
+                return 2
+            picked[name.strip()] = entry
+        entries = picked
+
+    # Authoritative answers first, outside any fault plane.
+    reference = {}
+    for name, (_, build) in entries.items():
+        value, _ = evaluate_ft(build(), fuel=args.fuel)
+        reference[name] = str(value)
+
+    rows = []
+    failures = 0
+    for seed in seeds:
+        for name, (_, build) in entries.items():
+            verdict, detail = _chaos_one(
+                name, build, reference[name], seed, args.rate, seams,
+                args.fuel)
+            bad = "WRONG" in verdict or "UNHANDLED" in verdict \
+                or "WRONG" in detail["resume"] \
+                or "UNHANDLED" in detail["resume"]
+            failures += bad
+            rows.append({"seed": seed, "example": name,
+                         "verdict": verdict, **detail})
+
+    if args.json:
+        print(_json.dumps({"rows": rows, "failures": failures,
+                           "seeds": seeds, "rate": args.rate},
+                          sort_keys=True))
+    else:
+        for row in rows:
+            flag = "FAIL" if ("WRONG" in row["verdict"]
+                              or "UNHANDLED" in row["verdict"]) else "ok"
+            print(f"[{flag}] seed={row['seed']} {row['example']:14s} "
+                  f"run={row['verdict']} resume={row['resume']} "
+                  f"faults={row['faults']}")
+        print(f"chaos: {len(rows)} trials, {failures} failures "
+              f"(seeds {','.join(map(str, seeds))}, rate {args.rate})")
+    return 0 if failures == 0 else 1
+
+
 def build_arg_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="funtal",
@@ -505,7 +698,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="evaluate a program")
     p_run.add_argument("file")
-    p_run.add_argument("--fuel", type=int, default=1_000_000)
+    _add_budget_args(p_run)
     p_run.add_argument("--trace", action="store_true",
                        help="print the jump-level control-flow table")
     p_run.set_defaults(fn=cmd_run)
@@ -558,7 +751,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
                            "chrome://tracing JSON; table: control-flow "
                            "table + crossing counters")
     p_tr.add_argument("--out", help="write to a file instead of stdout")
-    p_tr.add_argument("--fuel", type=int, default=1_000_000)
+    _add_budget_args(p_tr)
     p_tr.set_defaults(fn=cmd_trace)
 
     p_st = sub.add_parser(
@@ -568,7 +761,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
                       help="optionally run this example under "
                            "instrumentation first")
     p_st.add_argument("--json", action="store_true")
-    p_st.add_argument("--fuel", type=int, default=1_000_000)
+    _add_budget_args(p_st)
     p_st.set_defaults(fn=cmd_stats)
 
     p_srv = sub.add_parser(
@@ -597,7 +790,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p_sub.add_argument("--example", help="built-in example instead of FILE")
     p_sub.add_argument("--host", default="127.0.0.1")
     p_sub.add_argument("--port", type=int, default=4017)
-    p_sub.add_argument("--fuel", type=int, default=None)
+    _add_budget_args(p_sub)
+    p_sub.add_argument("--checkpoint", action="store_true",
+                       help="run: suspend with a resumable snapshot on "
+                            "fuel exhaustion instead of failing")
+    p_sub.add_argument("--jit", action="store_true",
+                       help="run: execute under the guarded JIT "
+                            "(faults fall back to the interpreter)")
     p_sub.add_argument("--timeout", type=float, default=None,
                        help="per-job wall-clock seconds")
     p_sub.add_argument("--result-type", default="int")
@@ -621,6 +820,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
                             "of a file")
     p_bat.add_argument("--repeat", type=int, default=1,
                        help="with --examples: submit the set N times")
+    _add_budget_args(p_bat)
     p_bat.add_argument("--workers", type=int, default=4)
     p_bat.add_argument("--cache-size", type=int, default=1024)
     p_bat.add_argument("--no-cache", action="store_true")
@@ -628,6 +828,22 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p_bat.add_argument("--max-retries", type=int, default=2)
     p_bat.add_argument("--out", help="write results here instead of stdout")
     p_bat.set_defaults(fn=cmd_batch)
+
+    p_ch = sub.add_parser(
+        "chaos",
+        help="run the paper examples under deterministic fault injection "
+             "and assert every degradation path (see docs/resilience.md)")
+    p_ch.add_argument("--seeds", default="0,1,2",
+                      help="comma-separated fault-plane seeds")
+    p_ch.add_argument("--rate", type=float, default=0.05,
+                      help="per-probe fault probability")
+    p_ch.add_argument("--seams",
+                      help="comma-separated seam subset (default: all)")
+    p_ch.add_argument("--examples",
+                      help="comma-separated example subset (default: all)")
+    p_ch.add_argument("--fuel", type=int, default=None)
+    p_ch.add_argument("--json", action="store_true")
+    p_ch.set_defaults(fn=cmd_chaos)
     return parser
 
 
@@ -636,14 +852,23 @@ def main(argv: Optional[list] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.fn(args)
-    except FuelExhausted as err:
-        # Deliberate single line + dedicated code: running out of fuel is
-        # the bounded machines' verdict on (potential) divergence, not an
-        # internal error, so scripts must be able to tell them apart.
-        print(f"FuelExhausted: {err}", file=sys.stderr)
+    except ResourceExhausted as err:
+        # Deliberate single line + dedicated code: a tripped governor
+        # (fuel, heap cells, stack depth) is the bounded machines'
+        # verdict on divergence / runaway allocation, not an internal
+        # error, so scripts must be able to tell them apart.
+        print(f"{type(err).__name__}: {err}", file=sys.stderr)
         return EXIT_FUEL_EXHAUSTED
     except FunTALError as err:
         print(f"error: {err}", file=sys.stderr)
+        return 1
+    except RecursionError:
+        # The machines convert their own RecursionErrors to
+        # StackDepthExhausted (handled above); one escaping here comes
+        # from the recursive-descent parser or the pretty-printer on a
+        # pathologically nested program.
+        print("error: program too deeply nested for the surface "
+              "parser/printer", file=sys.stderr)
         return 1
 
 

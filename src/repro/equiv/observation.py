@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple, Union
 
-from repro.errors import FuelExhausted, FunTALError, MachineError
+from repro.errors import FunTALError, MachineError, ResourceExhausted
 from repro.f.syntax import FExpr, Fold, IntE, is_value, Lam, TupleE, UnitE
 from repro.ft.machine import evaluate_ft
 
@@ -81,7 +81,10 @@ def observe(program: FExpr, fuel: int = 50_000) -> Observation:
     """Run a closed FT program to an observation."""
     try:
         value, _ = evaluate_ft(program, fuel=fuel)
-    except FuelExhausted:
+    except ResourceExhausted:
+        # Any tripped governor (fuel, heap cells, depth) reads as
+        # divergence: the bounded observer could not tell the programs
+        # apart within its budget.
         return Observation(DIVERGED)
     except FunTALError as err:
         return Observation(STUCK, detail=str(err))

@@ -2,16 +2,31 @@
 
 Every user-facing failure in the library is an instance of :class:`FunTALError`
 so that callers (CLI, tests, the equivalence checker) can catch one root type.
-The three main judgment families each get their own subclass:
+The main judgment families each get their own subclass:
 
 * :class:`FTTypeError` -- a typing judgment failed (F, T, or FT).
 * :class:`MachineError` -- the abstract machine got stuck.  A *well-typed*
   program never raises this (type safety); the machine raises it eagerly on
   ill-formed states so that the property tests can detect safety violations.
 * :class:`ParseError` -- the surface-syntax parser rejected its input.
+* :class:`ResourceExhausted` -- a resource governor tripped.  This is the
+  structured family the resilience layer (:mod:`repro.resilience`) raises
+  when a :class:`~repro.resilience.budget.Budget` ceiling is hit: *fuel*
+  (:class:`FuelExhausted`), *heap cells* (:class:`HeapExhausted`), or
+  *evaluation depth* (:class:`StackDepthExhausted`).  None of these are
+  errors in the paper's semantics -- they are how the bounded machines
+  observe (potential) divergence and runaway allocation without dying.
+* :class:`SnapshotError` -- a machine checkpoint could not be captured or
+  restored (unpicklable state, hash mismatch, truncation).
+* :class:`InjectedFault` -- a deterministic chaos fault fired at a named
+  seam (:mod:`repro.resilience.chaos`).  Tests use it to assert that every
+  degradation path is handled; it must never escape as an unhandled
+  non-FunTAL exception.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 
 class FunTALError(Exception):
@@ -46,7 +61,29 @@ class MachineError(FunTALError):
     """
 
 
-class FuelExhausted(FunTALError):
+class ResourceExhausted(FunTALError):
+    """A bounded evaluation hit one of its resource ceilings.
+
+    ``resource`` names the governed dimension (``"fuel"``, ``"heap"``,
+    ``"depth"``), ``limit`` is the configured ceiling and ``spent`` how much
+    had been consumed when the governor tripped.  Catching this one type
+    covers every budget dimension; the subclasses exist so callers that care
+    (the CLI's exit codes, the equivalence checker's divergence verdict) can
+    be precise.
+    """
+
+    resource = "resource"
+
+    def __init__(self, limit: int, spent: Optional[int] = None,
+                 message: Optional[str] = None):
+        self.limit = limit
+        self.spent = limit if spent is None else spent
+        super().__init__(
+            message or f"{self.resource} budget exhausted: "
+                       f"spent {self.spent} of {limit}")
+
+
+class FuelExhausted(ResourceExhausted):
     """A bounded evaluation ran out of fuel before producing a value.
 
     This is *not* an error in the paper's semantics -- it is how the
@@ -54,9 +91,48 @@ class FuelExhausted(FunTALError):
     case of the factorial example (Fig 17).
     """
 
-    def __init__(self, fuel: int):
+    resource = "fuel"
+
+    def __init__(self, fuel: int, spent: Optional[int] = None):
         self.fuel = fuel
-        super().__init__(f"evaluation did not terminate within {fuel} steps")
+        super().__init__(
+            fuel, spent,
+            f"evaluation did not terminate within {fuel} steps")
+
+
+class HeapExhausted(ResourceExhausted):
+    """The machine's heap-cell budget is spent (runaway allocation)."""
+
+    resource = "heap"
+
+
+class StackDepthExhausted(ResourceExhausted):
+    """Evaluation-context / machine-stack depth exceeded its ceiling.
+
+    Also raised when Python's own recursion limit is hit inside the
+    evaluator (deep substitutions, pathological value checks): the
+    interpreter crash is caught at the machine boundary and surfaced as
+    this structured verdict instead of a raw :class:`RecursionError`.
+    """
+
+    resource = "depth"
+
+
+class SnapshotError(FunTALError):
+    """A machine checkpoint could not be captured, encoded, or restored."""
+
+
+class InjectedFault(FunTALError):
+    """A chaos fault fired at a named seam (deterministic, seeded).
+
+    ``seam`` names the injection point, e.g. ``"heap.alloc"`` or
+    ``"jit.compile"`` -- see :data:`repro.resilience.chaos.SEAMS`.
+    """
+
+    def __init__(self, seam: str, detail: str = ""):
+        self.seam = seam
+        extra = f": {detail}" if detail else ""
+        super().__init__(f"injected fault at seam {seam!r}{extra}")
 
 
 class ParseError(FunTALError):

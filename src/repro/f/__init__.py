@@ -13,4 +13,4 @@ from repro.f.syntax import (  # noqa: F401
     ftype_equal, is_value, subst_expr, subst_ftype,
 )
 from repro.f.typecheck import typecheck  # noqa: F401
-from repro.f.eval import evaluate, step  # noqa: F401
+from repro.f.eval import evaluate, FEvaluator, step  # noqa: F401

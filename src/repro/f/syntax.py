@@ -30,6 +30,8 @@ __all__ = [
     "FExpr", "Var", "UnitE", "IntE", "BinOp", "If0", "Lam", "App",
     "Fold", "Unfold", "TupleE", "Proj",
     "ftype_equal", "subst_ftype", "free_tvars", "fresh_tvar",
+    "fresh_tvar_mark", "advance_fresh_tvar",
+    "fresh_var_mark", "advance_fresh_var",
     "register_ftype_hooks",
     "subst_expr", "free_vars", "is_value", "BINOPS",
 ]
@@ -43,6 +45,21 @@ def fresh_tvar(base: str = "a") -> str:
     """Return a globally fresh type-variable name derived from ``base``."""
     stem = base.rstrip("0123456789'") or "a"
     return f"{stem}%{next(_fresh_counter)}"
+
+
+def fresh_tvar_mark() -> int:
+    """Current position of the fresh type-variable counter (checkpoints)."""
+    global _fresh_counter
+    mark = next(_fresh_counter)
+    _fresh_counter = itertools.count(mark)
+    return mark
+
+
+def advance_fresh_tvar(mark: int) -> None:
+    """Ensure future fresh type variables are numbered >= ``mark``."""
+    global _fresh_counter
+    if mark > fresh_tvar_mark():
+        _fresh_counter = itertools.count(mark)
 
 
 # ---------------------------------------------------------------------------
@@ -449,6 +466,21 @@ _fresh_var_counter = itertools.count()
 def _fresh_var(base: str) -> str:
     stem = base.split("%")[0] or "x"
     return f"{stem}%{next(_fresh_var_counter)}"
+
+
+def fresh_var_mark() -> int:
+    """Current position of the fresh term-variable counter (checkpoints)."""
+    global _fresh_var_counter
+    mark = next(_fresh_var_counter)
+    _fresh_var_counter = itertools.count(mark)
+    return mark
+
+
+def advance_fresh_var(mark: int) -> None:
+    """Ensure future fresh term variables are numbered >= ``mark``."""
+    global _fresh_var_counter
+    if mark > fresh_var_mark():
+        _fresh_var_counter = itertools.count(mark)
 
 
 def subst_expr(e: FExpr, var: str, replacement: FExpr) -> FExpr:

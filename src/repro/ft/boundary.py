@@ -32,6 +32,7 @@ from typing import List, Tuple
 
 from repro.errors import MachineError
 from repro.obs.events import OBS
+from repro.resilience.chaos import probe
 from repro.f.syntax import (
     App, FArrow, FExpr, FInt, Fold as FFold, FRec, FTupleT, FType, FUnit,
     IntE, is_value, Lam, TupleE, UnitE, Var,
@@ -65,6 +66,7 @@ __all__ = [
 def f_to_t(v: FExpr, ty: FType, mem: Memory) -> WordValue:
     """``TFtau(v, M) = (w, M')`` -- translate an F value into T,
     allocating in ``mem`` as needed."""
+    probe("boundary.translate", f"TF[{ty}]")
     if OBS.enabled:
         OBS.metrics.inc("ft.translate.f_to_t")
     if not is_value(v):
@@ -222,6 +224,7 @@ def build_stack_lambda_wrapper(v: Lam, ty: FStackArrow) -> HCode:
 
 def t_to_f(w: WordValue, ty: FType, mem: Memory) -> FExpr:
     """``tauFT(w, M) = (v, M')`` -- translate a T word into F."""
+    probe("boundary.translate", f"{ty}FT")
     if OBS.enabled:
         OBS.metrics.inc("ft.translate.t_to_f")
     if isinstance(ty, FInt):

@@ -51,8 +51,9 @@ from repro.tal.syntax import (
 
 __all__ = [
     "FStackArrow", "StackLam", "Boundary", "StackDelta", "Import",
-    "Protect", "subst_boundary", "ft_free_vars", "subst_tal_in_fexpr",
-    "rename_locs_in_fexpr", "tal_free_type_vars_of_fexpr",
+    "Protect", "Hole", "subst_boundary", "ft_free_vars",
+    "subst_tal_in_fexpr", "rename_locs_in_fexpr",
+    "tal_free_type_vars_of_fexpr",
 ]
 
 
@@ -152,6 +153,23 @@ class Boundary(FExpr):
             return f"FT[{self.ty}]{self.comp}"
         pushes = ", ".join(str(t) for t in self.delta.pushes)
         return f"FT[{self.ty}; {self.delta.pops}; <{pushes}>]{self.comp}"
+
+
+@dataclass(frozen=True)
+class Hole(FExpr):
+    """The machine's resumption placeholder ``[]`` -- not surface syntax.
+
+    When a fuel-suspended FT machine checkpoints an F evaluation whose
+    focus was a boundary crossing, the in-flight crossing is recorded as
+    its own suspension record and the enclosing expression is rebuilt
+    with a ``Hole`` where the crossing's value will land.  On resume the
+    evaluator substitutes the replayed crossing's value at the hole.  A
+    hole is not a value and has no typing rule; it only ever occurs
+    inside suspended machine states.
+    """
+
+    def __str__(self) -> str:
+        return "[]"
 
 
 @dataclass(frozen=True)

@@ -31,6 +31,7 @@ from typing import Dict, List, Tuple
 
 from repro.errors import FTTypeError
 from repro.obs.events import OBS
+from repro.resilience.chaos import probe
 from repro.serve.cache import LRUCache
 from repro.f.syntax import (
     App, BinOp, FArrow, FExpr, FInt, Fold, If0, IntE, Lam, Proj, TupleE,
@@ -190,6 +191,7 @@ def compile_function(lam: Lam) -> Lam:
     cached = COMPILE_CACHE.get(lam)
     if cached is not None:
         return cached
+    probe("jit.compile", f"arity {len(lam.params)}")
     with OBS.span("jit.compile", "jit", arity=len(lam.params)):
         compiled = _compile_uncached(lam)
     COMPILE_CACHE.put(lam, compiled)

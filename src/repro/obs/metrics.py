@@ -47,6 +47,28 @@ The serving layer (:mod:`repro.serve`) adds its own family:
 ``serve.queue.depth``            pending + backoff-delayed jobs (gauge)
 ``serve.job.ms``                 submit-to-resolve latency (histogram)
 ===============================  ============================================
+
+The resilience layer (:mod:`repro.resilience`) adds its own family
+(see ``docs/resilience.md``):
+
+===================================  ========================================
+``resilience.soft_limit.<r>``        budget soft-warnings (80% of ceiling),
+                                     per resource ``fuel``/``heap``/``depth``
+``resilience.exhausted.<r>``         governors tripped, per resource
+``resilience.budget.<r>_used``       spend at the last soft-warning (gauge)
+``resilience.snapshot.captured``     machine snapshots taken
+``resilience.snapshot.restored``     snapshots verified + restored
+``resilience.snapshot.bytes``        snapshot payload sizes (histogram)
+``resilience.chaos.injected``        chaos faults fired (also per-seam:
+                                     ``resilience.chaos.injected.<seam>``)
+``resilience.jit_fallback.compile``  lambdas quarantined at compile time
+``resilience.jit_fallback.run``      guarded runs that fell back to the
+                                     interpreter after a run-time fault
+``jit.quarantine.added``             lambdas added to the circuit breaker
+``jit.quarantine.hits``              rewrites that skipped a quarantined
+                                     lambda
+``jit.quarantine.size``              current circuit-breaker size (gauge)
+===================================  ========================================
 """
 
 from __future__ import annotations

@@ -1,0 +1,219 @@
+"""JIT safety net: differential guard + quarantine circuit breaker.
+
+The JIT (:mod:`repro.jit.compiler`) replaces eligible F lambdas with
+compiled T components behind boundaries.  Its correctness obligation is
+the paper's ``E[e_S] ~ E[FT e_T]``; this module is the *runtime*
+enforcement of that obligation: if anything faults while compiling or
+while running jitted code -- a compiler bug, a miscompile tripping the
+machine's stuck-state checks, an injected chaos fault -- the safety net
+
+1. falls back to the interpreter and returns *its* result, so callers
+   never observe a jit-induced failure or wrong answer;
+2. quarantines the offending source lambda in a circuit breaker
+   (:class:`Quarantine`), so it is never handed to the compiler again in
+   this process.
+
+Resource exhaustion (fuel/heap/depth) is *not* treated as a JIT fault:
+it is a legitimate verdict of bounded evaluation -- and the compilable
+fragment (first-order arithmetic) cannot introduce divergence -- so it
+propagates to the caller unchanged.
+
+Quarantine statistics surface in ``funtal stats`` and in the
+``jit.quarantine.*`` metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ResourceExhausted
+from repro.f.syntax import (
+    App, BinOp, FExpr, Fold, If0, IntE, Lam, Proj, TupleE, Unfold, UnitE,
+    Var,
+)
+from repro.ft.machine import FTMachine, evaluate_ft
+from repro.ft.syntax import StackLam
+from repro.jit.compiler import compile_function, is_compilable
+from repro.obs.events import OBS
+from repro.resilience.budget import Budget
+from repro.resilience.chaos import probe
+
+__all__ = ["Quarantine", "QUARANTINE", "SafetyNetReport",
+           "jit_rewrite_guarded", "run_guarded"]
+
+
+class Quarantine:
+    """Circuit breaker over source lambdas the JIT has faulted on.
+
+    Keyed on the (frozen, hashable) source :class:`Lam` itself, exactly
+    like the compile cache -- structurally identical lambdas share a
+    verdict.  Once a lambda is quarantined it is never re-jitted; the
+    interpreter runs it instead, permanently, until :meth:`clear`.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[Lam, str] = {}
+        self.hits = 0        # rewrites that skipped a quarantined lambda
+
+    def __contains__(self, lam: Lam) -> bool:
+        return lam in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add(self, lam: Lam, reason: str) -> None:
+        if lam in self._entries:
+            return
+        self._entries[lam] = reason
+        if OBS.enabled:
+            OBS.metrics.inc("jit.quarantine.added")
+            OBS.gauge("jit.quarantine.size", len(self._entries))
+
+    def skip(self, lam: Lam) -> None:
+        """Record that a rewrite left ``lam`` interpreted because it is
+        quarantined."""
+        self.hits += 1
+        if OBS.enabled:
+            OBS.metrics.inc("jit.quarantine.hits")
+
+    def reasons(self) -> List[Tuple[str, str]]:
+        """(pretty lambda, reason) pairs, insertion-ordered."""
+        return [(str(lam), why) for lam, why in self._entries.items()]
+
+    def stats(self) -> Dict[str, object]:
+        return {"size": len(self._entries), "hits": self.hits,
+                "entries": self.reasons()}
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+
+
+#: The process-wide quarantine, shared by every guarded run (and by the
+#: serve executor's workers, each in its own process).
+QUARANTINE = Quarantine()
+
+
+@dataclass
+class SafetyNetReport:
+    """What the guard did for one program."""
+
+    jitted: int = 0                  # lambdas compiled into this program
+    skipped: int = 0                 # lambdas left interpreted (quarantined)
+    fell_back: bool = False          # a fault forced an interpreter re-run
+    fault: Optional[str] = None      # pretty form of the triggering fault
+    quarantined: Tuple[str, ...] = ()  # lambdas quarantined by this run
+
+    def to_json(self) -> Dict[str, object]:
+        return {"jitted": self.jitted, "skipped": self.skipped,
+                "fell_back": self.fell_back, "fault": self.fault,
+                "quarantined": list(self.quarantined)}
+
+
+def jit_rewrite_guarded(
+        e: FExpr, quarantine: Optional[Quarantine] = None
+) -> Tuple[FExpr, List[Lam], SafetyNetReport]:
+    """Like :func:`repro.jit.compiler.jit_rewrite`, but faults degrade.
+
+    Quarantined lambdas are skipped (left interpreted); a lambda whose
+    *compilation* faults is quarantined on the spot and left interpreted.
+    Returns the rewritten program, the source lambdas that were compiled
+    into it (for run-time quarantining), and a report.
+    """
+    q = quarantine if quarantine is not None else QUARANTINE
+    report = SafetyNetReport()
+    compiled_sources: List[Lam] = []
+    quarantined_now: List[str] = []
+
+    def rewrite(e: FExpr) -> FExpr:
+        if is_compilable(e):
+            if e in q:
+                q.skip(e)
+                report.skipped += 1
+                return Lam(e.params, rewrite(e.body))
+            try:
+                compiled = compile_function(e)
+            except ResourceExhausted:
+                raise
+            except Exception as exc:
+                q.add(e, f"compile fault: {exc}")
+                quarantined_now.append(str(e))
+                if OBS.enabled:
+                    OBS.metrics.inc("resilience.jit_fallback.compile")
+                return Lam(e.params, rewrite(e.body))
+            compiled_sources.append(e)
+            report.jitted += 1
+            return compiled
+        if isinstance(e, (Var, IntE, UnitE)):
+            return e
+        if isinstance(e, BinOp):
+            return BinOp(e.op, rewrite(e.left), rewrite(e.right))
+        if isinstance(e, If0):
+            return If0(rewrite(e.cond), rewrite(e.then), rewrite(e.els))
+        if isinstance(e, StackLam):
+            return StackLam(e.params, rewrite(e.body), e.phi_in, e.phi_out)
+        if isinstance(e, Lam):
+            return Lam(e.params, rewrite(e.body))
+        if isinstance(e, App):
+            return App(rewrite(e.fn), tuple(rewrite(a) for a in e.args))
+        if isinstance(e, Fold):
+            return Fold(e.ann, rewrite(e.body))
+        if isinstance(e, Unfold):
+            return Unfold(rewrite(e.body))
+        if isinstance(e, TupleE):
+            return TupleE(tuple(rewrite(x) for x in e.items))
+        if isinstance(e, Proj):
+            return Proj(e.index, rewrite(e.body))
+        return e  # boundaries and other leaves are left untouched
+
+    rewritten = rewrite(e)
+    report.quarantined = tuple(quarantined_now)
+    return rewritten, compiled_sources, report
+
+
+def run_guarded(e: FExpr, fuel: Optional[int] = None,
+                heap: Optional[int] = None, depth: Optional[int] = None,
+                trace: bool = False,
+                quarantine: Optional[Quarantine] = None
+                ) -> Tuple[FExpr, FTMachine, SafetyNetReport]:
+    """JIT-rewrite ``e`` and run it under the differential guard.
+
+    On any compile- or run-time fault in jitted code the guard re-runs
+    the *original* program on the interpreter, quarantines every lambda
+    that was compiled into the faulting program, and returns the
+    interpreter's (authoritative) result -- so the caller's observable
+    outcome is identical to never having jitted at all.  Resource
+    exhaustion propagates: it is a verdict, not a fault.
+    """
+    q = quarantine if quarantine is not None else QUARANTINE
+    rewritten, compiled_sources, report = jit_rewrite_guarded(e, q)
+
+    def interpret() -> Tuple[FExpr, FTMachine]:
+        return evaluate_ft(e, fuel=fuel, trace=trace,
+                           budget=Budget.of(fuel, heap, depth))
+
+    if not compiled_sources:
+        value, machine = interpret()
+        return value, machine, report
+
+    try:
+        probe("jit.run")
+        value, machine = evaluate_ft(rewritten, fuel=fuel, trace=trace,
+                                     budget=Budget.of(fuel, heap, depth))
+        return value, machine, report
+    except ResourceExhausted:
+        raise
+    except Exception as exc:
+        report.fell_back = True
+        report.fault = f"{type(exc).__name__}: {exc}"
+        quarantined_now = list(report.quarantined)
+        for lam in compiled_sources:
+            if lam not in q:
+                q.add(lam, report.fault)
+                quarantined_now.append(str(lam))
+        report.quarantined = tuple(quarantined_now)
+        if OBS.enabled:
+            OBS.metrics.inc("resilience.jit_fallback.run")
+        value, machine = interpret()
+        return value, machine, report

@@ -113,7 +113,9 @@ def job_cache_key(job: Job) -> str:
 
     Two jobs collide exactly when they demand the same computation: same
     kind, same program text (or example name), same semantic options.
-    The job ``id`` and operational options are excluded.
+    The job ``id`` and operational options are excluded.  Resume jobs
+    are addressed by their snapshot's content digest -- the digest
+    already hashes the entire machine state.
     """
     identity = {
         "kind": job.kind,
@@ -121,6 +123,8 @@ def job_cache_key(job: Job) -> str:
         "example": job.example,
         "options": job.options.semantic_dict(),
     }
+    if job.snapshot is not None:
+        identity["snapshot"] = job.snapshot.get("digest")
     blob = json.dumps(identity, separators=(",", ":"), sort_keys=True)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 

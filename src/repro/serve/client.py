@@ -28,7 +28,7 @@ from typing import Dict, Iterable, Iterator, List, Optional
 
 from repro.errors import FunTALError
 from repro.serve.protocol import (
-    Job, JobResult, ProtocolError, decode_line, encode_line,
+    Job, JobOptions, JobResult, ProtocolError, decode_line, encode_line,
 )
 
 __all__ = ["ServeClient", "ClientError"]
@@ -92,6 +92,26 @@ class ServeClient:
     def submit(self, job: Job) -> JobResult:
         """Submit one job and wait for its result."""
         return self.submit_batch([job])[0]
+
+    def resume(self, suspended: JobResult,
+               options: Optional["JobOptions"] = None) -> JobResult:
+        """Continue a ``suspended`` result from its snapshot.
+
+        The snapshot is content-addressed and self-contained, so the
+        resume may be served by any worker (or any server).  ``options``
+        sets the next slice's budget (``fuel``/``heap``/``depth``) and
+        may itself set ``checkpoint`` to keep hopping.
+        """
+        if suspended.status != "suspended":
+            raise ClientError(
+                f"cannot resume a {suspended.status!r} result "
+                "(only 'suspended' results carry a snapshot)")
+        snapshot = suspended.output.get("snapshot")
+        if not snapshot:
+            raise ClientError("suspended result is missing its snapshot")
+        job = Job("resume", snapshot=snapshot,
+                  options=options or JobOptions())
+        return self.submit(job)
 
     def stream(self, jobs: Iterable[Job]) -> Iterator[JobResult]:
         """Submit everything up front, then yield results *as the server

@@ -19,7 +19,16 @@ Job kinds mirror the CLI subcommands:
                / ``options.check`` as in ``funtal jit``)
 ``equiv``      bounded contextual-equivalence check of ``source`` vs
                ``options.right`` at ``options.type``
+``resume``     continue a fuel-suspended machine from ``job.snapshot``
+               with ``options.fuel`` as the next slice
 =============  ===========================================================
+
+``run`` and ``resume`` respect the unified resource governors
+(``options.fuel`` / ``heap`` / ``depth``); with ``options.checkpoint``
+a fuel-exhausted run comes back ``suspended`` with a resumable,
+content-addressed snapshot instead of failing, and with ``options.jit``
+an expression runs under the JIT safety net (faults fall back to the
+interpreter and quarantine the offending lambda).
 
 Programs come either inline (``source``) or as a built-in paper example
 (``example``), resolved through the registry in
@@ -32,13 +41,37 @@ import os
 import time
 from typing import Any, Dict, Tuple
 
-from repro.errors import FuelExhausted, FunTALError
+from repro.errors import FuelExhausted, FunTALError, ResourceExhausted
+from repro.resilience.budget import DEFAULT_FUEL
 from repro.serve.protocol import Job, JobResult
 
 __all__ = ["execute_job", "DEFAULT_FUEL"]
 
-#: Step budget used when a job does not set one.
-DEFAULT_FUEL = 1_000_000
+
+class _Suspended(Exception):
+    """Internal: a checkpointing run hit its fuel ceiling; ``output``
+    carries the wire snapshot for the ``suspended`` result."""
+
+    def __init__(self, output: Dict[str, Any]):
+        super().__init__("suspended")
+        self.output = output
+
+
+def _job_budget(job: Job):
+    """The unified governor for this job's execution slice."""
+    from repro.resilience.budget import Budget
+
+    return Budget(fuel=job.options.fuel or DEFAULT_FUEL,
+                  heap=job.options.heap, depth=job.options.depth)
+
+
+def _suspend(machine, out_extra: Dict[str, Any]) -> "_Suspended":
+    """Package a fuel-suspended machine as a ``suspended`` result."""
+    snapshot = machine.snapshot()
+    output = {"snapshot": snapshot.to_wire(),
+              "spent": machine.budget.spent()}
+    output.update(out_extra)
+    return _Suspended(output)
 
 
 def _resolve_program(job: Job) -> Tuple[Any, bool]:
@@ -84,23 +117,63 @@ def _do_typecheck(job: Job) -> Dict[str, Any]:
 
 
 def _do_run(job: Job) -> Dict[str, Any]:
-    from repro.ft.machine import evaluate_ft, run_ft_component
+    from repro.ft.machine import FTMachine
 
-    fuel = job.options.fuel or DEFAULT_FUEL
     node, is_component = _resolve_program(job)
     trace = job.options.trace
-    if is_component:
-        halted, machine = run_ft_component(node, fuel=fuel, trace=trace)
-        out = {"halted": str(halted.word), "type": str(halted.ty)}
-    else:
-        value, machine = evaluate_ft(node, fuel=fuel, trace=trace)
-        out = {"value": str(value)}
-    out["steps"] = fuel - machine.fuel_left
+
+    if job.options.jit and not is_component:
+        from repro.resilience.safety_net import run_guarded
+
+        value, machine, report = run_guarded(
+            node, fuel=job.options.fuel or DEFAULT_FUEL,
+            heap=job.options.heap, depth=job.options.depth, trace=trace)
+        out = {"value": str(value), "jit": report.to_json()}
+        out["steps"] = machine.budget.fuel_used
+        return out
+
+    machine = FTMachine(trace=trace, budget=_job_budget(job))
+    try:
+        if is_component:
+            halted = machine.run_component(node)
+            out = {"halted": str(halted.word), "type": str(halted.ty)}
+        else:
+            value = machine.evaluate(node)
+            out = {"value": str(value)}
+    except FuelExhausted:
+        if job.options.checkpoint and machine.suspended:
+            raise _suspend(machine, {}) from None
+        raise
+    out["steps"] = machine.budget.fuel_used
     if trace:
         from repro.analysis.trace import control_flow_table, format_table
 
         out["control_flow"] = format_table(
             control_flow_table(machine.trace), title="control flow")
+    return out
+
+
+def _do_resume(job: Job) -> Dict[str, Any]:
+    from repro.ft.machine import FTMachine
+    from repro.resilience.checkpoint import MachineSnapshot
+    from repro.tal.machine import HaltedState
+
+    snapshot = MachineSnapshot.from_wire(job.snapshot)
+    machine = FTMachine.restore(snapshot, trace=job.options.trace)
+    fuel = job.options.fuel or DEFAULT_FUEL
+    try:
+        outcome = machine.resume(fuel=fuel)
+    except FuelExhausted:
+        if job.options.checkpoint and machine.suspended:
+            raise _suspend(machine, {"resumed_from": snapshot.digest}
+                           ) from None
+        raise
+    if isinstance(outcome, HaltedState):
+        out = {"halted": str(outcome.word), "type": str(outcome.ty)}
+    else:
+        out = {"value": str(outcome)}
+    out["steps"] = machine.budget.fuel_used
+    out["resumed_from"] = snapshot.digest
     return out
 
 
@@ -160,6 +233,7 @@ _EXECUTORS = {
     "run": _do_run,
     "jit": _do_jit,
     "equiv": _do_equiv,
+    "resume": _do_resume,
 }
 
 
@@ -176,9 +250,17 @@ def execute_job(job: Job) -> JobResult:
     try:
         output = _EXECUTORS[job.kind](job)
         status, error, error_type = "ok", "", ""
+    except _Suspended as s:
+        output, status = s.output, "suspended"
+        error, error_type = "", ""
     except FuelExhausted as err:
         output, status = {"fuel": err.fuel}, "fuel_exhausted"
         error, error_type = str(err), "FuelExhausted"
+    except ResourceExhausted as err:
+        output = {"resource": err.resource, "limit": err.limit,
+                  "spent": err.spent}
+        status = "resource_exhausted"
+        error, error_type = str(err), type(err).__name__
     except FunTALError as err:
         output, status = {}, "error"
         error, error_type = str(err), type(err).__name__

@@ -3,9 +3,11 @@
 One request or response per line, each a single JSON object.  A request is
 either a *job* (the default when no ``op`` key is present) or a control
 operation (``{"op": "ping"}``, ``{"op": "stats"}``).  A job names one of
-the five kinds mirroring the CLI -- ``parse``, ``typecheck``, ``run``,
+the kinds mirroring the CLI -- ``parse``, ``typecheck``, ``run``,
 ``jit``, ``equiv`` -- and supplies the program either inline (``source``,
-surface syntax) or by built-in paper-example name (``example``).
+surface syntax) or by built-in paper-example name (``example``); the
+sixth kind, ``resume``, instead supplies the ``snapshot`` of a
+fuel-suspended machine from an earlier checkpointing ``run``.
 
 The dataclasses are the single source of truth: the wire dicts, the
 content-address used by :mod:`repro.serve.cache`, and the worker-side
@@ -29,14 +31,19 @@ __all__ = [
     "encode_line", "decode_line",
 ]
 
-#: The five request kinds, mirroring the CLI subcommands.
-JOB_KINDS = ("parse", "typecheck", "run", "jit", "equiv")
+#: The request kinds: five mirroring the CLI subcommands, plus
+#: ``resume``, which continues a fuel-suspended machine from the
+#: content-addressed snapshot a checkpointing ``run`` handed back.
+JOB_KINDS = ("parse", "typecheck", "run", "jit", "equiv", "resume")
 
 #: Every status a result can carry.  ``ok`` is the only cacheable one;
 #: ``rejected`` is produced by the server under backpressure (bounded
-#: queue full) or for malformed requests.
-RESULT_STATUSES = ("ok", "error", "fuel_exhausted", "timeout", "crashed",
-                   "rejected")
+#: queue full) or for malformed requests.  ``suspended`` means the run
+#: hit its fuel ceiling with ``options.checkpoint`` set and the output
+#: carries a resumable snapshot; ``resource_exhausted`` covers the
+#: non-fuel governors (heap cells, stack depth), which are terminal.
+RESULT_STATUSES = ("ok", "error", "fuel_exhausted", "resource_exhausted",
+                   "suspended", "timeout", "crashed", "rejected")
 
 
 class ProtocolError(FunTALError):
@@ -58,6 +65,11 @@ class JobOptions:
     """
 
     fuel: Optional[int] = None          # machine step budget
+    heap: Optional[int] = None          # heap-cell ceiling (Budget)
+    depth: Optional[int] = None         # stack-depth ceiling (Budget)
+    checkpoint: bool = False            # run/resume: suspend + snapshot on
+                                        # fuel exhaustion instead of failing
+    jit: bool = False                   # run: execute under the guarded JIT
     timeout: Optional[float] = None     # wall-clock seconds (pool enforced)
     result_type: str = "int"            # halt type for bare T components
     trace: bool = False                 # run: include the control-flow table
@@ -100,12 +112,20 @@ class JobOptions:
 
 @dataclass
 class Job:
-    """One unit of work: a kind plus a program (inline or by example)."""
+    """One unit of work: a kind plus a program (inline or by example).
+
+    ``resume`` jobs carry neither -- they carry ``snapshot``, the wire
+    form of a :class:`repro.resilience.checkpoint.MachineSnapshot`
+    handed back by a previous checkpointing run, and continue it with
+    ``options.fuel`` as the new slice.  The snapshot is self-verifying
+    (content digest), so a resume may land on any worker.
+    """
 
     kind: str
     id: str = ""
     source: Optional[str] = None        # surface-syntax program text
     example: Optional[str] = None       # built-in paper example name
+    snapshot: Optional[Dict[str, Any]] = None   # resume: wire snapshot
     options: JobOptions = field(default_factory=JobOptions)
 
     def __post_init__(self) -> None:
@@ -113,13 +133,28 @@ class Job:
             raise ProtocolError(
                 f"unknown job kind {self.kind!r} "
                 f"(expected one of {', '.join(JOB_KINDS)})")
-        if (self.source is None) == (self.example is None):
-            raise ProtocolError(
-                "a job needs exactly one of 'source' or 'example'")
+        if self.kind == "resume":
+            if self.snapshot is None:
+                raise ProtocolError("resume jobs need 'snapshot'")
+            if self.source is not None or self.example is not None:
+                raise ProtocolError(
+                    "resume jobs take 'snapshot', not 'source'/'example'")
+        else:
+            if self.snapshot is not None:
+                raise ProtocolError(
+                    f"{self.kind} jobs do not take 'snapshot'")
+            if (self.source is None) == (self.example is None):
+                raise ProtocolError(
+                    "a job needs exactly one of 'source' or 'example'")
         if self.kind == "equiv":
             if self.options.right is None or self.options.type is None:
                 raise ProtocolError(
                     "equiv jobs need options.right and options.type")
+        if self.options.checkpoint and self.options.jit:
+            raise ProtocolError(
+                "options.checkpoint and options.jit are mutually "
+                "exclusive (the guarded JIT re-runs on faults, so its "
+                "machine state is not checkpointable)")
 
     def to_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {"kind": self.kind}
@@ -129,6 +164,8 @@ class Job:
             out["source"] = self.source
         if self.example is not None:
             out["example"] = self.example
+        if self.snapshot is not None:
+            out["snapshot"] = self.snapshot
         opts = self.options.to_dict()
         if opts:
             out["options"] = opts
@@ -136,8 +173,8 @@ class Job:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "Job":
-        extra = set(data) - {"kind", "id", "source", "example", "options",
-                             "op", "v"}
+        extra = set(data) - {"kind", "id", "source", "example", "snapshot",
+                             "options", "op", "v"}
         if extra:
             raise ProtocolError(
                 f"unknown job field(s): {', '.join(sorted(extra))}")
@@ -148,6 +185,7 @@ class Job:
             id=str(data.get("id", "")),
             source=data.get("source"),
             example=data.get("example"),
+            snapshot=data.get("snapshot"),
             options=JobOptions.from_dict(data.get("options", {}) or {}),
         )
 

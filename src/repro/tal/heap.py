@@ -19,6 +19,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import MachineError
+from repro.resilience.budget import Budget
+from repro.resilience.chaos import probe
 from repro.tal.syntax import (
     BOX, check_register, HCode, HeapValue, HTuple, Loc, REF, WordValue,
     WUnit, fresh_loc,
@@ -43,16 +45,32 @@ class HeapCell:
 
 
 class Memory:
-    """A mutable runtime memory ``(H, R, S)``."""
+    """A mutable runtime memory ``(H, R, S)``.
 
-    def __init__(self) -> None:
+    A memory may carry a :class:`~repro.resilience.budget.Budget`
+    governor: every cell committed through :meth:`alloc`/:meth:`bind`
+    is then charged against the budget's heap-cell ceiling (tuples cost
+    one cell per word, code and other values one cell), and stack growth
+    is checked against its depth ceiling -- so runaway allocation
+    degrades into a structured verdict instead of exhausting host RAM.
+    """
+
+    def __init__(self, budget: Optional[Budget] = None) -> None:
         self.heap: Dict[Loc, HeapCell] = {}
         self.regs: Dict[str, WordValue] = {}
         self.stack: List[WordValue] = []
+        self.budget = budget
 
     # -- heap ---------------------------------------------------------
 
+    @staticmethod
+    def _cells(value: HeapValue) -> int:
+        return len(value.words) if isinstance(value, HTuple) else 1
+
     def alloc(self, value: HeapValue, nu: str, base: str = "l") -> Loc:
+        probe("heap.alloc", base)
+        if self.budget is not None:
+            self.budget.charge_heap(self._cells(value))
         loc = fresh_loc(base)
         self.heap[loc] = HeapCell(nu, value)
         return loc
@@ -60,6 +78,9 @@ class Memory:
     def bind(self, loc: Loc, value: HeapValue, nu: str) -> None:
         if loc in self.heap:
             raise MachineError(f"heap location {loc} already bound")
+        probe("heap.alloc", loc.name)
+        if self.budget is not None:
+            self.budget.charge_heap(self._cells(value))
         self.heap[loc] = HeapCell(nu, value)
 
     def lookup(self, loc: Loc) -> HeapCell:
@@ -110,6 +131,8 @@ class Memory:
     def push(self, *words: WordValue) -> None:
         """Push words; the first argument ends up on top."""
         self.stack[:0] = list(words)
+        if self.budget is not None:
+            self.budget.check_depth(len(self.stack))
 
     def pop(self, n: int) -> List[WordValue]:
         if n > len(self.stack):

@@ -30,8 +30,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
-from repro.errors import FuelExhausted, MachineError
+from repro.errors import MachineError, SnapshotError
 from repro.obs.events import MachineEvent, OBS
+from repro.resilience.budget import Budget
+from repro.resilience.checkpoint import MachineSnapshot
 from repro.tal.heap import Memory, RegSnapshot, StackSnapshot
 from repro.tal.subst import instantiate_code_block
 from repro.tal.syntax import (
@@ -154,16 +156,32 @@ MachineState = Union[InstrSeq, HaltedState]
 # ---------------------------------------------------------------------------
 
 class TalMachine:
-    """Executes T instruction sequences against a shared memory."""
+    """Executes T instruction sequences against a shared memory.
+
+    Every machine runs under a :class:`~repro.resilience.budget.Budget`
+    (fuel + heap cells + stack depth); the budget is shared with the
+    machine's :class:`Memory` so allocation and stack growth are charged
+    in one place.  A machine whose budget trips mid-run retains its
+    state: :meth:`snapshot` captures it as a picklable, content-hashed
+    checkpoint and :meth:`restore`/:meth:`resume` continue it -- in the
+    same process or another one.
+    """
+
+    kind = "t"
 
     def __init__(self, memory: Optional[Memory] = None,
-                 trace: bool = False, max_events: Optional[int] = None):
+                 trace: bool = False, max_events: Optional[int] = None,
+                 budget: Optional[Budget] = None):
+        self.budget = budget if budget is not None else Budget()
         self.memory = memory if memory is not None else Memory()
+        if self.memory.budget is None:
+            self.memory.budget = self.budget
         self.trace_enabled = trace
         self.trace: List[TraceEvent] = []
         self.max_events = max_events
         self._truncated = False
         self.steps = 0
+        self._state: Optional[MachineState] = None
 
     # -- tracing ------------------------------------------------------
 
@@ -392,27 +410,95 @@ class TalMachine:
             return self.exec_instruction(head, rest)
         return self.exec_terminator(state.term)
 
-    def run_seq(self, iseq: InstrSeq, fuel: int = 1_000_000) -> HaltedState:
+    def run_seq(self, iseq: InstrSeq,
+                fuel: Optional[int] = None) -> HaltedState:
+        """Drive ``iseq`` to a halt under the machine's budget.
+
+        Each ``run_seq`` call is a fresh top-level run: the fuel spend is
+        reset (and, if ``fuel`` is given, the ceiling replaced) before
+        driving.  Use :meth:`resume` to continue an interrupted run
+        without resetting.
+        """
+        self.budget.refill(fuel)
+        return self._drive(iseq)
+
+    def resume(self, fuel: Optional[int] = None) -> HaltedState:
+        """Continue an interrupted run (e.g. after restoring a snapshot).
+
+        ``fuel`` refills the budget for this slice; without it the run
+        picks up whatever fuel remains unspent.
+        """
+        if self._state is None:
+            raise SnapshotError("machine has no suspended state to resume")
+        if fuel is not None:
+            self.budget.refill(fuel)
+        return self._drive(self._state)
+
+    def _drive(self, state: MachineState) -> HaltedState:
+        budget = self.budget
         with OBS.span("t.run_seq", "t"):
-            state: MachineState = iseq
-            for _ in range(fuel):
-                if isinstance(state, HaltedState):
-                    return state
-                state = self.step(state)
-            if isinstance(state, HaltedState):
+            try:
+                while not isinstance(state, HaltedState):
+                    budget.consume_fuel()
+                    state = self.step(state)
                 return state
-            raise FuelExhausted(fuel)
+            except RecursionError:
+                raise budget.depth_error() from None
+            finally:
+                # Keep the suspended (or halted) state live so a tripped
+                # governor leaves the machine checkpointable.
+                self._state = state
 
     def run_component(self, comp: Component,
-                      fuel: int = 1_000_000) -> HaltedState:
+                      fuel: Optional[int] = None) -> HaltedState:
         return self.run_seq(self.load_component(comp), fuel)
 
+    # -- checkpointing -------------------------------------------------
 
-def run_component(comp: Component, fuel: int = 1_000_000,
+    def snapshot_resumable(self) -> dict:
+        """The picklable state dict a checkpoint carries; subclasses
+        extend it with their own suspension records."""
+        return {
+            "memory": self.memory,
+            "state": self._state,
+            "budget": self.budget,
+            "steps": self.steps,
+        }
+
+    def snapshot(self) -> MachineSnapshot:
+        """Capture the machine as a content-hashed, picklable checkpoint.
+
+        Valid whenever the machine is not mid-:meth:`step` -- in
+        practice: after a budget governor tripped, or after a halt.
+        """
+        return MachineSnapshot.capture(self.kind, self.snapshot_resumable())
+
+    def _restore_resumable(self, state: dict) -> None:
+        self.steps = state.get("steps", 0)
+        self._state = state.get("state")
+
+    @classmethod
+    def restore(cls, snapshot: MachineSnapshot, trace: bool = False,
+                max_events: Optional[int] = None) -> "TalMachine":
+        """Revive a checkpoint into a fresh machine (same or different
+        process); drive it on with :meth:`resume`."""
+        if snapshot.kind != cls.kind:
+            raise SnapshotError(
+                f"cannot restore a {snapshot.kind!r} snapshot into "
+                f"{cls.__name__}")
+        state = snapshot.state()
+        machine = cls(memory=state["memory"], trace=trace,
+                      max_events=max_events, budget=state["budget"])
+        machine._restore_resumable(state)
+        return machine
+
+
+def run_component(comp: Component, fuel: Optional[int] = None,
                   trace: bool = False,
-                  max_events: Optional[int] = None
+                  max_events: Optional[int] = None,
+                  budget: Optional[Budget] = None
                   ) -> Tuple[HaltedState, TalMachine]:
     """Run a closed T component in a fresh memory; returns the halt state
     and the machine (for its memory and trace)."""
-    machine = TalMachine(trace=trace, max_events=max_events)
+    machine = TalMachine(trace=trace, max_events=max_events, budget=budget)
     return machine.run_component(comp, fuel), machine

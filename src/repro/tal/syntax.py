@@ -43,6 +43,7 @@ from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
 __all__ = [
     # registers & locations
     "REGISTERS", "GP_REGISTERS", "RA", "check_register", "Loc", "fresh_loc",
+    "fresh_mark", "advance_fresh",
     # types
     "TalType", "TVar", "TUnit", "TInt", "TExists", "TRec", "TRef", "TBox",
     "HeapValType", "CodeType", "TupleTy",
@@ -96,6 +97,26 @@ def fresh_loc(base: str = "l") -> Loc:
     """A globally fresh heap location, used when merging component heaps."""
     stem = base.split("%")[0] or "l"
     return Loc(f"{stem}%{next(_loc_counter)}")
+
+
+def fresh_mark() -> int:
+    """The fresh-location counter's current position, without minting.
+
+    Machine checkpoints record this so that a snapshot revived in a
+    different process can advance its local counter past every location
+    already named inside the revived state.
+    """
+    global _loc_counter
+    mark = next(_loc_counter)
+    _loc_counter = itertools.count(mark)
+    return mark
+
+
+def advance_fresh(mark: int) -> None:
+    """Ensure future :func:`fresh_loc` names are numbered >= ``mark``."""
+    global _loc_counter
+    if mark > fresh_mark():
+        _loc_counter = itertools.count(mark)
 
 
 # ---------------------------------------------------------------------------

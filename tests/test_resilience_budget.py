@@ -1,0 +1,199 @@
+"""Tests for the unified resource governor (:mod:`repro.resilience.budget`).
+
+One :class:`Budget` replaces the three ad-hoc fuel parameters: fuel
+(machine steps), heap cells, and evaluation/stack depth all live behind
+one object threaded through the F, T, and FT machines.
+"""
+
+import pickle
+
+import pytest
+
+from repro.errors import (
+    FuelExhausted, HeapExhausted, ResourceExhausted, StackDepthExhausted,
+)
+from repro.resilience.budget import (
+    Budget, DEFAULT_BUDGET, DEFAULT_DEPTH, DEFAULT_FUEL, DEFAULT_HEAP,
+)
+
+
+class TestDefaults:
+    def test_one_unified_default(self):
+        # The old split (F at 100k, TAL/FT at 1M) is gone: one constant.
+        assert DEFAULT_FUEL == DEFAULT_HEAP == DEFAULT_DEPTH == 1_000_000
+        b = Budget()
+        assert b.max_fuel == DEFAULT_FUEL
+        assert b.max_heap == DEFAULT_HEAP
+        assert b.max_depth == DEFAULT_DEPTH
+
+    def test_machines_share_the_default(self):
+        from repro.f.eval import FEvaluator
+        from repro.ft.machine import FTMachine
+        from repro.tal.machine import TalMachine
+        from repro.f.syntax import IntE
+
+        assert FEvaluator(IntE(1)).budget.max_fuel == DEFAULT_FUEL
+        assert TalMachine().budget.max_fuel == DEFAULT_FUEL
+        assert FTMachine().budget.max_fuel == DEFAULT_FUEL
+
+    def test_of_passes_through_an_existing_budget(self):
+        b = Budget(fuel=7)
+        assert Budget.of(budget=b) is b
+        assert Budget.of(fuel=9).max_fuel == 9
+
+    def test_default_budget_constant(self):
+        assert DEFAULT_BUDGET.max_fuel == DEFAULT_FUEL
+
+
+class TestGovernors:
+    def test_fuel_exhaustion(self):
+        b = Budget(fuel=3)
+        b.consume_fuel()
+        b.consume_fuel()
+        b.consume_fuel()
+        with pytest.raises(FuelExhausted) as exc:
+            b.consume_fuel()
+        assert exc.value.resource == "fuel"
+        assert exc.value.limit == 3
+
+    def test_heap_exhaustion(self):
+        b = Budget(heap=2)
+        b.charge_heap(2)
+        with pytest.raises(HeapExhausted) as exc:
+            b.charge_heap(1)
+        assert exc.value.resource == "heap"
+
+    def test_depth_exhaustion(self):
+        b = Budget(depth=10)
+        b.check_depth(10)
+        with pytest.raises(StackDepthExhausted):
+            b.check_depth(11)
+
+    def test_depth_high_water_tracks_maximum(self):
+        b = Budget()
+        b.check_depth(3)
+        b.check_depth(7)
+        b.check_depth(2)
+        assert b.depth_high_water == 7
+
+    def test_one_catch_covers_every_dimension(self):
+        # The structured hierarchy: callers that do not care which
+        # governor tripped catch the one parent type.
+        for tripped in (Budget(fuel=0), Budget(heap=0), Budget(depth=0)):
+            with pytest.raises(ResourceExhausted):
+                tripped.consume_fuel()
+                tripped.charge_heap()
+                tripped.check_depth(1)
+
+    def test_spent_summary(self):
+        b = Budget(fuel=100, heap=50, depth=20)
+        b.consume_fuel(4)
+        b.charge_heap(3)
+        b.check_depth(2)
+        spent = b.spent()
+        assert spent["fuel_used"] == 4
+        assert spent["heap_used"] == 3
+        assert spent["depth_high_water"] == 2
+        assert spent["fuel_max"] == 100
+
+    def test_refill_resets_fuel_only(self):
+        b = Budget(fuel=5, heap=100)
+        b.consume_fuel(5)
+        b.charge_heap(7)
+        b.refill()
+        assert b.fuel_used == 0
+        assert b.heap_used == 7         # heap charges persist across slices
+        b.refill(fuel=9)
+        assert b.max_fuel == 9
+
+
+class TestSoftLimits:
+    def test_soft_warning_fires_once_per_resource(self):
+        from repro import obs
+
+        obs.reset()
+        obs.enable(record=False)
+        try:
+            b = Budget(fuel=10)
+            for _ in range(9):
+                b.consume_fuel()
+            snapshot = obs.OBS.metrics.snapshot()
+        finally:
+            obs.disable()
+        assert snapshot["counters"].get("resilience.soft_limit.fuel") == 1
+
+    def test_exhaustion_metric(self):
+        from repro import obs
+
+        obs.reset()
+        obs.enable(record=False)
+        try:
+            b = Budget(heap=1)
+            with pytest.raises(HeapExhausted):
+                b.charge_heap(5)
+            snapshot = obs.OBS.metrics.snapshot()
+        finally:
+            obs.disable()
+        assert snapshot["counters"].get("resilience.exhausted.heap") == 1
+
+
+class TestPickling:
+    def test_budget_roundtrips(self):
+        b = Budget(fuel=100, heap=50, depth=20)
+        b.consume_fuel(12)
+        b.charge_heap(5)
+        b.check_depth(9)
+        clone = pickle.loads(pickle.dumps(b))
+        assert clone.fuel_used == 12
+        assert clone.heap_used == 5
+        assert clone.depth_high_water == 9
+        assert clone.max_fuel == 100
+        # And the clone keeps governing.
+        with pytest.raises(FuelExhausted):
+            clone.consume_fuel(100)
+
+
+class TestMachineIntegration:
+    def test_f_deep_application_is_a_verdict_not_a_crash(self):
+        # Satellite fix: deep F applications used to die with a raw
+        # Python RecursionError before fuel ever ran out.
+        from repro.f.eval import evaluate
+        from repro.f.syntax import (
+            App, FArrow, FInt, IntE, Lam, Var, BinOp,
+        )
+
+        f = Lam((("x", FInt()),), BinOp("+", Var("x"), IntE(1)))
+        expr = IntE(0)
+        for _ in range(6000):
+            expr = App(f, (expr,))
+        value = evaluate(expr)
+        assert value == IntE(6000)
+
+    def test_f_depth_ceiling_surfaces_structured(self):
+        from repro.f.eval import evaluate
+        from repro.f.syntax import App, FInt, IntE, Lam, Var, BinOp
+
+        f = Lam((("x", FInt()),), BinOp("+", Var("x"), IntE(1)))
+        expr = IntE(0)
+        for _ in range(100):
+            expr = App(f, (expr,))
+        with pytest.raises(StackDepthExhausted):
+            evaluate(expr, depth=10)
+
+    def test_tal_heap_governor(self):
+        from repro.errors import HeapExhausted as HE
+        from repro.serve.protocol import Job, JobOptions
+        from repro.serve.executor import execute_job
+
+        result = execute_job(Job("run", example="fact-t",
+                                 options=JobOptions(heap=1)))
+        assert result.status == "resource_exhausted"
+        assert result.output["resource"] == "heap"
+
+    def test_ft_fuel_governor(self):
+        from repro.ft.machine import evaluate_ft
+        from repro.papers_examples import resolve_example
+
+        _, build = resolve_example("fact-f")
+        with pytest.raises(FuelExhausted):
+            evaluate_ft(build(), fuel=3)

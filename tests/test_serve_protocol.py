@@ -56,7 +56,11 @@ class TestJob:
         for kind in JOB_KINDS:
             opts = JobOptions(right="y", type="int") if kind == "equiv" \
                 else JobOptions()
-            Job(kind, source="x", options=opts)
+            if kind == "resume":
+                Job(kind, snapshot={"kind": "ft", "digest": "x", "data": ""},
+                    options=opts)
+            else:
+                Job(kind, source="x", options=opts)
 
 
 class TestJobOptions:
