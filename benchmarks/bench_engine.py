@@ -1,0 +1,142 @@
+"""Engine benchmarks: the CEK fast path against the substitution
+stepper, written to ``BENCH_engine.json`` at the repo root (alongside
+``BENCH_obs.json`` / ``BENCH_serve.json`` / ``BENCH_resilience.json``)
+so CI archives the engine trajectory:
+
+* ``deep_factorial`` -- the headline ISSUE acceptance number: wall time
+  and steps/second for ``fact 200`` (Fig 17's functional factorial,
+  depth 200) on both engines, plus the speedup ratio.  This doubles as
+  the CI perf smoke: the test FAILS if the CEK engine is not faster
+  than substitution on this workload, so a regression that loses the
+  fast path cannot land quietly.
+* ``examples`` -- per-paper-example wall time on both engines (mixed
+  programs spend much of their time in T, so the ratio here bounds how
+  much of each example is pure-F reduction).
+* ``type_caches`` -- cold-vs-warm typecheck of the Fig 17 component:
+  the second check hits the interning/memo caches of
+  :mod:`repro.tal.subst` and :mod:`repro.tal.equality`.
+
+Timings are taken with instrumentation off (the conftest's instrumented
+replay handles counter capture for ``BENCH_obs.json``); steps come from
+the machine's own counters, which are engine-invariant by the
+differential suite (``tests/test_engine_differential.py``).
+"""
+
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro.f.syntax import App, IntE
+from repro.ft.machine import FTMachine
+from repro.papers_examples import example_entries
+from repro.papers_examples.fig17_factorial import build_fact_f
+from repro.resilience.budget import Budget
+from repro.tal.equality import clear_equality_cache
+from repro.tal.subst import clear_subst_caches, subst_cache_stats
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+_BENCH_PATH = _REPO_ROOT / "BENCH_engine.json"
+
+_RESULTS = {}
+
+ROUNDS = 5
+FACT_DEPTH = 200
+FACT_FUEL = 10_000_000
+
+
+@pytest.fixture(scope="module", autouse=True)
+def write_artifact():
+    yield
+    if _RESULTS:
+        _BENCH_PATH.write_text(
+            json.dumps(_RESULTS, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+
+
+def _best(fn, rounds=ROUNDS):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _run_engine(program, engine):
+    machine = FTMachine(budget=Budget(fuel=FACT_FUEL), engine=engine)
+    value = machine.evaluate(program)
+    return value, machine
+
+
+def test_deep_factorial_speedup(record):
+    program = App(build_fact_f(), (IntE(FACT_DEPTH),))
+    rows = {}
+    values = {}
+    for engine in ("subst", "cek"):
+        value, machine = _run_engine(program, engine)
+        best = _best(lambda e=engine: _run_engine(program, e))
+        values[engine] = (str(value), machine.steps)
+        rows[engine] = {
+            "best_s": round(best, 6),
+            "steps": machine.steps,
+            "steps_per_s": round(machine.steps / best),
+            "fuel_used": machine.budget.fuel_used,
+        }
+    assert values["subst"] == values["cek"]
+    speedup = rows["subst"]["best_s"] / rows["cek"]["best_s"]
+    rows["speedup"] = round(speedup, 2)
+    _RESULTS["deep_factorial"] = {"depth": FACT_DEPTH, **rows}
+    record(f"fact({FACT_DEPTH}): subst {rows['subst']['steps_per_s']}/s, "
+           f"cek {rows['cek']['steps_per_s']}/s, speedup {speedup:.1f}x")
+    # The CI perf smoke: losing the fast path fails the build.  The
+    # margin is deliberately loose (>1x, not the ~13x measured locally)
+    # so shared-runner noise cannot flake the gate.
+    assert speedup > 1.0, (
+        f"cek engine not faster than subst on deep factorial "
+        f"({rows['cek']['best_s']}s vs {rows['subst']['best_s']}s)")
+
+
+def test_examples_both_engines(record):
+    rows = {}
+    for name, (_, build) in example_entries().items():
+        program = build()
+        per_engine = {}
+        for engine in ("subst", "cek"):
+            per_engine[engine] = round(
+                _best(lambda e=engine: _run_engine(program, e)), 6)
+        rows[name] = per_engine
+        record(f"{name}: {per_engine}")
+    _RESULTS["examples"] = rows
+    assert rows
+
+
+def test_typecheck_cache_warmup(record):
+    from repro.papers_examples.fig17_factorial import build_fact_t
+    from repro.ft.typecheck import check_ft_expr
+
+    program = App(build_fact_t(), (IntE(6),))
+
+    def cold():
+        clear_subst_caches()
+        clear_equality_cache()
+        check_ft_expr(program)
+
+    def warm():
+        check_ft_expr(program)
+
+    cold_s = _best(cold)
+    warm()                       # populate once before timing warm hits
+    warm_s = _best(warm)
+    stats = subst_cache_stats()
+    _RESULTS["type_caches"] = {
+        "cold_s": round(cold_s, 6),
+        "warm_s": round(warm_s, 6),
+        "warm_speedup": round(cold_s / warm_s, 2) if warm_s else None,
+        "subst_cache": stats,
+    }
+    record(f"typecheck fig17: cold {cold_s * 1e3:.3f}ms, "
+           f"warm {warm_s * 1e3:.3f}ms")
+    # Warm checks must actually hit the caches (the point of the layer).
+    assert any(s["hits"] > 0 for s in stats.values())

@@ -81,6 +81,17 @@ def _add_budget_args(parser: argparse.ArgumentParser) -> None:
                         help="stack-depth budget (default 1,000,000)")
 
 
+def _add_engine_arg(parser: argparse.ArgumentParser) -> None:
+    """The F-stepper selector (shared by run/trace/submit/batch).
+    ``None`` defers to :data:`repro.f.cek.DEFAULT_ENGINE` (``cek``); the
+    two engines are observably step-equivalent, so this is purely a
+    performance knob (see docs/performance.md)."""
+    parser.add_argument("--engine", choices=("subst", "cek"), default=None,
+                        help="F stepper: cek (environment machine, the "
+                             "default) or subst (literal substitution "
+                             "semantics)")
+
+
 def _budget_from_args(args: argparse.Namespace) -> Budget:
     return Budget(fuel=args.fuel, heap=args.heap, depth=args.depth)
 
@@ -122,10 +133,12 @@ def cmd_run(args: argparse.Namespace) -> int:
     budget = _budget_from_args(args)
     if isinstance(node, Component):
         halted, machine = run_ft_component(node, trace=args.trace,
-                                           budget=budget)
+                                           budget=budget,
+                                           engine=args.engine)
         print(f"halted with {halted.word} : {halted.ty}")
     else:
-        value, machine = evaluate_ft(node, trace=args.trace, budget=budget)
+        value, machine = evaluate_ft(node, trace=args.trace, budget=budget,
+                                     engine=args.engine)
         print(f"value: {value}")
     if args.trace:
         rows = control_flow_table(machine.trace)
@@ -253,7 +266,8 @@ def cmd_examples(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_example_instrumented(name: str, budget: Budget):
+def _run_example_instrumented(name: str, budget: Budget,
+                              engine: Optional[str] = None):
     """Run a paper example under the observability layer; returns
     ``(value, machine, events, metrics_snapshot)`` or ``None`` (after
     printing the shared unknown-example message) if the name is unknown.
@@ -271,7 +285,8 @@ def _run_example_instrumented(name: str, budget: Budget):
     obs.reset()
     obs.enable(record=True)
     try:
-        value, machine = evaluate_ft(program, trace=True, budget=budget)
+        value, machine = evaluate_ft(program, trace=True, budget=budget,
+                                     engine=engine)
         # Append the final counter totals to the stream (while the bus is
         # still recording) so exported traces are self-contained -- one
         # Counter event per metric, not one per increment.
@@ -288,7 +303,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
     from repro import obs
     from repro.obs.events import MachineEvent
 
-    result = _run_example_instrumented(args.example, _budget_from_args(args))
+    result = _run_example_instrumented(args.example, _budget_from_args(args),
+                                       engine=args.engine)
     if result is None:
         return 2
     value, machine, events, snapshot = result
@@ -413,6 +429,7 @@ def _job_from_args(args: argparse.Namespace):
         type=getattr(args, "type", None),
         right=_load(args.right) if getattr(args, "right", None) else None,
         no_cache=getattr(args, "no_cache", False),
+        engine=getattr(args, "engine", None),
     )
     if args.example:
         return Job(args.kind, example=args.example, options=options)
@@ -489,7 +506,8 @@ def _batch_rounds(args: argparse.Namespace):
             [Job("run", id=f"{name}#{rep}", example=name,
                  options=JobOptions(fuel=args.fuel, heap=args.heap,
                                     depth=args.depth, timeout=args.timeout,
-                                    no_cache=args.no_cache))
+                                    no_cache=args.no_cache,
+                                    engine=args.engine))
              for name in _example_entries()]
             for rep in range(args.repeat)]
     if not args.file:
@@ -500,7 +518,7 @@ def _batch_rounds(args: argparse.Namespace):
             job.options.no_cache = True
         if args.timeout and job.options.timeout is None:
             job.options.timeout = args.timeout
-        for knob in ("fuel", "heap", "depth"):
+        for knob in ("fuel", "heap", "depth", "engine"):
             if getattr(args, knob) and getattr(job.options, knob) is None:
                 setattr(job.options, knob, getattr(args, knob))
     return [jobs]
@@ -699,6 +717,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="evaluate a program")
     p_run.add_argument("file")
     _add_budget_args(p_run)
+    _add_engine_arg(p_run)
     p_run.add_argument("--trace", action="store_true",
                        help="print the jump-level control-flow table")
     p_run.set_defaults(fn=cmd_run)
@@ -752,6 +771,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
                            "table + crossing counters")
     p_tr.add_argument("--out", help="write to a file instead of stdout")
     _add_budget_args(p_tr)
+    _add_engine_arg(p_tr)
     p_tr.set_defaults(fn=cmd_trace)
 
     p_st = sub.add_parser(
@@ -791,6 +811,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p_sub.add_argument("--host", default="127.0.0.1")
     p_sub.add_argument("--port", type=int, default=4017)
     _add_budget_args(p_sub)
+    _add_engine_arg(p_sub)
     p_sub.add_argument("--checkpoint", action="store_true",
                        help="run: suspend with a resumable snapshot on "
                             "fuel exhaustion instead of failing")
@@ -821,6 +842,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p_bat.add_argument("--repeat", type=int, default=1,
                        help="with --examples: submit the set N times")
     _add_budget_args(p_bat)
+    _add_engine_arg(p_bat)
     p_bat.add_argument("--workers", type=int, default=4)
     p_bat.add_argument("--cache-size", type=int, default=1024)
     p_bat.add_argument("--no-cache", action="store_true")

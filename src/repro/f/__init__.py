@@ -4,7 +4,8 @@ Public surface:
 
 * :mod:`repro.f.syntax` -- types and expressions (paper Fig 5);
 * :mod:`repro.f.typecheck` -- the standalone ``Gamma |- e : tau`` checker;
-* :mod:`repro.f.eval` -- the small-step call-by-value machine.
+* :mod:`repro.f.eval` -- the small-step call-by-value machine;
+* :mod:`repro.f.cek` -- the environment-machine (CEK) fast path.
 """
 
 from repro.f.syntax import (  # noqa: F401
@@ -14,3 +15,19 @@ from repro.f.syntax import (  # noqa: F401
 )
 from repro.f.typecheck import typecheck  # noqa: F401
 from repro.f.eval import evaluate, FEvaluator, step  # noqa: F401
+
+_CEK_EXPORTS = (
+    "CEKEvaluator", "DEFAULT_ENGINE", "ENGINES", "cek_evaluate",
+    "resolve_engine",
+)
+
+
+def __getattr__(name):
+    # Lazy: repro.f.cek needs repro.ft.syntax (for Boundary/Hole), whose
+    # own imports re-enter this package -- an eager import here would
+    # cycle whenever repro.ft loads first.
+    if name in _CEK_EXPORTS:
+        from repro.f import cek
+
+        return getattr(cek, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -128,36 +128,63 @@ def split_context(e: FExpr):
     return None
 
 
+#: One-slot decomposition cache for :func:`step`: ``(result_term,
+#: frames, focus)`` from the previous call.  Iterating ``step`` used to
+#: re-decompose the whole term every call -- O(context depth) per step,
+#: quadratic overall; the cache resumes the previous call's leftmost-redex
+#: path when handed back exactly the term it returned (checked by
+#: identity; the strong reference keeps the id stable).  Single-slot and
+#: module-global: interleaving steps of two different terms just misses.
+_STEP_CACHE: Optional[tuple] = None
+
+
 def step(e: FExpr) -> Optional[FExpr]:
     """One small step of pure F; ``None`` when ``e`` is a value.
 
     Decomposition into an evaluation context is *iterative* (an explicit
     frame stack), so divergent programs that grow deep left-nested contexts
     (e.g. factorial's multiplication chain) never exhaust Python's
-    recursion limit before their fuel.
+    recursion limit before their fuel.  Feeding each result straight back
+    in resumes the cached context path from the previous call, so an
+    iterated-``step`` driver pays O(depth) once per contraction locality
+    shift rather than per step.
 
     Raises :class:`MachineError` on stuck non-value states (unreachable from
     well-typed programs) and on FT-only forms, which require the mixed
     machine.
     """
+    global _STEP_CACHE
     if is_value(e):
         return None
-    frames = []
-    cur = e
+    cached = _STEP_CACHE
+    if cached is not None and cached[0] is e:
+        _, frames, cur = cached
+    else:
+        frames = []
+        cur = e
     while True:
         contracted = reduce_redex(cur)
         if contracted is not None:
             break
         split = split_context(cur)
-        if split is None:
-            raise MachineError(
-                f"cannot step {type(cur).__name__}: not a pure F redex "
-                "(use repro.ft.machine for mixed programs)")
-        frame, cur = split
-        frames.append(frame)
+        if split is not None:
+            frame, cur = split
+            frames.append(frame)
+            continue
+        if is_value(cur) and frames:
+            # Only reachable on a resumed path: the previous contraction
+            # left a value at the focus, so plug it and climb.
+            cur = frames.pop()(cur)
+            continue
+        _STEP_CACHE = None
+        raise MachineError(
+            f"cannot step {type(cur).__name__}: not a pure F redex "
+            "(use repro.ft.machine for mixed programs)")
+    result = contracted
     for frame in reversed(frames):
-        contracted = frame(contracted)
-    return contracted
+        result = frame(result)
+    _STEP_CACHE = (result, frames, contracted)
+    return result
 
 
 class FEvaluator:
@@ -267,13 +294,25 @@ class FEvaluator:
 
 def evaluate(e: FExpr, fuel: Optional[int] = None, *,
              heap: Optional[int] = None, depth: Optional[int] = None,
-             budget: Optional[Budget] = None) -> FExpr:
+             budget: Optional[Budget] = None,
+             engine: Optional[str] = None) -> FExpr:
     """Run ``e`` to a value under a resource budget.
 
     ``fuel`` defaults to :data:`repro.resilience.budget.DEFAULT_FUEL` --
     the same ceiling as the T and FT machines -- and a spent budget
     raises the structured :class:`~repro.errors.ResourceExhausted`
     family rather than ever crashing the host interpreter.
+
+    ``engine`` selects the stepper: ``"cek"`` (the default) runs the
+    environment machine of :mod:`repro.f.cek`, ``"subst"`` this module's
+    literal substitution loop.  The two are observably step-equivalent;
+    values, step counts, and budget verdicts are identical.
     """
+    # Imported lazily: repro.f.cek itself imports apply_binop from here.
+    from repro.f.cek import CEKEvaluator, resolve_engine
+
+    if resolve_engine(engine) == "cek":
+        return CEKEvaluator(e, fuel=fuel, heap=heap, depth=depth,
+                            budget=budget).run()
     return FEvaluator(e, fuel=fuel, heap=heap, depth=depth,
                       budget=budget).run()

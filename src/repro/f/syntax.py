@@ -25,6 +25,8 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Tuple
 
+from repro.caching import InternTable, PicklableSlots, intern_singleton
+
 __all__ = [
     "FType", "FTVar", "FUnit", "FInt", "FArrow", "FRec", "FTupleT",
     "FExpr", "Var", "UnitE", "IntE", "BinOp", "If0", "Lam", "App",
@@ -32,7 +34,7 @@ __all__ = [
     "ftype_equal", "subst_ftype", "free_tvars", "fresh_tvar",
     "fresh_tvar_mark", "advance_fresh_tvar",
     "fresh_var_mark", "advance_fresh_var",
-    "register_ftype_hooks",
+    "register_ftype_hooks", "intern_ftype",
     "subst_expr", "free_vars", "is_value", "BINOPS",
 ]
 
@@ -66,8 +68,13 @@ def advance_fresh_tvar(mark: int) -> None:
 # Types
 # ---------------------------------------------------------------------------
 
-class FType:
-    """Base class of F types (paper Fig 5, blue ``tau``)."""
+class FType(PicklableSlots):
+    """Base class of F types (paper Fig 5, blue ``tau``).
+
+    Subclasses are frozen ``slots=True`` dataclasses: hashable,
+    compact, and (via :class:`~repro.caching.PicklableSlots`) picklable
+    on every supported Python.  :func:`intern_ftype` hash-conses them.
+    """
 
     __slots__ = ()
 
@@ -75,7 +82,7 @@ class FType:
         raise NotImplementedError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FTVar(FType):
     """A type variable ``alpha`` (bound by ``mu``)."""
 
@@ -85,7 +92,8 @@ class FTVar(FType):
         return self.name
 
 
-@dataclass(frozen=True)
+@intern_singleton
+@dataclass(frozen=True, slots=True)
 class FUnit(FType):
     """The ``unit`` type, inhabited only by ``()``."""
 
@@ -93,7 +101,8 @@ class FUnit(FType):
         return "unit"
 
 
-@dataclass(frozen=True)
+@intern_singleton
+@dataclass(frozen=True, slots=True)
 class FInt(FType):
     """The ``int`` type of machine integers."""
 
@@ -101,7 +110,7 @@ class FInt(FType):
         return "int"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FArrow(FType):
     """An n-ary function type ``(tau_1, ..., tau_n) -> tau'``."""
 
@@ -116,7 +125,7 @@ class FArrow(FType):
         return f"({args}) -> {self.result}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FRec(FType):
     """An iso-recursive type ``mu alpha. tau``."""
 
@@ -131,7 +140,7 @@ class FRec(FType):
         return subst_ftype(self.body, self.var, self)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FTupleT(FType):
     """A tuple type ``<tau_1, ..., tau_n>``."""
 
@@ -142,6 +151,19 @@ class FTupleT(FType):
 
     def __str__(self) -> str:
         return "<" + ", ".join(str(t) for t in self.items) + ">"
+
+
+#: Hash-cons table for F types: :func:`intern_ftype` collapses
+#: structurally equal types to one canonical instance so that
+#: alpha-equivalence checks can take their ``a is b`` fast path.
+_FTYPE_INTERN = InternTable()
+
+
+def intern_ftype(ty: FType) -> FType:
+    """The canonical instance of ``ty`` (first structurally-equal type
+    ever interned wins).  Purely an optimization -- interning never
+    changes ``==``; it only makes ``is`` more often true."""
+    return _FTYPE_INTERN.canon(ty)
 
 
 # ---------------------------------------------------------------------------
@@ -258,7 +280,7 @@ def ftype_equal(a: FType, b: FType,
 # Expressions
 # ---------------------------------------------------------------------------
 
-class FExpr:
+class FExpr(PicklableSlots):
     """Base class of F expressions (paper Fig 5, blue ``e``)."""
 
     __slots__ = ()
@@ -267,7 +289,7 @@ class FExpr:
         raise NotImplementedError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Var(FExpr):
     """A term variable ``x``."""
 
@@ -277,7 +299,8 @@ class Var(FExpr):
         return self.name
 
 
-@dataclass(frozen=True)
+@intern_singleton
+@dataclass(frozen=True, slots=True)
 class UnitE(FExpr):
     """The unit value ``()``."""
 
@@ -285,7 +308,7 @@ class UnitE(FExpr):
         return "()"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class IntE(FExpr):
     """An integer literal ``n``."""
 
@@ -295,7 +318,7 @@ class IntE(FExpr):
         return str(self.value)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BinOp(FExpr):
     """A primitive arithmetic operation ``e p e`` with ``p in {+, -, *}``."""
 
@@ -311,7 +334,7 @@ class BinOp(FExpr):
         return f"({self.left} {self.op} {self.right})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class If0(FExpr):
     """Conditional ``if0 e e_then e_else`` branching on whether ``e`` is 0."""
 
@@ -323,7 +346,7 @@ class If0(FExpr):
         return f"if0 {self.cond} {{{self.then}}} {{{self.els}}}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Lam(FExpr):
     """An n-ary lambda ``lam (x1:tau1, ..., xn:taun). e``.
 
@@ -343,7 +366,7 @@ class Lam(FExpr):
         return f"lam ({binder}). {self.body}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class App(FExpr):
     """An application ``t t1 ... tn`` of a function to all its arguments."""
 
@@ -358,7 +381,7 @@ class App(FExpr):
         return f"({self.fn}) {args}" if args else f"({self.fn}) ()"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Fold(FExpr):
     """``fold[mu alpha.tau] e`` -- introduce an iso-recursive type."""
 
@@ -369,7 +392,7 @@ class Fold(FExpr):
         return f"fold[{self.ann}] ({self.body})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Unfold(FExpr):
     """``unfold e`` -- eliminate an iso-recursive type."""
 
@@ -379,7 +402,7 @@ class Unfold(FExpr):
         return f"unfold ({self.body})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TupleE(FExpr):
     """A tuple ``<e_1, ..., e_n>``."""
 
@@ -392,7 +415,7 @@ class TupleE(FExpr):
         return "<" + ", ".join(str(e) for e in self.items) + ">"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Proj(FExpr):
     """Projection ``pi_i(e)`` of the i-th tuple field (0-indexed)."""
 

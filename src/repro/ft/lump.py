@@ -37,7 +37,7 @@ from repro.tal.syntax import Loc, TalType, TRef, TupleTy
 __all__ = ["FLump", "LumpVal", "lump_type_of_ref"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FLump(FType):
     """The lump type ``L<tau, ...>`` of foreign pointers to mutable
     T tuples with the given field types."""
@@ -52,7 +52,7 @@ class FLump(FType):
         return f"L<{inner}>"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LumpVal(FExpr):
     """An opaque foreign pointer -- a runtime-only F value.
 

@@ -68,9 +68,19 @@ class FTMachine(TalMachine):
     def __init__(self, memory: Optional[Memory] = None, trace: bool = False,
                  fuel: Optional[int] = None,
                  max_events: Optional[int] = None,
-                 budget: Optional[Budget] = None):
+                 budget: Optional[Budget] = None,
+                 engine: Optional[str] = None):
+        # Imported lazily: repro.f.cek pulls in repro.ft.syntax, whose
+        # package __init__ imports this module.
+        from repro.f.cek import resolve_engine
+
         super().__init__(memory, trace, max_events=max_events,
                          budget=Budget.of(fuel=fuel, budget=budget))
+        #: Which F-side stepper drives pure-F segments: the environment
+        #: machine of :mod:`repro.f.cek` (default) or the literal
+        #: substitution loop.  Both are observably step-equivalent; the
+        #: choice is operational and rides along in resumable snapshots.
+        self.engine = resolve_engine(engine)
         # Suspension records, appended innermost-first as a FuelExhausted
         # unwinds through nested evaluation levels; see resume().
         self._suspension: List[tuple] = []
@@ -128,13 +138,32 @@ class FTMachine(TalMachine):
     # ------------------------------------------------------------------
 
     def eval_fexpr(self, e: FExpr) -> FExpr:
-        """Run an F(T) expression to a value under the shared budget.
+        """Run an F(T) expression to a value under the shared budget,
+        on whichever engine this machine was built with.
 
-        This is a CEK-style loop: the evaluation context is kept as an
-        explicit frame stack *across* steps, so deep contexts (divergent
-        recursion) cost constant work per step instead of a full context
-        rebuild -- :meth:`step_fexpr` exists for the one-step API but would
-        be quadratic here.
+        The ``cek`` engine (default) evaluates with environments and
+        closures (:class:`repro.f.cek.CEKEvaluator` with ``ft=self``), so
+        beta steps cost an environment extension instead of a body copy;
+        ``subst`` is the literal Fig-5 substitution loop below.  Both
+        charge fuel at the same contractions, count the same
+        ``f.machine.steps``, and record identical suspension/``Hole``
+        continuations on fuel exhaustion.
+        """
+        if self.engine == "cek":
+            from repro.f.cek import CEKEvaluator
+
+            return CEKEvaluator(e, ft=self).run()
+        return self._eval_fexpr_subst(e)
+
+    def _eval_fexpr_subst(self, e: FExpr) -> FExpr:
+        """The substitution engine's F loop (kept verbatim as the
+        reference semantics the differential harness locksteps against).
+
+        This is a CEK-style loop in shape: the evaluation context is kept
+        as an explicit frame stack *across* steps, so deep contexts
+        (divergent recursion) cost constant work per step instead of a
+        full context rebuild -- :meth:`step_fexpr` exists for the one-step
+        API but would be quadratic here.
         """
         budget = self.budget
         frames: List = []
@@ -354,12 +383,18 @@ class FTMachine(TalMachine):
         state = super().snapshot_resumable()
         state["suspension"] = list(self._suspension)
         state["hole_value"] = self._hole_value
+        state["engine"] = self.engine
         return state
 
     def _restore_resumable(self, state: dict) -> None:
         super()._restore_resumable(state)
+        from repro.f.cek import resolve_engine
+
         self._suspension = list(state.get("suspension", ()))
         self._hole_value = state.get("hole_value")
+        # Snapshots are engine-portable (suspension records are plain
+        # terms), so a missing/foreign engine field just means "default".
+        self.engine = resolve_engine(state.get("engine"))
 
 
 def _rebuild(cur: FExpr, frames: List) -> FExpr:
@@ -372,20 +407,22 @@ def _rebuild(cur: FExpr, frames: List) -> FExpr:
 
 def evaluate_ft(e: FExpr, fuel: Optional[int] = None, trace: bool = False,
                 max_events: Optional[int] = None,
-                budget: Optional[Budget] = None
+                budget: Optional[Budget] = None,
+                engine: Optional[str] = None
                 ) -> Tuple[FExpr, FTMachine]:
     """Evaluate a closed FT expression in a fresh memory."""
     machine = FTMachine(trace=trace, fuel=fuel, max_events=max_events,
-                        budget=budget)
+                        budget=budget, engine=engine)
     return machine.evaluate(e), machine
 
 
 def run_ft_component(comp: Component, fuel: Optional[int] = None,
                      trace: bool = False,
                      max_events: Optional[int] = None,
-                     budget: Optional[Budget] = None
+                     budget: Optional[Budget] = None,
+                     engine: Optional[str] = None
                      ) -> Tuple[HaltedState, FTMachine]:
     """Run a closed FT component (T outside) in a fresh memory."""
     machine = FTMachine(trace=trace, fuel=fuel, max_events=max_events,
-                        budget=budget)
+                        budget=budget, engine=engine)
     return machine.run_component(comp), machine

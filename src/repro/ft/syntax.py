@@ -32,6 +32,8 @@ module wires those crossings up:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+from repro.caching import PicklableSlots, intern_singleton
 from typing import Callable, Dict, Optional, Set, Tuple
 
 from repro.f.syntax import (
@@ -61,7 +63,7 @@ __all__ = [
 # Types: the stack-modifying arrow
 # ---------------------------------------------------------------------------
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FStackArrow(FType):
     """The stack-modifying arrow ``(tau...) [phi_i; phi_o] -> tau'``.
 
@@ -113,8 +115,8 @@ def _stack_arrow_equal(a: FType, b: FType, env) -> Optional[bool]:
 # Expressions
 # ---------------------------------------------------------------------------
 
-@dataclass(frozen=True)
-class StackDelta:
+@dataclass(frozen=True, slots=True)
+class StackDelta(PicklableSlots):
     """A boundary's declared stack effect: pop ``pops`` exposed slots, then
     push ``pushes`` (top first).
 
@@ -140,7 +142,7 @@ class StackDelta:
         return f"[-{self.pops}; +<{pushes}>]"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Boundary(FExpr):
     """``tauFT e`` -- a T component embedded in F at type ``tau``."""
 
@@ -155,7 +157,8 @@ class Boundary(FExpr):
         return f"FT[{self.ty}; {self.delta.pops}; <{pushes}>]{self.comp}"
 
 
-@dataclass(frozen=True)
+@intern_singleton
+@dataclass(frozen=True, slots=True)
 class Hole(FExpr):
     """The machine's resumption placeholder ``[]`` -- not surface syntax.
 
@@ -172,7 +175,7 @@ class Hole(FExpr):
         return "[]"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StackLam(Lam):
     """A stack-modifying lambda ``lam[phi_i; phi_o](x:tau, ...).e``."""
 
@@ -180,7 +183,10 @@ class StackLam(Lam):
     phi_out: Tuple[TalType, ...] = ()
 
     def __post_init__(self) -> None:
-        super().__post_init__()
+        # Explicit base call: ``dataclass(slots=True)`` replaces the class
+        # object, so zero-argument super() (which closes over the original
+        # ``__class__`` cell) would not resolve here.
+        Lam.__post_init__(self)
         object.__setattr__(self, "phi_in", tuple(self.phi_in))
         object.__setattr__(self, "phi_out", tuple(self.phi_out))
 
@@ -195,7 +201,7 @@ class StackLam(Lam):
 # Instructions
 # ---------------------------------------------------------------------------
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Import(Instruction):
     """``import rd, sigma TFtau e`` -- run the F expression ``e``, translate
     its value to T at type ``tau``, and put it in ``rd``.
@@ -216,7 +222,7 @@ class Import(Instruction):
         return f"import {self.rd}, {self.protected} TF[{self.ty}] ({self.expr})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Protect(Instruction):
     """``protect phi, zeta`` -- leave the prefix ``phi`` visible and
     abstract the rest of the stack as ``zeta`` for the rest of the

@@ -32,7 +32,7 @@ from typing import Dict, List, Tuple
 from repro.errors import FTTypeError
 from repro.obs.events import OBS
 from repro.resilience.chaos import probe
-from repro.serve.cache import LRUCache
+from repro.caching import LRUCache
 from repro.f.syntax import (
     App, BinOp, FArrow, FExpr, FInt, Fold, If0, IntE, Lam, Proj, TupleE,
     Unfold, UnitE, Var,

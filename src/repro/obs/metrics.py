@@ -69,6 +69,22 @@ The resilience layer (:mod:`repro.resilience`) adds its own family
                                      lambda
 ``jit.quarantine.size``              current circuit-breaker size (gauge)
 ===================================  ========================================
+
+The environment-machine fast path (:mod:`repro.f.cek` and the memo
+caches in :mod:`repro.tal.subst` / :mod:`repro.tal.equality`) adds its
+own family (see ``docs/performance.md``):
+
+===================================  ========================================
+``tal.subst.cache.ty.<o>``           type-substitution memo outcomes, per
+                                     outcome ``hit``/``miss``/``eviction``
+``tal.subst.cache.ctype.<o>``        ``instantiate_code_type`` memo outcomes
+``tal.subst.cache.block.<o>``        ``instantiate_code_block`` memo outcomes
+``tal.equality.cache.<o>``           ``types_equal`` top-level memo outcomes
+===================================  ========================================
+
+(The CEK engine itself introduces no new counters: it reports the same
+``f.machine.steps`` as the substitution stepper, 1:1, so traces and
+budget accounting are engine-independent.)
 """
 
 from __future__ import annotations

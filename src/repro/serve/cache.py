@@ -4,9 +4,10 @@ Two layers:
 
 * :class:`LRUCache` -- a small, thread-safe, generic LRU with hit/miss/
   eviction accounting and optional :mod:`repro.obs` counter mirroring.
-  It also backs the JIT's compile cache (:mod:`repro.jit.compiler`
-  previously kept its own ad-hoc FIFO dict; that is now this class with
-  ``metric_prefix="jit.cache"``).
+  The implementation now lives in the dependency-neutral
+  :mod:`repro.caching` (the TAL substitution caches need it below the
+  serve layer); it is re-exported here unchanged.  It also backs the
+  JIT's compile cache (``metric_prefix="jit.cache"``).
 * :class:`ResultCache` -- the service-level cache: finished
   :class:`~repro.serve.protocol.JobResult`\\ s addressed by
   :func:`job_cache_key`, the SHA-256 of the job's canonical JSON identity
@@ -22,90 +23,13 @@ from __future__ import annotations
 
 import hashlib
 import json
-import threading
-from collections import OrderedDict
 from dataclasses import replace
-from typing import Any, Dict, Hashable, Optional
+from typing import Dict, Optional
 
-from repro.obs.events import OBS
+from repro.caching import LRUCache
 from repro.serve.protocol import Job, JobResult
 
 __all__ = ["LRUCache", "ResultCache", "job_cache_key"]
-
-
-class LRUCache:
-    """Bounded least-recently-used mapping with hit/miss accounting.
-
-    ``metric_prefix`` mirrors the accounting into the process-wide
-    metrics registry (``<prefix>.hit`` / ``.miss`` / ``.eviction``) when
-    instrumentation is enabled, so cache behaviour shows up in
-    ``funtal stats`` alongside machine steps and boundary crossings.
-    """
-
-    def __init__(self, maxsize: int = 1024,
-                 metric_prefix: Optional[str] = None):
-        if maxsize < 1:
-            raise ValueError("maxsize must be >= 1")
-        self.maxsize = maxsize
-        self.metric_prefix = metric_prefix
-        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
-        self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-
-    def _count(self, outcome: str) -> None:
-        if self.metric_prefix and OBS.enabled:
-            OBS.metrics.inc(f"{self.metric_prefix}.{outcome}")
-
-    def get(self, key: Hashable, default: Any = None) -> Any:
-        with self._lock:
-            try:
-                value = self._data[key]
-            except KeyError:
-                self.misses += 1
-                hit = False
-            else:
-                self._data.move_to_end(key)
-                self.hits += 1
-                hit = True
-        self._count("hit" if hit else "miss")
-        return value if hit else default
-
-    def put(self, key: Hashable, value: Any) -> None:
-        evicted = False
-        with self._lock:
-            if key in self._data:
-                self._data.move_to_end(key)
-            self._data[key] = value
-            if len(self._data) > self.maxsize:
-                self._data.popitem(last=False)
-                self.evictions += 1
-                evicted = True
-        if evicted:
-            self._count("eviction")
-
-    def __len__(self) -> int:
-        with self._lock:
-            return len(self._data)
-
-    def __contains__(self, key: Hashable) -> bool:
-        with self._lock:
-            return key in self._data
-
-    def clear(self) -> None:
-        with self._lock:
-            self._data.clear()
-
-    def stats(self) -> Dict[str, int]:
-        with self._lock:
-            return {
-                "size": len(self._data),
-                "maxsize": self.maxsize,
-                "hits": self.hits,
-                "misses": self.misses,
-                "evictions": self.evictions,
-            }
 
 
 def job_cache_key(job: Job) -> str:

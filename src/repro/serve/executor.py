@@ -132,7 +132,8 @@ def _do_run(job: Job) -> Dict[str, Any]:
         out["steps"] = machine.budget.fuel_used
         return out
 
-    machine = FTMachine(trace=trace, budget=_job_budget(job))
+    machine = FTMachine(trace=trace, budget=_job_budget(job),
+                        engine=job.options.engine)
     try:
         if is_component:
             halted = machine.run_component(node)
@@ -160,6 +161,12 @@ def _do_resume(job: Job) -> Dict[str, Any]:
 
     snapshot = MachineSnapshot.from_wire(job.snapshot)
     machine = FTMachine.restore(snapshot, trace=job.options.trace)
+    if job.options.engine is not None:
+        # Snapshots are engine-portable (pending records are plain
+        # terms), so a resume may switch steppers explicitly.
+        from repro.f.cek import resolve_engine
+
+        machine.engine = resolve_engine(job.options.engine)
     fuel = job.options.fuel or DEFAULT_FUEL
     try:
         outcome = machine.resume(fuel=fuel)

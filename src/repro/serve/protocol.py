@@ -79,12 +79,17 @@ class JobOptions:
     type: Optional[str] = None          # equiv: the common F type
     right: Optional[str] = None         # equiv: right-hand source
     no_cache: bool = False              # bypass the result cache
+    engine: Optional[str] = None        # run/resume: F stepper (subst|cek)
     inject_crash: bool = False          # fault injection: kill the worker
     inject_sleep: float = 0.0           # fault injection: stall the worker
 
     #: Option names that do not affect the *semantic* result and are
-    #: therefore excluded from the content address.
-    NON_SEMANTIC = ("timeout", "no_cache", "inject_crash", "inject_sleep")
+    #: therefore excluded from the content address.  ``engine`` is here
+    #: because the two F steppers are observably step-equivalent (the
+    #: differential suite enforces identical values, step counts, and
+    #: budget verdicts), so results are shareable across engines.
+    NON_SEMANTIC = ("timeout", "no_cache", "engine",
+                    "inject_crash", "inject_sleep")
 
     def to_dict(self) -> Dict[str, Any]:
         """Wire dict containing only the non-default entries."""

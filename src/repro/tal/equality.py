@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+from repro.caching import LRUCache
 from repro.tal.syntax import (
     CodeType, HeapValType, KIND_ALPHA, KIND_EPS, KIND_ZETA, QEnd, QEps, QIdx,
     QOut, QReg, RegFileTy, RetMarker, StackTy, TalType, TBox, TExists, TInt,
@@ -22,16 +23,48 @@ from repro.tal.syntax import (
 
 __all__ = [
     "types_equal", "psis_equal", "stacks_equal", "chis_equal", "qs_equal",
-    "RenEnv",
+    "RenEnv", "clear_equality_cache",
 ]
 
 #: Renaming environment: (kind, left-name) -> right-name.
 RenEnv = Dict[Tuple[str, str], str]
 
+#: Memo for top-level (empty-environment) alpha-equivalence queries.
+#: Calls carrying a renaming environment are not memoized -- the env is
+#: part of the answer and not worth hashing -- but those only occur as
+#: inner recursion, whose outermost query this cache already covers.
+_EQ_CACHE = LRUCache(8192, metric_prefix="tal.equality.cache")
+
+
+def clear_equality_cache() -> None:
+    """Drop the memoized alpha-equivalence verdicts (tests, benchmarks)."""
+    _EQ_CACHE.clear()
+
 
 def types_equal(a: TalType, b: TalType, env: Optional[RenEnv] = None) -> bool:
-    """Alpha-equivalence of T value types."""
-    env = env if env is not None else {}
+    """Alpha-equivalence of T value types.
+
+    Interned/shared nodes hit the ``a is b`` fast path; distinct
+    top-level queries are memoized structurally in a bounded LRU
+    (sound because types are immutable and alpha-equivalence has no
+    other inputs when ``env`` is empty).
+    """
+    if env is None or not env:
+        # Identity implies alpha-equivalence only without a pending
+        # renaming: under ``{x -> y}`` a type compared against itself can
+        # legitimately differ (its free ``x`` must match a literal ``y``).
+        if a is b:
+            return True
+        key = (a, b)
+        verdict = _EQ_CACHE.get(key)
+        if verdict is None:
+            verdict = _types_equal_uncached(a, b, {})
+            _EQ_CACHE.put(key, verdict)
+        return verdict
+    return _types_equal_uncached(a, b, env)
+
+
+def _types_equal_uncached(a: TalType, b: TalType, env: RenEnv) -> bool:
     if isinstance(a, TVar) and isinstance(b, TVar):
         return env.get((KIND_ALPHA, a.name), a.name) == b.name
     if isinstance(a, TUnit) and isinstance(b, TUnit):

@@ -22,6 +22,7 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Dict, Optional, Set, Tuple, Union
 
+from repro.caching import LRUCache
 from repro.tal.syntax import (
     Aop, Balloc, Bnz, Call, CodeType, Component, Delta, DeltaBind, Fold, Halt,
     HCode, HeapValType, HeapValue, HTuple, InstrSeq, Instruction, Jmp,
@@ -29,7 +30,7 @@ from repro.tal.syntax import (
     QIdx, QOut, QReg, Ralloc, RegFileTy, RegOp, Ret, RetMarker, Salloc,
     Sfree, Sld, Sst, St, StackTy, TalType, TBox, Terminator, TExists, TInt,
     TRec, TRef, TupleTy, TUnit, TVar, TyApp, UnfoldI, Unpack, WInt, WLoc,
-    WUnit,
+    WUnit, intern_ty,
 )
 
 __all__ = [
@@ -37,7 +38,8 @@ __all__ = [
     "subst_q", "subst_operand", "subst_instr", "subst_instr_seq",
     "subst_heap_value", "subst_component", "free_type_vars",
     "register_simple_instr", "register_binding_instr", "fresh_name",
-    "instantiate_code_type", "instantiate_code_block",
+    "instantiate_code_type", "instantiate_code_block", "clear_subst_caches",
+    "subst_cache_stats",
 ]
 
 Omega = Union[TalType, StackTy, RetMarker]
@@ -55,10 +57,11 @@ def fresh_name(base: str) -> str:
 class Subst:
     """An immutable finite map from ``(kind, name)`` to omegas."""
 
-    __slots__ = ("mapping",)
+    __slots__ = ("mapping", "_key")
 
     def __init__(self, mapping: Optional[Dict[VarKey, Omega]] = None):
         self.mapping: Dict[VarKey, Omega] = dict(mapping or {})
+        self._key: Optional[tuple] = None
         for (kind, _), omega in self.mapping.items():
             expected = {KIND_ALPHA: TalType, KIND_ZETA: StackTy,
                         KIND_EPS: RetMarker}.get(kind)
@@ -66,6 +69,14 @@ class Subst:
                 raise TypeError(
                     f"substitution for kind {kind!r} must be "
                     f"{expected.__name__}, got {omega!r}")
+
+    def key(self) -> tuple:
+        """A hashable structural identity for cache keys (computed once;
+        all omegas are frozen hashable nodes)."""
+        if self._key is None:
+            self._key = tuple(sorted(self.mapping.items(),
+                                     key=lambda kv: kv[0]))
+        return self._key
 
     @classmethod
     def single(cls, kind: str, name: str, omega: Omega) -> "Subst":
@@ -231,9 +242,32 @@ def binding_of(i: Instruction) -> Optional[VarKey]:
 # Substitution proper
 # ---------------------------------------------------------------------------
 
+#: Missing-entry sentinel for the LRU lookups (None is a valid value).
+_MISS = object()
+
+#: Memo for :func:`subst_ty`, keyed ``(type, substitution identity)``.
+#: Results are interned, so a cache hit also hands back the *identical*
+#: object every time -- the ``a is b`` fast path of
+#: :func:`repro.tal.equality.types_equal` then short-circuits.  Bounded:
+#: a cold miss just recomputes, so eviction can never change semantics.
+_TY_CACHE = LRUCache(4096, metric_prefix="tal.subst.cache.ty")
+
+
 def subst_ty(ty: TalType, s: Subst) -> TalType:
     if s.is_empty():
         return ty
+    key = (ty, s.key())
+    hit = _TY_CACHE.get(key, _MISS)
+    if hit is not _MISS:
+        return hit
+    result = intern_ty(_subst_ty_uncached(ty, s))
+    _TY_CACHE.put(key, result)
+    return result
+
+
+def _subst_ty_uncached(ty: TalType, s: Subst) -> TalType:
+    # Recursive positions call the cached subst_ty, so shared subterms
+    # are memoized independently of their parents.
     if isinstance(ty, TVar):
         hit = s.get(KIND_ALPHA, ty.name)
         return hit if hit is not None else ty  # type: ignore[return-value]
@@ -504,18 +538,62 @@ def delta_subst(delta: Delta, omegas: Tuple[Omega, ...]) -> Subst:
     return Subst(mapping)
 
 
+#: Memos for code-type/block instantiation, keyed ``(id(node), omegas)``
+#: and storing ``(node, result)``.  Keying on identity skips the O(size)
+#: structural hash of a whole code block per jump; storing the node
+#: itself both pins its id against reuse after garbage collection and
+#: lets the lookup validate the hit with an ``is`` check.
+_CTYPE_CACHE = LRUCache(2048, metric_prefix="tal.subst.cache.ctype")
+_BLOCK_CACHE = LRUCache(2048, metric_prefix="tal.subst.cache.block")
+
+
 def instantiate_code_type(ct: CodeType,
                           omegas: Tuple[Omega, ...]) -> CodeType:
     """Apply a (possibly partial, left-to-right) instantiation to ``ct``."""
+    key = (id(ct), omegas)
+    hit = _CTYPE_CACHE.get(key)
+    if hit is not None and hit[0] is ct:
+        return hit[1]
     s = delta_subst(ct.delta, omegas)
     remaining = ct.delta[len(omegas):]
-    return CodeType(remaining, subst_chi(ct.chi, s),
-                    subst_stack(ct.sigma, s), subst_q(ct.q, s))
+    result = CodeType(remaining, subst_chi(ct.chi, s),
+                      subst_stack(ct.sigma, s), subst_q(ct.q, s))
+    _CTYPE_CACHE.put(key, (ct, result))
+    return result
 
 
 def instantiate_code_block(h: HCode, omegas: Tuple[Omega, ...]) -> HCode:
-    """Apply an instantiation to a code block (used at jump time)."""
+    """Apply an instantiation to a code block (used at jump time).
+
+    Memoized: a loop jumping to the same block with the same omegas (the
+    Fig 17 factorial pattern) pays the substitution once.  The cached
+    block is alpha-equivalent on every later hit -- any binders freshened
+    during the first substitution keep their (bound, hence clash-free)
+    names instead of being re-freshened per jump.
+    """
+    key = (id(h), omegas)
+    hit = _BLOCK_CACHE.get(key)
+    if hit is not None and hit[0] is h:
+        return hit[1]
     s = delta_subst(h.delta, omegas)
     remaining = h.delta[len(omegas):]
-    return HCode(remaining, subst_chi(h.chi, s), subst_stack(h.sigma, s),
-                 subst_q(h.q, s), subst_instr_seq(h.instrs, s))
+    result = HCode(remaining, subst_chi(h.chi, s), subst_stack(h.sigma, s),
+                   subst_q(h.q, s), subst_instr_seq(h.instrs, s))
+    _BLOCK_CACHE.put(key, (h, result))
+    return result
+
+
+def clear_subst_caches() -> None:
+    """Drop every substitution/instantiation memo (tests, benchmarks)."""
+    _TY_CACHE.clear()
+    _CTYPE_CACHE.clear()
+    _BLOCK_CACHE.clear()
+
+
+def subst_cache_stats() -> Dict[str, Dict[str, int]]:
+    """Hit/miss/eviction stats of the three memos, by counter family."""
+    return {
+        "tal.subst.cache.ty": _TY_CACHE.stats(),
+        "tal.subst.cache.ctype": _CTYPE_CACHE.stats(),
+        "tal.subst.cache.block": _BLOCK_CACHE.stats(),
+    }

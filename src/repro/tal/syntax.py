@@ -40,12 +40,15 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
 
+from repro.caching import InternTable, PicklableSlots, intern_singleton
+
 __all__ = [
     # registers & locations
     "REGISTERS", "GP_REGISTERS", "RA", "check_register", "Loc", "fresh_loc",
     "fresh_mark", "advance_fresh",
     # types
     "TalType", "TVar", "TUnit", "TInt", "TExists", "TRec", "TRef", "TBox",
+    "intern_ty",
     "HeapValType", "CodeType", "TupleTy",
     # stack types, register typings, return markers, type envs, heap typings
     "StackTy", "NIL_STACK", "RegFileTy", "RetMarker", "QReg", "QIdx", "QEps",
@@ -83,8 +86,8 @@ def check_register(r: str) -> str:
 _loc_counter = itertools.count()
 
 
-@dataclass(frozen=True)
-class Loc:
+@dataclass(frozen=True, slots=True)
+class Loc(PicklableSlots):
     """A heap location / code label ``loc`` (written ``ℓ`` in the paper)."""
 
     name: str
@@ -123,13 +126,13 @@ def advance_fresh(mark: int) -> None:
 # Value types tau and heap-value types psi
 # ---------------------------------------------------------------------------
 
-class TalType:
+class TalType(PicklableSlots):
     """Base class of T value types ``tau``."""
 
     __slots__ = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TVar(TalType):
     """A value-type variable ``alpha``."""
 
@@ -139,19 +142,21 @@ class TVar(TalType):
         return self.name
 
 
-@dataclass(frozen=True)
+@intern_singleton
+@dataclass(frozen=True, slots=True)
 class TUnit(TalType):
     def __str__(self) -> str:
         return "unit"
 
 
-@dataclass(frozen=True)
+@intern_singleton
+@dataclass(frozen=True, slots=True)
 class TInt(TalType):
     def __str__(self) -> str:
         return "int"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TExists(TalType):
     """An existential type ``exists alpha. tau``."""
 
@@ -162,7 +167,7 @@ class TExists(TalType):
         return f"exists {self.var}. {self.body}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TRec(TalType):
     """An iso-recursive type ``mu alpha. tau``."""
 
@@ -173,7 +178,7 @@ class TRec(TalType):
         return f"mu {self.var}. {self.body}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TRef(TalType):
     """A *mutable* tuple reference ``ref <tau_0, ..., tau_n>``."""
 
@@ -186,7 +191,7 @@ class TRef(TalType):
         return "ref <" + ", ".join(str(t) for t in self.items) + ">"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TBox(TalType):
     """An *immutable* pointer ``box psi`` (code is always boxed)."""
 
@@ -196,13 +201,13 @@ class TBox(TalType):
         return f"box {self.psi}"
 
 
-class HeapValType:
+class HeapValType(PicklableSlots):
     """Base class of heap-value types ``psi``."""
 
     __slots__ = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TupleTy(HeapValType):
     """A heap tuple type ``<tau_0, ..., tau_n>``."""
 
@@ -213,6 +218,19 @@ class TupleTy(HeapValType):
 
     def __str__(self) -> str:
         return "<" + ", ".join(str(t) for t in self.items) + ">"
+
+
+#: Hash-cons table for T types; see :func:`intern_ty`.
+_TY_INTERN = InternTable()
+
+
+def intern_ty(ty: TalType) -> TalType:
+    """The canonical instance of a structurally-equal T type.  Purely an
+    optimization: the substitution caches intern their results so that
+    repeated instantiations return *identical* objects and
+    :func:`repro.tal.equality.types_equal` hits its ``a is b`` fast
+    path."""
+    return _TY_INTERN.canon(ty)
 
 
 # ---------------------------------------------------------------------------
@@ -230,8 +248,8 @@ _KIND_SIGIL = {KIND_ALPHA: "", KIND_ZETA: "zeta ", KIND_EPS: "eps ",
                KIND_FALPHA: "F "}
 
 
-@dataclass(frozen=True)
-class DeltaBind:
+@dataclass(frozen=True, slots=True)
+class DeltaBind(PicklableSlots):
     """One binding in a type environment: a variable name plus its kind."""
 
     kind: str
@@ -265,8 +283,8 @@ def _format_delta(delta: Delta) -> str:
 # Stack typings sigma
 # ---------------------------------------------------------------------------
 
-@dataclass(frozen=True)
-class StackTy:
+@dataclass(frozen=True, slots=True)
+class StackTy(PicklableSlots):
     """A stack typing ``tau_0 :: ... :: tau_{n-1} :: tail``.
 
     ``prefix`` lists the exposed slot types, *top of stack first*; ``tail``
@@ -334,8 +352,8 @@ NIL_STACK = StackTy((), None)
 # Register-file typings chi
 # ---------------------------------------------------------------------------
 
-@dataclass(frozen=True)
-class RegFileTy:
+@dataclass(frozen=True, slots=True)
+class RegFileTy(PicklableSlots):
     """A register-file typing ``chi`` mapping registers to value types.
 
     Stored as a canonically-sorted tuple of pairs so that instances hash and
@@ -395,13 +413,13 @@ class RegFileTy:
 # Return markers q
 # ---------------------------------------------------------------------------
 
-class RetMarker:
+class RetMarker(PicklableSlots):
     """Base class of return markers ``q`` -- where the return continuation is."""
 
     __slots__ = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class QReg(RetMarker):
     """The return continuation is in register ``r``."""
 
@@ -414,7 +432,7 @@ class QReg(RetMarker):
         return self.reg
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class QIdx(RetMarker):
     """The return continuation is in exposed stack slot ``i``."""
 
@@ -424,7 +442,7 @@ class QIdx(RetMarker):
         return str(self.index)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class QEps(RetMarker):
     """A return-marker variable ``eps`` (abstracted in a Delta)."""
 
@@ -434,7 +452,7 @@ class QEps(RetMarker):
         return self.name
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class QEnd(RetMarker):
     """``end{tau; sigma}``: this component ends by halting with a ``tau``.
 
@@ -449,7 +467,8 @@ class QEnd(RetMarker):
         return f"end{{{self.ty}; {self.sigma}}}"
 
 
-@dataclass(frozen=True)
+@intern_singleton
+@dataclass(frozen=True, slots=True)
 class QOut(RetMarker):
     """The FT marker ``out`` for F code, which returns by being a value.
 
@@ -465,7 +484,7 @@ class QOut(RetMarker):
 # Code types (need RetMarker, hence defined after it)
 # ---------------------------------------------------------------------------
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CodeType(HeapValType):
     """A code-block type ``forall[Delta].{chi; sigma} q`` (paper section 2).
 
@@ -495,8 +514,8 @@ REF = "ref"
 BOX = "box"
 
 
-@dataclass(frozen=True)
-class HeapTy:
+@dataclass(frozen=True, slots=True)
+class HeapTy(PicklableSlots):
     """A heap typing ``Psi`` mapping locations to ``nu psi`` entries."""
 
     entries: Tuple[Tuple[Loc, str, HeapValType], ...] = ()
@@ -544,7 +563,7 @@ class HeapTy:
 # Word values and small values
 # ---------------------------------------------------------------------------
 
-class Operand:
+class Operand(PicklableSlots):
     """Base class of small values ``u`` (instruction operands)."""
 
     __slots__ = ()
@@ -556,13 +575,14 @@ class WordValue(Operand):
     __slots__ = ()
 
 
-@dataclass(frozen=True)
+@intern_singleton
+@dataclass(frozen=True, slots=True)
 class WUnit(WordValue):
     def __str__(self) -> str:
         return "()"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WInt(WordValue):
     value: int
 
@@ -570,7 +590,7 @@ class WInt(WordValue):
         return str(self.value)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WLoc(WordValue):
     loc: Loc
 
@@ -578,7 +598,7 @@ class WLoc(WordValue):
         return str(self.loc)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RegOp(Operand):
     """A register used as an operand (a small value that is not a word)."""
 
@@ -591,7 +611,7 @@ class RegOp(Operand):
         return self.reg
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Pack(Operand):
     """``pack <tau, u> as exists a. tau'`` -- also a word value when ``u`` is."""
 
@@ -603,7 +623,7 @@ class Pack(Operand):
         return f"pack <{self.hidden}, {self.body}> as {self.as_ty}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Fold(Operand):
     """``fold[mu a. tau] u`` -- also a word value when ``u`` is."""
 
@@ -614,7 +634,7 @@ class Fold(Operand):
         return f"fold[{self.as_ty}] {self.body}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TyApp(Operand):
     """A type instantiation ``u[omega, ...]``.
 
@@ -657,13 +677,13 @@ def is_word_value(u: Operand) -> bool:
 # Instructions
 # ---------------------------------------------------------------------------
 
-class Instruction:
+class Instruction(PicklableSlots):
     """Base class of single instructions ``iota``."""
 
     __slots__ = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Aop(Instruction):
     """``add|sub|mul rd, rs, u`` -- arithmetic into ``rd``."""
 
@@ -682,7 +702,7 @@ class Aop(Instruction):
         return f"{self.op} {self.rd}, {self.rs}, {self.u}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Bnz(Instruction):
     """``bnz r, u`` -- jump to ``u`` if ``r`` is non-zero."""
 
@@ -696,7 +716,7 @@ class Bnz(Instruction):
         return f"bnz {self.r}, {self.u}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Ld(Instruction):
     """``ld rd, rs[i]`` -- load field ``i`` of the tuple pointed to by ``rs``."""
 
@@ -712,7 +732,7 @@ class Ld(Instruction):
         return f"ld {self.rd}, {self.rs}[{self.index}]"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class St(Instruction):
     """``st rd[i], rs`` -- store ``rs`` into field ``i`` of the *mutable* tuple at ``rd``."""
 
@@ -728,7 +748,7 @@ class St(Instruction):
         return f"st {self.rd}[{self.index}], {self.rs}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Ralloc(Instruction):
     """``ralloc rd, n`` -- move the top ``n`` stack cells into a fresh *mutable* tuple."""
 
@@ -742,7 +762,7 @@ class Ralloc(Instruction):
         return f"ralloc {self.rd}, {self.n}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Balloc(Instruction):
     """``balloc rd, n`` -- like ``ralloc`` but the tuple is *immutable* (boxed)."""
 
@@ -756,7 +776,7 @@ class Balloc(Instruction):
         return f"balloc {self.rd}, {self.n}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Mv(Instruction):
     """``mv rd, u`` -- move a small value into ``rd``."""
 
@@ -770,7 +790,7 @@ class Mv(Instruction):
         return f"mv {self.rd}, {self.u}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Salloc(Instruction):
     """``salloc n`` -- push ``n`` unit-initialized stack cells."""
 
@@ -780,7 +800,7 @@ class Salloc(Instruction):
         return f"salloc {self.n}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Sfree(Instruction):
     """``sfree n`` -- pop ``n`` stack cells."""
 
@@ -790,7 +810,7 @@ class Sfree(Instruction):
         return f"sfree {self.n}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Sld(Instruction):
     """``sld rd, i`` -- load stack slot ``i`` (0 = top) into ``rd``."""
 
@@ -804,7 +824,7 @@ class Sld(Instruction):
         return f"sld {self.rd}, {self.index}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Sst(Instruction):
     """``sst i, rs`` -- store ``rs`` into stack slot ``i`` (0 = top)."""
 
@@ -818,7 +838,7 @@ class Sst(Instruction):
         return f"sst {self.index}, {self.rs}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Unpack(Instruction):
     """``unpack <alpha, rd> u`` -- open an existential package into ``rd``,
     binding ``alpha`` for the rest of the sequence."""
@@ -834,7 +854,7 @@ class Unpack(Instruction):
         return f"unpack <{self.alpha}, {self.rd}> {self.u}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UnfoldI(Instruction):
     """``unfold rd, u`` -- unroll a recursive value into ``rd``."""
 
@@ -852,13 +872,13 @@ class UnfoldI(Instruction):
 # Terminators, instruction sequences, heap values, components
 # ---------------------------------------------------------------------------
 
-class Terminator:
+class Terminator(PicklableSlots):
     """Base class of the four instruction-sequence enders."""
 
     __slots__ = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Jmp(Terminator):
     """``jmp u`` -- *intra*-component jump (same return marker)."""
 
@@ -868,7 +888,7 @@ class Jmp(Terminator):
         return f"jmp {self.u}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Call(Terminator):
     """``call u {sigma, q}`` -- *inter*-component jump that will return.
 
@@ -885,7 +905,7 @@ class Call(Terminator):
         return f"call {self.u} {{{self.sigma}, {self.q}}}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Ret(Terminator):
     """``ret r {r'}`` -- return to the continuation in ``r`` with the result in ``r'``."""
 
@@ -900,7 +920,7 @@ class Ret(Terminator):
         return f"ret {self.r} {{{self.rr}}}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Halt(Terminator):
     """``halt tau, sigma {r}`` -- stop with a ``tau`` in ``r`` and stack ``sigma``.
 
@@ -919,8 +939,8 @@ class Halt(Terminator):
         return f"halt {self.ty}, {self.sigma} {{{self.r}}}"
 
 
-@dataclass(frozen=True)
-class InstrSeq:
+@dataclass(frozen=True, slots=True)
+class InstrSeq(PicklableSlots):
     """An instruction sequence ``I``: straight-line instructions then a terminator."""
 
     instrs: Tuple[Instruction, ...]
@@ -958,13 +978,13 @@ def seq(*parts) -> InstrSeq:
     return InstrSeq(tuple(instrs), parts[-1])
 
 
-class HeapValue:
+class HeapValue(PicklableSlots):
     """Base class of heap values ``h``."""
 
     __slots__ = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class HTuple(HeapValue):
     """A heap tuple ``<w_0, ..., w_n>``."""
 
@@ -977,7 +997,7 @@ class HTuple(HeapValue):
         return "<" + ", ".join(str(w) for w in self.words) + ">"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class HCode(HeapValue):
     """A code block ``code[Delta]{chi; sigma} q. I``."""
 
@@ -1000,8 +1020,8 @@ class HCode(HeapValue):
         return CodeType(self.delta, self.chi, self.sigma, self.q)
 
 
-@dataclass(frozen=True)
-class Component:
+@dataclass(frozen=True, slots=True)
+class Component(PicklableSlots):
     """A T component ``(I, H)``: an entry sequence plus a local heap fragment.
 
     ``heap`` maps labels to the component's local blocks (and, rarely,
