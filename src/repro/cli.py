@@ -201,6 +201,65 @@ def cmd_jit(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_compile(args: argparse.Namespace) -> int:
+    import sys as _sys
+
+    from repro.compile import ALL_TIERS, compile_term, validate_compilation
+    from repro.f.syntax import App, FArrow, Lam
+    from repro.surface.parser import parse_fexpr
+
+    entry = _resolve_example(args.target)
+    if entry is not None:
+        node = entry[1]()
+    else:
+        node = parse_program(_load(args.target))
+    if isinstance(node, Component):
+        print("error: compile takes an F term, not a T component",
+              file=sys.stderr)
+        return 2
+    tiers = ALL_TIERS if args.tier is None else (args.tier,)
+    result = compile_term(node, tiers=tiers)
+    print(f"tier: {result.tier}")
+    print(f"type: {result.ty}")
+    print(f"blocks: {result.block_count()}")
+    if args.ir:
+        print()
+        print("closure IR:")
+        print(result.pretty_ir())
+    print()
+    print(pretty_component(result.component))
+    if args.validate:
+        report = validate_compilation(result, fuel=args.fuel,
+                                      seed=args.seed)
+        print()
+        print(f"translation validation: {report}")
+        if not report.ok:
+            return 3
+    if args.run:
+        program: FExpr = result.wrapped
+        if args.apply:
+            arguments = tuple(parse_fexpr(a) for a in args.apply)
+            program = App(program, arguments)
+        elif isinstance(result.ty, FArrow) and isinstance(node, Lam):
+            print()
+            print("(not running: the compiled term is a function; pass "
+                  "--apply ARG per argument)", file=sys.stderr)
+            return 2
+        # Compiled closures nest an F evaluator per boundary crossing,
+        # so recursive runs need more host stack than the default (see
+        # docs/performance.md).
+        old_limit = _sys.getrecursionlimit()
+        _sys.setrecursionlimit(max(old_limit, 100_000))
+        try:
+            budget = Budget.of(args.run_fuel, None, None)
+            value, _machine = evaluate_ft(program, budget=budget)
+        finally:
+            _sys.setrecursionlimit(old_limit)
+        print()
+        print(f"value: {value}")
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.lint import lint_component
     from repro.ft.syntax import Boundary
@@ -743,6 +802,38 @@ def build_arg_parser() -> argparse.ArgumentParser:
                        help="discharge the equivalence obligation")
     p_jit.add_argument("--fuel", type=int, default=25_000)
     p_jit.set_defaults(fn=cmd_jit)
+
+    p_comp = sub.add_parser(
+        "compile",
+        help="compile a whole F term to typed assembly (tiered "
+             "pipeline with translation validation)")
+    p_comp.add_argument("target",
+                        help="an F source file, '-' for stdin, or a "
+                             "paper-example name (e.g. fact-f)")
+    p_comp.add_argument("--tier", choices=["arith", "general"],
+                        default=None,
+                        help="force a tier (default: cheapest eligible)")
+    p_comp.add_argument("--ir", action="store_true",
+                        help="also print the closure-conversion IR")
+    p_comp.add_argument("--validate", action="store_true",
+                        help="run translation validation (typecheck + "
+                             "differential execution + bounded "
+                             "contextual equivalence)")
+    p_comp.add_argument("--run", action="store_true",
+                        help="evaluate the compiled term (functions "
+                             "need --apply)")
+    p_comp.add_argument("--apply", action="append", default=[],
+                        metavar="ARG",
+                        help="argument expression for --run "
+                             "(repeatable, one per parameter)")
+    p_comp.add_argument("--fuel", type=int, default=30_000,
+                        help="fuel per validation observation")
+    p_comp.add_argument("--run-fuel", type=int, default=None,
+                        help="machine step budget for --run "
+                             "(default 1,000,000)")
+    p_comp.add_argument("--seed", type=int, default=0,
+                        help="validation input-generator seed")
+    p_comp.set_defaults(fn=cmd_compile)
 
     p_lint = sub.add_parser(
         "lint", help="static lints over the program's components")

@@ -1,0 +1,188 @@
+"""The legacy arithmetic tier: first-order all-``int`` lambdas.
+
+This is the original JIT compiler (PR 1) relocated under
+:mod:`repro.compile` as the fast tier of the tiered pipeline.  It covers
+exactly the fragment the old ``jit.is_compilable`` accepted -- lambdas
+whose parameters are all ``int`` and whose bodies are literals,
+parameters, arithmetic, and ``if0`` -- and emits exactly the same
+multi-block shape as before (Fig 16-style ``if0`` splitting), which
+``tests/test_compile_tiers.py`` locks in differentially.
+
+Two deliberate differences from the general tier
+(:mod:`repro.compile.codegen`):
+
+* no closures, no calls, no imports -- the marker stays ``ra`` for the
+  whole frame, so the emitter needs no marker state;
+* no ``tal.optimize`` post-pass -- the historical output shape is part
+  of the tier's contract.
+
+Labels come from a per-compilation :class:`~repro.compile.names.NameSupply`
+instead of the old module-global counter, so the same lambda now
+compiles to the identical component in every run and process -- a
+requirement for content-addressing compiled artifacts in the serve
+cache.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import CompileError
+from repro.f.syntax import (
+    BinOp, FArrow, FExpr, FInt, If0, IntE, Lam, Var,
+)
+from repro.ft.syntax import Protect, StackLam
+from repro.ft.translate import continuation_type, type_translation
+from repro.tal.syntax import (
+    Aop, Bnz, Component, DeltaBind, Halt, HCode, InstrSeq, Jmp, KIND_EPS,
+    KIND_ZETA, Loc, Mv, QEps, QReg, RegFileTy, RegOp, Ret, Salloc, Sfree,
+    Sld, Sst, StackTy, TInt, TyApp, WInt, WLoc,
+)
+from repro.compile.names import NameSupply
+
+__all__ = ["is_arith_compilable", "compile_arith"]
+
+_OPS = {"+": "add", "-": "sub", "*": "mul"}
+
+
+def is_arith_compilable(e: FExpr) -> bool:
+    """Is ``e`` a lambda in the arithmetic fragment?  All parameters
+    ``int``, body built from literals, parameters, arithmetic, and
+    ``if0``."""
+    if not isinstance(e, Lam) or isinstance(e, StackLam):
+        return False
+    if not e.params or not all(isinstance(t, FInt) for _, t in e.params):
+        return False
+    names = {x for x, _ in e.params}
+    return _body_compilable(e.body, names)
+
+
+def _body_compilable(e: FExpr, scope) -> bool:
+    if isinstance(e, IntE):
+        return True
+    if isinstance(e, Var):
+        return e.name in scope
+    if isinstance(e, BinOp):
+        return (_body_compilable(e.left, scope)
+                and _body_compilable(e.right, scope))
+    if isinstance(e, If0):
+        return (_body_compilable(e.cond, scope)
+                and _body_compilable(e.then, scope)
+                and _body_compilable(e.els, scope))
+    return False
+
+
+class _Emitter:
+    """Accumulates basic blocks; one block is open at a time."""
+
+    def __init__(self, fn_label: str, arity: int, supply: NameSupply):
+        self.fn = fn_label
+        self.arity = arity
+        self.supply = supply
+        self.blocks: List[Tuple[Loc, int, InstrSeq]] = []
+        self._open_label: Loc = Loc(fn_label)
+        self._open_depth = 0          # temporaries above the arguments
+        self._instrs: List = []
+
+    # -- block plumbing -------------------------------------------------
+
+    def emit(self, *instrs) -> None:
+        self._instrs.extend(instrs)
+
+    def close(self, terminator) -> None:
+        self.blocks.append(
+            (self._open_label, self._open_depth,
+             InstrSeq(tuple(self._instrs), terminator)))
+        self._instrs = []
+
+    def open(self, label: Loc, depth: int) -> None:
+        self._open_label = label
+        self._open_depth = depth
+
+    def fresh(self, stem: str) -> Loc:
+        return Loc(self.supply.fresh(f"{self.fn}_{stem}"))
+
+    def block_ref(self, label: Loc):
+        return TyApp(WLoc(label), (StackTy((), "z"), QEps("e")))
+
+    # -- expression compilation ------------------------------------------
+
+    def push_result(self) -> None:
+        """r1 holds the value; push it as a new temporary."""
+        self.emit(Salloc(1), Sst(0, "r1"))
+
+    def compile(self, e: FExpr, env: Dict[str, int], depth: int) -> int:
+        """Emit code leaving ``e``'s value as a new temporary on top;
+        returns the new temporary count (always ``depth + 1``)."""
+        if isinstance(e, IntE):
+            self.emit(Mv("r1", WInt(e.value)))
+            self.push_result()
+            return depth + 1
+        if isinstance(e, Var):
+            # argument i (0-based, first parameter) lives at slot
+            # depth + (arity - 1 - i): the last argument is on top.
+            slot = depth + (self.arity - 1 - env[e.name])
+            self.emit(Sld("r1", slot))
+            self.push_result()
+            return depth + 1
+        if isinstance(e, BinOp):
+            depth = self.compile(e.left, env, depth)
+            depth = self.compile(e.right, env, depth)
+            self.emit(
+                Sld("r2", 0),        # right operand
+                Sld("r1", 1),        # left operand
+                Sfree(2),
+                Aop(_OPS[e.op], "r1", "r1", RegOp("r2")),
+            )
+            self.push_result()
+            return depth - 1
+        if isinstance(e, If0):
+            depth = self.compile(e.cond, env, depth)
+            self.emit(Sld("r1", 0), Sfree(1))
+            depth -= 1
+            else_label = self.fresh("else")
+            join_label = self.fresh("join")
+            self.emit(Bnz("r1", self.block_ref(else_label)))
+            self.compile(e.then, env, depth)
+            self.close(Jmp(self.block_ref(join_label)))
+            self.open(else_label, depth)
+            self.compile(e.els, env, depth)
+            self.close(Jmp(self.block_ref(join_label)))
+            self.open(join_label, depth + 1)
+            return depth + 1
+        raise CompileError(f"not in the compilable fragment: {e}",
+                           judgment="jit.compile", subject=str(e))
+
+
+def compile_arith(lam: Lam,
+                  supply: Optional[NameSupply] = None) -> Component:
+    """Compile an arithmetic-fragment lambda to its T component (the
+    historical JIT output shape, uncached and unoptimized)."""
+    if not is_arith_compilable(lam):
+        raise CompileError(f"lambda is not compilable: {lam}",
+                           judgment="jit.compile", subject=str(lam))
+    supply = supply or NameSupply()
+    arity = len(lam.params)
+    env = {name: i for i, (name, _) in enumerate(lam.params)}
+    fn_label = supply.fresh("jitfn")
+
+    emitter = _Emitter(fn_label, arity, supply)
+    emitter.compile(lam.body, env, 0)
+    # epilogue: result temp on top, arguments below
+    emitter.emit(Sld("r1", 0), Sfree(1 + arity))
+    emitter.close(Ret("ra", "r1"))
+
+    zstack = StackTy((), "z")
+    cont = continuation_type(TInt(), zstack)
+    heap = []
+    for label, depth, instrs in emitter.blocks:
+        sigma = StackTy((TInt(),) * (depth + arity), "z")
+        heap.append((label, HCode(
+            (DeltaBind(KIND_ZETA, "z"), DeltaBind(KIND_EPS, "e")),
+            RegFileTy.of(ra=cont), sigma, QReg("ra"), instrs)))
+
+    arrow = FArrow(tuple(t for _, t in lam.params), FInt())
+    return Component(
+        InstrSeq((Protect((), "z"), Mv("r1", WLoc(Loc(fn_label)))),
+                 Halt(type_translation(arrow), zstack, "r1")),
+        tuple(heap))

@@ -52,6 +52,15 @@ class FTTypeError(FunTALError):
         super().__init__(" ".join(parts))
 
 
+class CompileError(FTTypeError):
+    """The expression falls outside the compilable fragment.
+
+    Raised by both the arithmetic JIT tier (:mod:`repro.jit.compiler`) and
+    the general F-to-T compiler (:mod:`repro.compile`); eligibility probes
+    catch it to decide tier routing.
+    """
+
+
 class MachineError(FunTALError):
     """The abstract machine reached a stuck state.
 

@@ -1,261 +1,107 @@
-"""Compile first-order arithmetic F functions to T components.
+"""The JIT's compiler entry points, now a facade over :mod:`repro.compile`.
 
-The compilation scheme is a classic stack machine over the paper's
-calling convention:
+Historically this module *was* the compiler: a stack-machine emitter for
+first-order arithmetic lambdas.  That emitter lives on verbatim as the
+``arith`` tier of the tiered pipeline (:mod:`repro.compile.arith`), next
+to the ``general`` tier that covers all of F via closure conversion.
+This module keeps the JIT-facing surface stable:
 
-* arguments arrive on the stack (last argument on top, per Fig 9) and the
-  return continuation in ``ra``; the marker stays ``ra`` throughout, so
-  branch blocks share it and ``bnz``/``jmp`` typecheck as intra-component
-  jumps;
-* expression compilation maintains a compile-time count of temporaries:
-  every sub-expression evaluates to one pushed ``int``; variables are
-  ``sld`` from their argument slot (offset by the live temporaries);
-* ``if0`` splits the current basic block: fall-through is the zero branch,
-  ``bnz`` targets the else block, both jump to a join block -- so compiled
-  functions are genuinely *multi-block* components, the very objects the
-  paper's logical relation had to learn to relate (Fig 16);
-* the epilogue pops the result, frees the argument slots, and ``ret``s.
+* :func:`is_compilable` / :func:`compile_function` speak the historical
+  contract -- the arithmetic fragment, the same multi-block output shape
+  (Fig 16-style ``if0`` splitting), the same ``CompileError`` on
+  anything outside it -- and tests lock that shape in differentially
+  against :func:`repro.compile.arith.compile_arith`;
+* :func:`jit_rewrite` walks a whole program replacing every eligible
+  lambda, defaulting to the arithmetic tier (the historical JIT
+  behaviour).  Passing ``tiers=ALL_TIERS`` lets the sweep also compile
+  closed higher-order lambdas through the general tier; open lambdas
+  under enclosing binders simply fail eligibility and are left
+  interpreted, so the walk needs no environment threading.
+* the memoization cache (:data:`COMPILE_CACHE`) is the pipeline's: one
+  LRU shared by every tier and every entry point, with the historical
+  ``jit.cache.*`` metric names.
 
-:func:`compile_function` wraps the generated component exactly like the
-paper's examples: ``lam(x...). (arrow FT (protect; mv; halt)) x...``.
-:func:`jit_rewrite` walks a whole program replacing every eligible lambda,
-which is the paper's picture of a JIT moving between configurations; the
-correctness obligation ``E[e_S] ~ E[FT e_T]`` is discharged (boundedly) by
-:mod:`repro.equiv` in the tests and benchmarks.
+The correctness obligation ``E[e_S] ~ E[FT e_T]`` is discharged per
+artifact by translation validation (:mod:`repro.compile.validate`) and
+boundedly by :mod:`repro.equiv` in the tests and benchmarks.
 """
 
 from __future__ import annotations
 
-import itertools
-from typing import Dict, List, Tuple
+from typing import Tuple
 
-from repro.errors import FTTypeError
-from repro.obs.events import OBS
-from repro.resilience.chaos import probe
-from repro.caching import LRUCache
+from repro.errors import CompileError
 from repro.f.syntax import (
-    App, BinOp, FArrow, FExpr, FInt, Fold, If0, IntE, Lam, Proj, TupleE,
-    Unfold, UnitE, Var,
+    App, BinOp, FExpr, Fold, If0, IntE, Lam, Proj, TupleE, Unfold, UnitE,
+    Var,
 )
-from repro.ft.syntax import Boundary, Protect, StackLam
-from repro.ft.translate import continuation_type, type_translation
-from repro.tal.syntax import (
-    Aop, Bnz, Component, DeltaBind, Halt, HCode, InstrSeq, Jmp, KIND_EPS,
-    KIND_ZETA, Loc, Mv, QEps, QReg, RegFileTy, RegOp, Ret, Salloc, Sfree,
-    Sld, Sst, StackTy, TInt, TyApp, WInt, WLoc,
+from repro.ft.syntax import StackLam
+from repro.compile.arith import is_arith_compilable
+from repro.compile.pipeline import (
+    ALL_TIERS, COMPILE_CACHE, TIER_ARITH, TIER_GENERAL, clear_compile_cache,
+    compile_term, eligible_tier,
 )
+from repro.compile.pipeline import compile_function as _pipeline_compile
 
 __all__ = ["is_compilable", "compile_function", "jit_rewrite",
-           "CompileError", "clear_compile_cache", "COMPILE_CACHE"]
+           "CompileError", "clear_compile_cache", "COMPILE_CACHE",
+           "ALL_TIERS", "TIER_ARITH", "TIER_GENERAL"]
 
-_label_counter = itertools.count()
-
-_OPS = {"+": "add", "-": "sub", "*": "mul"}
-
-# Structurally identical lambdas compile to interchangeable components (the
-# machine renames heap labels freshly at every load), so compilation is
-# memoized on the (frozen, hashable) source lambda.  The bound comes from
-# the shared serving-layer LRU (this used to be an ad-hoc FIFO dict), so a
-# long-running JIT rewriting many distinct lambdas cannot grow unboundedly
-# and its hit/miss/eviction accounting shows up in ``funtal stats``
-# alongside every other cache.
-COMPILE_CACHE: LRUCache = LRUCache(512, metric_prefix="jit.cache")
-
-
-def clear_compile_cache() -> None:
-    """Drop all memoized compilations (used by tests and benchmarks)."""
-    COMPILE_CACHE.clear()
-
-
-class CompileError(FTTypeError):
-    """The expression falls outside the compilable fragment."""
+#: The historical default: the JIT only rewrites the arithmetic fragment
+#: unless a caller opts into the general tier.
+JIT_TIERS: Tuple[str, ...] = (TIER_ARITH,)
 
 
 def is_compilable(e: FExpr) -> bool:
-    """Is ``e`` a lambda in the compilable fragment?  All parameters
-    ``int``, body built from literals, parameters, arithmetic, and
-    ``if0``."""
-    if not isinstance(e, Lam) or isinstance(e, StackLam):
-        return False
-    if not e.params or not all(isinstance(t, FInt) for _, t in e.params):
-        return False
-    names = {x for x, _ in e.params}
-    return _body_compilable(e.body, names)
+    """Is ``e`` a lambda in the (historical) compilable fragment?  All
+    parameters ``int``, body built from literals, parameters,
+    arithmetic, and ``if0``."""
+    return is_arith_compilable(e)
 
 
-def _body_compilable(e: FExpr, scope) -> bool:
-    if isinstance(e, IntE):
-        return True
-    if isinstance(e, Var):
-        return e.name in scope
-    if isinstance(e, BinOp):
-        return (_body_compilable(e.left, scope)
-                and _body_compilable(e.right, scope))
-    if isinstance(e, If0):
-        return (_body_compilable(e.cond, scope)
-                and _body_compilable(e.then, scope)
-                and _body_compilable(e.els, scope))
-    return False
+def compile_function(lam: Lam, *,
+                     tiers: Tuple[str, ...] = JIT_TIERS) -> Lam:
+    """Compile an eligible lambda to its FT replacement (memoized).
+
+    Returns ``lam(x...). ((..)->.. FT component) x...``, a drop-in
+    replacement for the source lambda.  With the default ``tiers`` this
+    is exactly the historical JIT: arithmetic lambdas only, the same
+    component shape, :class:`CompileError` for anything else."""
+    return _pipeline_compile(lam, tiers=tiers).wrapped
 
 
-class _Emitter:
-    """Accumulates basic blocks; one block is open at a time."""
-
-    def __init__(self, fn_label: str, arity: int):
-        self.fn = fn_label
-        self.arity = arity
-        self.blocks: List[Tuple[Loc, int, InstrSeq]] = []
-        self._open_label: Loc = Loc(fn_label)
-        self._open_depth = 0          # temporaries above the arguments
-        self._instrs: List = []
-
-    # -- block plumbing -------------------------------------------------
-
-    def emit(self, *instrs) -> None:
-        self._instrs.extend(instrs)
-
-    def close(self, terminator) -> None:
-        self.blocks.append(
-            (self._open_label, self._open_depth,
-             InstrSeq(tuple(self._instrs), terminator)))
-        self._instrs = []
-
-    def open(self, label: Loc, depth: int) -> None:
-        self._open_label = label
-        self._open_depth = depth
-
-    def fresh(self, stem: str) -> Loc:
-        return Loc(f"{self.fn}_{stem}{next(_label_counter)}")
-
-    def block_ref(self, label: Loc):
-        return TyApp(WLoc(label), (StackTy((), "z"), QEps("e")))
-
-    # -- expression compilation ------------------------------------------
-
-    def push_result(self) -> None:
-        """r1 holds the value; push it as a new temporary."""
-        self.emit(Salloc(1), Sst(0, "r1"))
-
-    def compile(self, e: FExpr, env: Dict[str, int], depth: int) -> int:
-        """Emit code leaving ``e``'s value as a new temporary on top;
-        returns the new temporary count (always ``depth + 1``)."""
-        if isinstance(e, IntE):
-            self.emit(Mv("r1", WInt(e.value)))
-            self.push_result()
-            return depth + 1
-        if isinstance(e, Var):
-            # argument i (0-based, first parameter) lives at slot
-            # depth + (arity - 1 - i): the last argument is on top.
-            slot = depth + (self.arity - 1 - env[e.name])
-            self.emit(Sld("r1", slot))
-            self.push_result()
-            return depth + 1
-        if isinstance(e, BinOp):
-            depth = self.compile(e.left, env, depth)
-            depth = self.compile(e.right, env, depth)
-            self.emit(
-                Sld("r2", 0),        # right operand
-                Sld("r1", 1),        # left operand
-                Sfree(2),
-                Aop(_OPS[e.op], "r1", "r1", RegOp("r2")),
-            )
-            self.push_result()
-            return depth - 1
-        if isinstance(e, If0):
-            depth = self.compile(e.cond, env, depth)
-            self.emit(Sld("r1", 0), Sfree(1))
-            depth -= 1
-            else_label = self.fresh("else")
-            join_label = self.fresh("join")
-            self.emit(Bnz("r1", self.block_ref(else_label)))
-            self.compile(e.then, env, depth)
-            self.close(Jmp(self.block_ref(join_label)))
-            self.open(else_label, depth)
-            self.compile(e.els, env, depth)
-            self.close(Jmp(self.block_ref(join_label)))
-            self.open(join_label, depth + 1)
-            return depth + 1
-        raise CompileError(f"not in the compilable fragment: {e}",
-                           judgment="jit.compile", subject=str(e))
-
-
-def compile_function(lam: Lam) -> Lam:
-    """Compile an eligible lambda to its FT replacement.
-
-    Returns ``lam(x...). ((int..)->int FT (protect .,z; mv r1, l_f;
-    halt ...)) x...`` where ``l_f`` heads the compiled multi-block
-    component."""
-    if not is_compilable(lam):
-        raise CompileError(f"lambda is not compilable: {lam}",
-                           judgment="jit.compile", subject=str(lam))
-    cached = COMPILE_CACHE.get(lam)
-    if cached is not None:
-        return cached
-    probe("jit.compile", f"arity {len(lam.params)}")
-    with OBS.span("jit.compile", "jit", arity=len(lam.params)):
-        compiled = _compile_uncached(lam)
-    COMPILE_CACHE.put(lam, compiled)
-    return compiled
-
-
-def _compile_uncached(lam: Lam) -> Lam:
-    arity = len(lam.params)
-    env = {name: i for i, (name, _) in enumerate(lam.params)}
-    fn_label = f"jitfn{next(_label_counter)}"
-
-    emitter = _Emitter(fn_label, arity)
-    emitter.compile(lam.body, env, 0)
-    # epilogue: result temp on top, arguments below
-    emitter.emit(Sld("r1", 0), Sfree(1 + arity))
-    emitter.close(Ret("ra", "r1"))
-
-    zstack = StackTy((), "z")
-    cont = continuation_type(TInt(), zstack)
-    heap = []
-    for label, depth, instrs in emitter.blocks:
-        sigma = StackTy((TInt(),) * (depth + arity), "z")
-        heap.append((label, HCode(
-            (DeltaBind(KIND_ZETA, "z"), DeltaBind(KIND_EPS, "e")),
-            RegFileTy.of(ra=cont), sigma, QReg("ra"), instrs)))
-
-    arrow = FArrow(tuple(t for _, t in lam.params), FInt())
-    comp = Component(
-        InstrSeq((Protect((), "z"), Mv("r1", WLoc(Loc(fn_label)))),
-                 Halt(type_translation(arrow), zstack, "r1")),
-        tuple(heap))
-    if OBS.enabled:
-        OBS.metrics.inc("jit.compile")
-    return Lam(lam.params,
-               App(Boundary(arrow, comp),
-                   tuple(Var(x) for x, _ in lam.params)))
-
-
-def jit_rewrite(e: FExpr) -> FExpr:
+def jit_rewrite(e: FExpr,
+                tiers: Tuple[str, ...] = JIT_TIERS) -> FExpr:
     """Replace every eligible lambda in ``e`` by its compiled version --
     the paper's picture of a JIT moving a program between multi-language
-    configurations."""
-    if is_compilable(e):
-        return compile_function(e)  # type: ignore[arg-type]
+    configurations.  ``tiers`` selects eligibility: the default is the
+    historical arithmetic fragment; include ``TIER_GENERAL`` to also
+    compile closed higher-order lambdas whole."""
+    if isinstance(e, Lam) and not isinstance(e, StackLam) \
+            and eligible_tier(e, tiers=tiers) is not None:
+        return compile_term(e, tiers=tiers).wrapped
     if isinstance(e, (Var, IntE, UnitE)):
         return e
     if isinstance(e, BinOp):
-        return BinOp(e.op, jit_rewrite(e.left), jit_rewrite(e.right))
+        return BinOp(e.op, jit_rewrite(e.left, tiers),
+                     jit_rewrite(e.right, tiers))
     if isinstance(e, If0):
-        return If0(jit_rewrite(e.cond), jit_rewrite(e.then),
-                   jit_rewrite(e.els))
+        return If0(jit_rewrite(e.cond, tiers), jit_rewrite(e.then, tiers),
+                   jit_rewrite(e.els, tiers))
     if isinstance(e, StackLam):
-        return StackLam(e.params, jit_rewrite(e.body), e.phi_in, e.phi_out)
+        return StackLam(e.params, jit_rewrite(e.body, tiers),
+                        e.phi_in, e.phi_out)
     if isinstance(e, Lam):
-        return Lam(e.params, jit_rewrite(e.body))
+        return Lam(e.params, jit_rewrite(e.body, tiers))
     if isinstance(e, App):
-        return App(jit_rewrite(e.fn),
-                   tuple(jit_rewrite(a) for a in e.args))
+        return App(jit_rewrite(e.fn, tiers),
+                   tuple(jit_rewrite(a, tiers) for a in e.args))
     if isinstance(e, Fold):
-        return Fold(e.ann, jit_rewrite(e.body))
+        return Fold(e.ann, jit_rewrite(e.body, tiers))
     if isinstance(e, Unfold):
-        return Unfold(jit_rewrite(e.body))
+        return Unfold(jit_rewrite(e.body, tiers))
     if isinstance(e, TupleE):
-        return TupleE(tuple(jit_rewrite(x) for x in e.items))
+        return TupleE(tuple(jit_rewrite(x, tiers) for x in e.items))
     if isinstance(e, Proj):
-        return Proj(e.index, jit_rewrite(e.body))
+        return Proj(e.index, jit_rewrite(e.body, tiers))
     return e  # boundaries and other leaves are left untouched

@@ -34,7 +34,8 @@ from repro.f.syntax import (
 )
 from repro.ft.machine import FTMachine, evaluate_ft
 from repro.ft.syntax import StackLam
-from repro.jit.compiler import compile_function, is_compilable
+from repro.jit.compiler import JIT_TIERS, compile_function
+from repro.compile.pipeline import eligible_tier
 from repro.obs.events import OBS
 from repro.resilience.budget import Budget
 from repro.resilience.chaos import probe
@@ -112,14 +113,17 @@ class SafetyNetReport:
 
 
 def jit_rewrite_guarded(
-        e: FExpr, quarantine: Optional[Quarantine] = None
+        e: FExpr, quarantine: Optional[Quarantine] = None,
+        tiers: Tuple[str, ...] = JIT_TIERS
 ) -> Tuple[FExpr, List[Lam], SafetyNetReport]:
     """Like :func:`repro.jit.compiler.jit_rewrite`, but faults degrade.
 
     Quarantined lambdas are skipped (left interpreted); a lambda whose
     *compilation* faults is quarantined on the spot and left interpreted.
-    Returns the rewritten program, the source lambdas that were compiled
-    into it (for run-time quarantining), and a report.
+    ``tiers`` selects eligibility exactly as in ``jit_rewrite`` (the
+    default is the historical arithmetic fragment).  Returns the
+    rewritten program, the source lambdas that were compiled into it
+    (for run-time quarantining), and a report.
     """
     q = quarantine if quarantine is not None else QUARANTINE
     report = SafetyNetReport()
@@ -127,13 +131,14 @@ def jit_rewrite_guarded(
     quarantined_now: List[str] = []
 
     def rewrite(e: FExpr) -> FExpr:
-        if is_compilable(e):
+        if (isinstance(e, Lam) and not isinstance(e, StackLam)
+                and eligible_tier(e, tiers=tiers) is not None):
             if e in q:
                 q.skip(e)
                 report.skipped += 1
                 return Lam(e.params, rewrite(e.body))
             try:
-                compiled = compile_function(e)
+                compiled = compile_function(e, tiers=tiers)
             except ResourceExhausted:
                 raise
             except Exception as exc:
@@ -175,7 +180,8 @@ def jit_rewrite_guarded(
 def run_guarded(e: FExpr, fuel: Optional[int] = None,
                 heap: Optional[int] = None, depth: Optional[int] = None,
                 trace: bool = False,
-                quarantine: Optional[Quarantine] = None
+                quarantine: Optional[Quarantine] = None,
+                tiers: Tuple[str, ...] = JIT_TIERS
                 ) -> Tuple[FExpr, FTMachine, SafetyNetReport]:
     """JIT-rewrite ``e`` and run it under the differential guard.
 
@@ -187,7 +193,7 @@ def run_guarded(e: FExpr, fuel: Optional[int] = None,
     exhaustion propagates: it is a verdict, not a fault.
     """
     q = quarantine if quarantine is not None else QUARANTINE
-    rewritten, compiled_sources, report = jit_rewrite_guarded(e, q)
+    rewritten, compiled_sources, report = jit_rewrite_guarded(e, q, tiers)
 
     def interpret() -> Tuple[FExpr, FTMachine]:
         return evaluate_ft(e, fuel=fuel, trace=trace,

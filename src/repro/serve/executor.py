@@ -17,6 +17,11 @@ Job kinds mirror the CLI subcommands:
                machine steps consumed, optionally the control-flow table
 ``jit``        compile an F lambda to typed assembly (``options.optimize``
                / ``options.check`` as in ``funtal jit``)
+``compile``    whole-F compilation through the tiered pipeline
+               (``options.tier`` forces a tier, ``options.ir`` includes
+               the closure-conversion IR, ``options.validate`` runs
+               translation validation); results are content-addressed
+               like every other ``ok`` result
 ``equiv``      bounded contextual-equivalence check of ``source`` vs
                ``options.right`` at ``options.type``
 ``resume``     continue a fuel-suspended machine from ``job.snapshot``
@@ -218,6 +223,36 @@ def _do_jit(job: Job) -> Dict[str, Any]:
     return out
 
 
+def _do_compile(job: Job) -> Dict[str, Any]:
+    from repro.compile import (
+        ALL_TIERS, compile_term, validate_compilation,
+    )
+    from repro.surface.pretty import pretty_component
+
+    node, is_component = _resolve_program(job)
+    if is_component:
+        raise FunTALError("compile jobs take an F term, not a T component")
+    tiers = ALL_TIERS if job.options.tier is None else (job.options.tier,)
+    result = compile_term(node, tiers=tiers)
+    out: Dict[str, Any] = {
+        "assembly": pretty_component(result.component),
+        "blocks": result.block_count(),
+        "tier": result.tier,
+        "type": str(result.ty),
+    }
+    if job.options.ir:
+        out["ir"] = result.pretty_ir()
+    if job.options.validate:
+        report = validate_compilation(
+            result, fuel=job.options.fuel or 30_000,
+            seed=job.options.seed)
+        out["validation"] = report.to_json()
+        if not report.ok:
+            raise FunTALError(f"translation validation failed: "
+                              f"{report.failure}")
+    return out
+
+
 def _do_equiv(job: Job) -> Dict[str, Any]:
     from repro.equiv.checker import check_equivalence
     from repro.surface.parser import parse_fexpr, parse_ftype
@@ -239,6 +274,7 @@ _EXECUTORS = {
     "typecheck": _do_typecheck,
     "run": _do_run,
     "jit": _do_jit,
+    "compile": _do_compile,
     "equiv": _do_equiv,
     "resume": _do_resume,
 }

@@ -31,10 +31,13 @@ __all__ = [
     "encode_line", "decode_line",
 ]
 
-#: The request kinds: five mirroring the CLI subcommands, plus
+#: The request kinds: six mirroring the CLI subcommands, plus
 #: ``resume``, which continues a fuel-suspended machine from the
 #: content-addressed snapshot a checkpointing ``run`` handed back.
-JOB_KINDS = ("parse", "typecheck", "run", "jit", "equiv", "resume")
+#: ``compile`` is the whole-F compiler (:mod:`repro.compile`); ``jit``
+#: remains the historical arithmetic-fragment entry point.
+JOB_KINDS = ("parse", "typecheck", "run", "jit", "compile", "equiv",
+             "resume")
 
 #: Every status a result can carry.  ``ok`` is the only cacheable one;
 #: ``rejected`` is produced by the server under backpressure (bounded
@@ -75,6 +78,9 @@ class JobOptions:
     trace: bool = False                 # run: include the control-flow table
     optimize: bool = False              # jit: run the peephole optimizer
     check: bool = False                 # jit: discharge the equiv obligation
+    tier: Optional[str] = None          # compile: force a tier (arith|general)
+    validate: bool = False              # compile: translation validation
+    ir: bool = False                    # compile: include the closure IR
     seed: int = 0                       # equiv: context-generator seed
     type: Optional[str] = None          # equiv: the common F type
     right: Optional[str] = None         # equiv: right-hand source

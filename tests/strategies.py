@@ -5,12 +5,21 @@ Two generators:
 * :func:`random_f_int_expr` -- a closed, well-typed F expression of type
   ``int``, built top-down from a seeded RNG (arithmetic, branches,
   applications, tuples/projections, fold/unfold);
+* :func:`random_full_f_expr` -- a closed, well-typed F expression of
+  type ``int`` drawn from the *whole* language, type-directed: escaping
+  closures over captured variables, multi-argument and higher-order
+  lambdas, tuples of mixed type, ``unit``, and iso-recursive
+  ``fold``/``unfold`` as first-class values.  This is the input
+  distribution for the compiler's differential suite
+  (``tests/test_compile_differential.py``), so it deliberately produces
+  lambdas that *escape* (get bound, passed, and applied later) rather
+  than only beta-redexes;
 * :func:`random_t_program` -- a well-typed straight-line T component,
   built by a *typed random walk*: the generator mirrors the typechecker's
   ``InstrState`` and only ever emits an instruction that is applicable in
   the current state, finishing with a coherent ``halt``.
 
-Both are deterministic in their seed, so hypothesis can shrink on seeds.
+All are deterministic in their seed, so hypothesis can shrink on seeds.
 """
 
 from __future__ import annotations
@@ -19,8 +28,8 @@ import random
 from typing import List, Tuple
 
 from repro.f.syntax import (
-    App, BinOp, FArrow, FInt, Fold, FRec, FTupleT, FTVar, If0, IntE, Lam,
-    Proj, TupleE, Unfold, Var,
+    App, BinOp, FArrow, FInt, Fold, FRec, FTupleT, FTVar, FUnit, If0,
+    IntE, Lam, Proj, TupleE, Unfold, UnitE, Var,
 )
 from repro.tal.syntax import (
     Aop, AOP_NAMES, Balloc, Component, GP_REGISTERS, Halt, Ld, Mv,
@@ -28,7 +37,7 @@ from repro.tal.syntax import (
     StackTy, TBox, TInt, TRef, TUnit, TupleTy, WInt, WUnit,
 )
 
-__all__ = ["random_f_int_expr", "random_t_program"]
+__all__ = ["random_f_int_expr", "random_full_f_expr", "random_t_program"]
 
 
 # ---------------------------------------------------------------------------
@@ -76,6 +85,114 @@ def random_f_int_expr(seed: int, depth: int = 4):
         return Unfold(Fold(mu, gen_int(d - 1, env)))
 
     return gen_int(depth, [])
+
+
+# ---------------------------------------------------------------------------
+# Full-F generator (type-directed, whole language)
+# ---------------------------------------------------------------------------
+
+# The closed universe of types the generator draws from.  Finite on
+# purpose: every type is one the general tier's calling convention must
+# handle (ints, unit, tuples, first-order and higher-order arrows, an
+# iso-recursive wrapper), and a finite universe guarantees a variable of
+# the wanted type is often in scope, so generated terms really do reuse
+# their captures.
+_INT = FInt()
+_UNIT = FUnit()
+_PAIR = FTupleT((_INT, _INT))
+_ARROW1 = FArrow((_INT,), _INT)            # int -> int
+_ARROW2 = FArrow((_INT, _INT), _INT)       # (int, int) -> int
+_HIGHER = FArrow((_ARROW1,), _INT)         # (int -> int) -> int
+_MU_INT = FRec("a", _INT)                  # mu a. int
+
+
+def random_full_f_expr(seed: int, depth: int = 3):
+    """A closed well-typed F expression of type ``int`` exercising the
+    whole language (the general compilation tier's domain).
+
+    Every lambda is non-recursive, so evaluation always terminates; the
+    interesting structure is in *where* lambdas flow: they are bound to
+    variables, captured by other lambdas, passed to higher-order
+    functions, and only then applied.
+    """
+    rng = random.Random(seed)
+    counter = [0]
+
+    def fresh(base: str) -> str:
+        counter[0] += 1
+        return f"{base}{counter[0]}"
+
+    def vars_of(env, ty):
+        return [x for x, t in env if t == ty]
+
+    def gen(ty, d, env):
+        """An expression of type ``ty`` under ``env`` ([(name, type)])."""
+        have = vars_of(env, ty)
+        if ty == _INT:
+            return gen_int(d, env, have)
+        if ty == _UNIT:
+            if have and rng.random() < 0.5:
+                return Var(rng.choice(have))
+            return UnitE()
+        if ty == _PAIR:
+            if have and rng.random() < 0.4:
+                return Var(rng.choice(have))
+            return TupleE((gen(_INT, d - 1, env), gen(_INT, d - 1, env)))
+        if ty == _MU_INT:
+            if have and rng.random() < 0.4:
+                return Var(rng.choice(have))
+            return Fold(_MU_INT, gen(_INT, d - 1, env))
+        if isinstance(ty, FArrow):
+            if have and rng.random() < 0.5:
+                return Var(rng.choice(have))
+            params = tuple((fresh("p"), t) for t in ty.params)
+            body_env = env + list(params)
+            return Lam(params, gen(ty.result, d - 1, body_env))
+        raise AssertionError(f"unhandled type {ty}")
+
+    def gen_int(d, env, have):
+        choices = ["lit"]
+        if have:
+            choices += ["var", "var"]
+        if d > 0:
+            choices += ["binop", "binop", "if0", "call1", "call2",
+                        "higher", "proj", "unfold", "let_fn", "seq_unit"]
+        kind = rng.choice(choices)
+        if kind == "lit":
+            return IntE(rng.randint(-9, 99))
+        if kind == "var":
+            return Var(rng.choice(have))
+        if kind == "binop":
+            op = rng.choice(["+", "-", "*"])
+            return BinOp(op, gen(_INT, d - 1, env), gen(_INT, d - 1, env))
+        if kind == "if0":
+            return If0(gen(_INT, d - 1, env), gen(_INT, d - 1, env),
+                       gen(_INT, d - 1, env))
+        if kind == "call1":
+            return App(gen(_ARROW1, d - 1, env), (gen(_INT, d - 1, env),))
+        if kind == "call2":
+            return App(gen(_ARROW2, d - 1, env),
+                       (gen(_INT, d - 1, env), gen(_INT, d - 1, env)))
+        if kind == "higher":
+            return App(gen(_HIGHER, d - 1, env),
+                       (gen(_ARROW1, d - 1, env),))
+        if kind == "proj":
+            return Proj(rng.randrange(2), gen(_PAIR, d - 1, env))
+        if kind == "unfold":
+            return Unfold(gen(_MU_INT, d - 1, env))
+        if kind == "let_fn":
+            # bind a closure, then use it (possibly several levels down)
+            f = fresh("f")
+            fn_ty = rng.choice([_ARROW1, _ARROW2])
+            body = gen(_INT, d - 1, env + [(f, fn_ty)])
+            return App(Lam(((f, fn_ty),), body),
+                       (gen(fn_ty, d - 1, env),))
+        # seq_unit: evaluate a unit for effect-shape, return an int
+        u = fresh("u")
+        return App(Lam(((u, _UNIT),), gen(_INT, d - 1, env)),
+                   (gen(_UNIT, d - 1, env),))
+
+    return gen(_INT, depth, [])
 
 
 # ---------------------------------------------------------------------------

@@ -28,7 +28,7 @@ class TestJob:
 
     def test_unknown_kind_rejected(self):
         with pytest.raises(ProtocolError):
-            Job("compile", source="x")
+            Job("transpile", source="x")
 
     def test_source_xor_example(self):
         with pytest.raises(ProtocolError):
