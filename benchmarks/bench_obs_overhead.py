@@ -1,0 +1,84 @@
+"""Overhead gate for the observability layer's *disabled* path.
+
+Every machine step in the CEK/subst/T steppers executes guard checks of
+the form ``if OBS.enabled:`` and ``if PROFILER.enabled:`` even when
+nothing is instrumented.  This benchmark measures that guard cost
+against the real per-step cost of the CEK machine and asserts the
+disabled-path tax stays <= 5% -- the bound that keeps "observability is
+always compiled in" a free design choice.
+
+The measurement is written into ``BENCH_obs.json`` (key
+``obs_overhead``) next to the per-benchmark counter trajectories, so CI
+archives the ratio alongside the step counts it protects.
+"""
+
+import time
+
+from repro.f.cek import CEKEvaluator
+from repro.f.syntax import BinOp, IntE
+from repro.obs.events import OBS
+from repro.obs.profile import PROFILER
+
+#: The gate: disabled-path guards may cost at most this fraction of one
+#: machine step.
+MAX_OVERHEAD = 0.05
+
+_CHAIN = 20_000          # arithmetic contractions per timed run
+_GUARD_ITERS = 2_000_000
+
+
+def _chain_expr(n: int = _CHAIN):
+    e = IntE(1)
+    for _ in range(n):
+        e = BinOp("+", e, IntE(1))
+    return e
+
+
+def _step_ns() -> float:
+    """Best-of-5 per-step wall time of the CEK machine, everything off."""
+
+    def run_once():
+        ev = CEKEvaluator(_chain_expr())
+        start = time.perf_counter()
+        ev.run()
+        return time.perf_counter() - start, ev.budget.fuel_used
+
+    run_once()                                   # warm caches/allocator
+    best, steps = min(run_once() for _ in range(5))
+    return best / steps * 1e9
+
+
+def _guard_pair_ns() -> float:
+    """Cost of one ``OBS.enabled`` + ``PROFILER.enabled`` check pair --
+    the guards a single machine step executes on the disabled path --
+    with the bare loop cost subtracted out."""
+    start = time.perf_counter()
+    for _ in range(_GUARD_ITERS):
+        pass
+    empty = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(_GUARD_ITERS):
+        if OBS.enabled:
+            raise AssertionError("obs must be disabled for this gate")
+        if PROFILER.enabled:
+            raise AssertionError("profiler must be disabled for this gate")
+    guarded = time.perf_counter() - start
+    return max(guarded - empty, 0.0) / _GUARD_ITERS * 1e9
+
+
+def test_disabled_path_overhead(record, obs_results):
+    assert not OBS.enabled and not PROFILER.enabled
+    step_ns = _step_ns()
+    guard_ns = _guard_pair_ns()
+    overhead = guard_ns / step_ns
+    obs_results["obs_overhead"] = {
+        "step_ns": round(step_ns, 1),
+        "guard_pair_ns": round(guard_ns, 2),
+        "overhead": round(overhead, 4),
+        "max_overhead": MAX_OVERHEAD,
+    }
+    record(f"obs overhead: step={step_ns:.0f}ns guard-pair="
+           f"{guard_ns:.1f}ns -> {overhead:.2%} (gate {MAX_OVERHEAD:.0%})")
+    assert overhead <= MAX_OVERHEAD, (
+        f"disabled-path obs guards cost {overhead:.2%} of a machine step "
+        f"(gate: {MAX_OVERHEAD:.0%})")

@@ -20,6 +20,7 @@ import json
 import os
 import pathlib
 import time
+import warnings
 
 import pytest
 
@@ -64,7 +65,28 @@ def write_artifact():
             encoding="utf-8")
 
 
+def _speedup_history(current: float, keep: int = 20):
+    """The speedup trajectory across benchmark runs: previous artifact's
+    history plus this run, newest last.  A slide toward (or below) 1.0
+    is then visible in the archived JSON, not just in one run's number."""
+    history = []
+    if _BENCH_SERVE_PATH.exists():
+        try:
+            prev = json.loads(_BENCH_SERVE_PATH.read_text(encoding="utf-8"))
+            history = list(prev.get("throughput", {}).get(
+                "speedup_history", []))
+            prev_speedup = prev.get("throughput", {}).get("speedup")
+            if not history and prev_speedup is not None:
+                history = [prev_speedup]
+        except (ValueError, OSError):
+            history = []
+    history.append(round(current, 3))
+    return history[-keep:]
+
+
 def test_batch_throughput_vs_sequential(record):
+    from repro import obs
+
     jobs = _example_jobs(REPEATS, no_cache=True)
 
     # Warm the in-process machinery, then time the sequential baseline.
@@ -74,14 +96,24 @@ def test_batch_throughput_vs_sequential(record):
     sequential_s = time.perf_counter() - start
     assert all(r.ok for r in seq_results)
 
-    with WorkerPool(WORKERS) as pool:
-        # One warm-up round trip so worker spawn cost is not billed to
-        # the steady-state batch measurement.
-        pool.submit(Job("run", example="fig17",
-                        options=JobOptions(no_cache=True))).wait(30.0)
-        start = time.perf_counter()
-        results = pool.run_batch(jobs, timeout=300.0)
-        batch_s = time.perf_counter() - start
+    # The batch runs under the metrics layer (no event recording) so the
+    # artifact archives per-job latency quantiles, not just the wall time.
+    obs.reset()
+    obs.enable(record=False)
+    try:
+        with WorkerPool(WORKERS) as pool:
+            # One warm-up round trip so worker spawn cost is not billed
+            # to the steady-state batch measurement.
+            pool.submit(Job("run", example="fig17",
+                            options=JobOptions(no_cache=True))).wait(30.0)
+            start = time.perf_counter()
+            results = pool.run_batch(jobs, timeout=300.0)
+            batch_s = time.perf_counter() - start
+        job_ms = obs.OBS.metrics.snapshot()["histograms"].get(
+            "serve.job.ms", {})
+    finally:
+        obs.disable()
+        obs.reset()
     assert all(r.ok for r in results)
 
     cpus = _cpus()
@@ -92,12 +124,25 @@ def test_batch_throughput_vs_sequential(record):
         "sequential_s": round(sequential_s, 4),
         "batch_s": round(batch_s, 4),
         "speedup": round(speedup, 3),
+        "speedup_history": _speedup_history(speedup),
         "jobs_per_s_batch": round(len(jobs) / batch_s, 1),
+        "p50_ms": job_ms.get("p50"),
+        "p99_ms": job_ms.get("p99"),
         "speedup_asserted": cpus >= WORKERS,
     }
     record(f"serve: {len(jobs)} jobs sequential={sequential_s:.3f}s "
            f"batch({WORKERS}w)={batch_s:.3f}s speedup={speedup:.2f}x "
+           f"p50={job_ms.get('p50')}ms p99={job_ms.get('p99')}ms "
            f"(cpus={cpus})")
+    if speedup < 1.0:
+        # A pool slower than the sequential baseline is a regression on
+        # any host, cores or not -- say so loudly instead of quietly
+        # recording speedup_asserted: false.
+        msg = (f"serve batch REGRESSION: {WORKERS}-worker pool is "
+               f"{speedup:.2f}x the sequential baseline (slower!) on a "
+               f"{cpus}-CPU host; history {_RESULTS['throughput']['speedup_history']}")
+        record(msg)
+        warnings.warn(msg, stacklevel=1)
     if cpus >= WORKERS:
         # The ISSUE acceptance bound; meaningless without the cores.
         assert speedup >= 2.0, (

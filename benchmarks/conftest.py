@@ -36,6 +36,15 @@ _SUMMARY_KEYS = (
 
 
 @pytest.fixture
+def obs_results():
+    """The mutable ``BENCH_obs.json`` payload.  Benchmarks that gate on
+    observability behavior itself (e.g. the disabled-path overhead
+    check) add their own top-level entries here; the session-finish hook
+    writes everything out together."""
+    return _OBS_RESULTS
+
+
+@pytest.fixture
 def record(capsys):
     """Print reproduced figure rows (visible with -s), returning a sink."""
 

@@ -12,12 +12,23 @@ The reproduction's counterpart to the paper artifact's in-browser tools::
                                  # run a paper example under the
                                  # observability layer and export the trace
     funtal stats [NAME] [--json] # metrics snapshot (optionally after
-                                 # running an example under instrumentation)
+                                 # running an example under instrumentation);
+                                 # histograms report p50/p95/p99
+    funtal top NAME              # hot-code profile: rank lambdas/blocks
+                                 # by self steps (content-hashed)
+    funtal flame NAME            # folded-stack flamegraph lines
+                                 # (flamegraph.pl / speedscope input)
+    funtal slo [--p95-ms X]      # run the example fleet on a pool and
+                                 # check serve.job.ms quantiles against
+                                 # CI-checkable thresholds
     funtal serve [--port P] [--workers N]  # JSON-lines TCP evaluation
                                  # service over a crash-isolated pool
     funtal submit FILE [--kind K]          # send one job to a server
     funtal batch FILE.jsonl [--workers N]  # run a job file on a local pool
     funtal batch --examples --workers 4    # ... or all paper examples
+    funtal batch --examples --trace-out t.jsonl  # ... capturing one
+                                 # stitched cross-process trace (worker
+                                 # spans reparented under serve.job)
     funtal chaos [--seeds 0,1,2] [--rate R]  # deterministic fault drill
                                  # over the paper examples (resilience)
 
@@ -36,7 +47,7 @@ usage/unknown name; 3 equivalence refuted; 4 lint warnings; 5 a resource
 governor tripped (:class:`~repro.errors.ResourceExhausted` -- fuel, heap
 cells, or stack depth; the bounded machines' verdict, reported as one
 line, never a traceback); 6 a served job failed (crashed/timed out/
-rejected).
+rejected); 7 an SLO threshold was breached (``funtal slo``).
 """
 
 from __future__ import annotations
@@ -59,7 +70,8 @@ from repro.surface.parser import parse_program
 from repro.surface.pretty import pretty_component
 from repro.tal.syntax import Component, NIL_STACK, QEnd, TalType
 
-__all__ = ["main", "EXAMPLES", "EXIT_FUEL_EXHAUSTED", "EXIT_JOB_FAILED"]
+__all__ = ["main", "EXAMPLES", "EXIT_FUEL_EXHAUSTED", "EXIT_JOB_FAILED",
+           "EXIT_SLO_BREACH"]
 
 #: Dedicated exit code for ResourceExhausted (a budget governor tripped:
 #: fuel, heap cells, or stack depth).  The name keeps its historical
@@ -67,6 +79,9 @@ __all__ = ["main", "EXAMPLES", "EXIT_FUEL_EXHAUSTED", "EXIT_JOB_FAILED"]
 EXIT_FUEL_EXHAUSTED = 5
 #: Dedicated exit code for a failed served job (crashed/timed out/rejected).
 EXIT_JOB_FAILED = 6
+#: Dedicated exit code for ``funtal slo``: a latency/error threshold was
+#: breached.  Distinct from job failure so CI can gate on SLOs alone.
+EXIT_SLO_BREACH = 7
 
 
 def _add_budget_args(parser: argparse.ArgumentParser) -> None:
@@ -454,7 +469,9 @@ def _format_snapshot(snapshot: Dict) -> str:
         for name, value in snapshot[section].items():
             lines.append(f"{name}  {value}")
     for name, h in snapshot["histograms"].items():
-        lines.append(f"{name}  count={h['count']} mean={h['mean']}")
+        lines.append(
+            f"{name}  count={h['count']} mean={h['mean']}"
+            f" p50={h.get('p50')} p95={h.get('p95')} p99={h.get('p99')}")
     jit_cache = snapshot.get("jit_compile_cache", {})
     if jit_cache.get("hits") or jit_cache.get("misses"):
         lines.append(
@@ -469,6 +486,135 @@ def _format_snapshot(snapshot: Dict) -> str:
     if not lines:
         return "(no metrics recorded in this process)"
     return "\n".join(lines)
+
+
+def _run_example_profiled(name: str, budget: Budget,
+                          engine: Optional[str] = None):
+    """Run a paper example under the hot-code profiler; returns
+    ``(value, ProfileSnapshot)`` or ``None`` (after printing the shared
+    unknown-example message).  Shared by ``funtal top`` and ``funtal
+    flame``."""
+    from repro.obs.profile import PROFILER
+
+    entry = _resolve_example(name)
+    if entry is None:
+        print(f"unknown example {name!r} (see 'funtal examples')",
+              file=sys.stderr)
+        return None
+    program = entry[1]()
+    PROFILER.reset()
+    PROFILER.enable()
+    try:
+        value, _machine = evaluate_ft(program, budget=budget, engine=engine)
+    finally:
+        snap = PROFILER.snapshot()
+        PROFILER.disable()
+        PROFILER.reset()
+    return value, snap
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    import json as _json
+
+    result = _run_example_profiled(args.example, _budget_from_args(args),
+                                   engine=args.engine)
+    if result is None:
+        return 2
+    value, snap = result
+    if args.out:
+        snap.save(args.out)
+        print(f"wrote profile snapshot to {args.out}", file=sys.stderr)
+    if args.json:
+        print(_json.dumps(snap.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"value: {value}")
+        print()
+        print(snap.format_table(limit=args.limit))
+    return 0
+
+
+def cmd_flame(args: argparse.Namespace) -> int:
+    result = _run_example_profiled(args.example, _budget_from_args(args),
+                                   engine=args.engine)
+    if result is None:
+        return 2
+    _value, snap = result
+    folded = snap.format_folded()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(folded + ("\n" if folded else ""))
+        print(f"wrote {len(snap.folded)} folded stacks to {args.out}",
+              file=sys.stderr)
+    else:
+        print(folded)
+    return 0
+
+
+def cmd_slo(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro import obs
+    from repro.serve.pool import WorkerPool
+    from repro.serve.protocol import Job, JobOptions
+
+    obs.reset()
+    obs.enable(record=False)
+    jobs = [
+        Job("run", id=f"{name}#{rep}", example=name,
+            options=JobOptions(fuel=args.fuel, no_cache=True,
+                               timeout=args.timeout))
+        for rep in range(args.repeat)
+        for name in _example_entries()]
+    try:
+        with WorkerPool(args.workers, cache=None,
+                        default_timeout=args.timeout or 30.0) as pool:
+            results = pool.run_batch(jobs)
+    finally:
+        obs.disable()
+    snapshot = obs.OBS.metrics.snapshot()
+    hist = snapshot["histograms"].get("serve.job.ms")
+    failed = sum(not r.ok for r in results)
+    error_rate = failed / len(results) if results else 0.0
+    if hist is None:
+        print("error: no serve.job.ms samples recorded", file=sys.stderr)
+        return 1
+
+    checks = []  # (name, observed, threshold) with threshold None = report
+    for q in ("p50", "p95", "p99"):
+        checks.append((f"{q}_ms", hist[q], getattr(args, f"{q}_ms")))
+    checks.append(("error_rate", round(error_rate, 4),
+                   args.max_error_rate))
+    breaches = [(name, observed, limit) for name, observed, limit in checks
+                if limit is not None and observed > limit]
+
+    report = {
+        "jobs": len(results), "failed": failed,
+        "workers": args.workers,
+        "serve.job.ms": {k: hist[k]
+                         for k in ("count", "mean", "p50", "p95", "p99",
+                                   "min", "max")},
+        "thresholds": {name: limit for name, _, limit in checks
+                       if limit is not None},
+        "breaches": [{"check": name, "observed": observed, "limit": limit}
+                     for name, observed, limit in breaches],
+        "ok": not breaches,
+    }
+    if args.json:
+        print(_json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(f"slo: {len(results)} jobs on {args.workers} workers "
+              f"({failed} failed)")
+        for name, observed, limit in checks:
+            verdict = "  " if limit is None else \
+                ("OK" if observed <= limit else "BREACH")
+            bound = f" <= {limit}" if limit is not None else ""
+            print(f"  {verdict:6s} {name:12s} {observed}{bound}")
+    if breaches:
+        for name, observed, limit in breaches:
+            print(f"slo breach: {name} = {observed} > {limit}",
+                  file=sys.stderr)
+        return EXIT_SLO_BREACH
+    return 0
 
 
 def _job_from_args(args: argparse.Namespace):
@@ -541,15 +687,65 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_trace(events, path: str, fmt: str) -> None:
+    """Write drained obs events to ``path`` as jsonl or chrome JSON."""
+    from repro import obs
+
+    with open(path, "w", encoding="utf-8") as out:
+        if fmt == "chrome":
+            obs.export_chrome(events, out)
+        else:
+            obs.export_jsonl(events, out)
+    print(f"wrote {len(events)} trace events to {path}", file=sys.stderr)
+
+
 def cmd_submit(args: argparse.Namespace) -> int:
     import json as _json
 
     from repro.serve.client import ServeClient
 
     job = _job_from_args(args)
-    with ServeClient(args.host, args.port) as client:
-        result = client.submit(job)
-    print(_json.dumps(result.to_dict(), sort_keys=True))
+    if not args.trace_out:
+        with ServeClient(args.host, args.port) as client:
+            result = client.submit(job)
+        print(_json.dumps(result.to_dict(), sort_keys=True))
+        return _result_exit_code(result)
+
+    # --trace-out: attach a client-side trace context so the remote
+    # worker captures its spans/metrics into the result envelope, then
+    # stitch them under a synthetic serve.submit root span locally.
+    import time as _time
+
+    from repro import obs
+    from repro.obs import events as obs_events
+    from repro.obs.distributed import new_trace_id, stitch_envelope
+
+    obs.reset()
+    obs.enable(record=True)
+    try:
+        span_id = next(obs_events._span_ids)
+        job.trace_ctx = {"trace_id": new_trace_id(),
+                         "parent_span_id": span_id, "record": True}
+        start_ns = _time.perf_counter_ns()
+        with ServeClient(args.host, args.port) as client:
+            result = client.submit(job)
+        end_ns = _time.perf_counter_ns()
+        stitched = []
+        if result.obs:
+            stitched = list(stitch_envelope(result.obs, span_id))
+            obs.OBS.metrics.merge_snapshot(result.obs.get("metrics", {}))
+        obs.OBS.bus.publish(obs_events.Span(
+            "serve.submit", "serve", start_ns, end_ns, span_id, None,
+            (("kind", job.kind), ("status", result.status))))
+        obs.OBS.metrics.flush_to(obs.OBS.bus)
+    finally:
+        obs.disable()
+    _write_trace(stitched + obs.OBS.bus.drain(), args.trace_out,
+                 args.format)
+    # The envelope now lives in the trace file; keep stdout lean.
+    wire = result.to_dict()
+    wire.pop("obs", None)
+    print(_json.dumps(wire, sort_keys=True))
     return _result_exit_code(result)
 
 
@@ -591,7 +787,13 @@ def cmd_batch(args: argparse.Namespace) -> int:
     from repro.serve.cache import ResultCache
     from repro.serve.pool import WorkerPool
 
-    obs.enable(record=False)
+    # --trace-out turns on event recording: the pool then ships each
+    # worker's spans back in the result envelopes and stitches them into
+    # one cross-process tree on this side (see docs/observability.md).
+    tracing = bool(args.trace_out)
+    if tracing:
+        obs.reset()
+    obs.enable(record=tracing)
     rounds = _batch_rounds(args)
     out = open(args.out, "w", encoding="utf-8") if args.out else sys.stdout
     try:
@@ -610,6 +812,11 @@ def cmd_batch(args: argparse.Namespace) -> int:
     finally:
         if args.out:
             out.close()
+    if tracing:
+        obs.OBS.metrics.flush_to(obs.OBS.bus)
+        events = obs.OBS.bus.drain()
+        obs.disable()
+        _write_trace(events, args.trace_out, args.format)
     ok = sum(r.ok for r in results)
     cached = sum(r.cached for r in results)
     summary = {
@@ -875,6 +1082,54 @@ def build_arg_parser() -> argparse.ArgumentParser:
     _add_budget_args(p_st)
     p_st.set_defaults(fn=cmd_stats)
 
+    p_top = sub.add_parser(
+        "top",
+        help="run a paper example under the hot-code profiler and rank "
+             "lambdas/blocks by self steps")
+    p_top.add_argument("example",
+                       help="example name or figure alias (e.g. fig17)")
+    p_top.add_argument("--limit", type=int, default=20,
+                       help="rows to print (default 20)")
+    p_top.add_argument("--json", action="store_true",
+                       help="print the full ProfileSnapshot as JSON")
+    p_top.add_argument("--out",
+                       help="also save the ProfileSnapshot artifact here")
+    _add_budget_args(p_top)
+    _add_engine_arg(p_top)
+    p_top.set_defaults(fn=cmd_top)
+
+    p_fl = sub.add_parser(
+        "flame",
+        help="run a paper example under the profiler and emit folded "
+             "stacks (flamegraph.pl / speedscope input)")
+    p_fl.add_argument("example",
+                      help="example name or figure alias (e.g. fig17)")
+    p_fl.add_argument("--out", help="write to a file instead of stdout")
+    _add_budget_args(p_fl)
+    _add_engine_arg(p_fl)
+    p_fl.set_defaults(fn=cmd_flame)
+
+    p_slo = sub.add_parser(
+        "slo",
+        help="run the paper examples on a worker pool and check "
+             "serve.job.ms quantiles against thresholds (exit 7 on "
+             "breach)")
+    p_slo.add_argument("--workers", type=int, default=4)
+    p_slo.add_argument("--repeat", type=int, default=3,
+                       help="submissions of the example set (default 3)")
+    p_slo.add_argument("--fuel", type=int, default=None)
+    p_slo.add_argument("--timeout", type=float, default=None)
+    p_slo.add_argument("--p50-ms", type=float, default=None,
+                       help="breach when p50 latency exceeds this")
+    p_slo.add_argument("--p95-ms", type=float, default=None,
+                       help="breach when p95 latency exceeds this")
+    p_slo.add_argument("--p99-ms", type=float, default=None,
+                       help="breach when p99 latency exceeds this")
+    p_slo.add_argument("--max-error-rate", type=float, default=None,
+                       help="breach when failed/total exceeds this")
+    p_slo.add_argument("--json", action="store_true")
+    p_slo.set_defaults(fn=cmd_slo)
+
     p_srv = sub.add_parser(
         "serve",
         help="run the JSON-lines TCP evaluation service over a "
@@ -919,6 +1174,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p_sub.add_argument("--type", help="equiv: the common F type")
     p_sub.add_argument("--right", help="equiv: right-hand program file")
     p_sub.add_argument("--no-cache", action="store_true")
+    p_sub.add_argument("--trace-out",
+                       help="capture the worker's spans and write the "
+                            "stitched cross-process trace here")
+    p_sub.add_argument("--format", choices=("jsonl", "chrome"),
+                       default="jsonl",
+                       help="--trace-out format (default jsonl)")
     p_sub.set_defaults(fn=cmd_submit)
 
     p_bat = sub.add_parser(
@@ -940,6 +1201,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p_bat.add_argument("--timeout", type=float, default=None)
     p_bat.add_argument("--max-retries", type=int, default=2)
     p_bat.add_argument("--out", help="write results here instead of stdout")
+    p_bat.add_argument("--trace-out",
+                       help="record the batch under the obs layer and "
+                            "write the stitched cross-process trace here")
+    p_bat.add_argument("--format", choices=("jsonl", "chrome"),
+                       default="jsonl",
+                       help="--trace-out format (default jsonl)")
     p_bat.set_defaults(fn=cmd_batch)
 
     p_ch = sub.add_parser(

@@ -48,6 +48,7 @@ from typing import Dict, List, Optional
 
 from repro.errors import FuelExhausted, FunTALError, MachineError
 from repro.obs.events import OBS
+from repro.obs.profile import PROFILER
 from repro.resilience.budget import Budget
 from repro.resilience.checkpoint import MachineSnapshot
 from repro.f.eval import apply_binop
@@ -321,6 +322,8 @@ class CEKEvaluator:
         check_depth = budget.check_depth
         obs_on = OBS.enabled
         metrics_inc = OBS.metrics.inc
+        prof = PROFILER if PROFILER.enabled else None
+        prof_base = prof.enter_engine() if prof is not None else 0
         mode, cur, env, frames = (self._mode, self._focus, self._env,
                                   self._frames)
         try:
@@ -370,6 +373,8 @@ class CEKEvaluator:
                         if obs_on:
                             metrics_inc("f.machine.steps")
                         frames.pop()
+                        if prof is not None:
+                            prof.beta(lam, len(frames))
                         env = dict(fv.env)
                         # Bind in reverse so duplicate parameter names
                         # resolve like sequential substitution (first
@@ -392,6 +397,8 @@ class CEKEvaluator:
                         if obs_on:
                             metrics_inc("f.machine.steps")
                         frames.pop()
+                        if prof is not None:
+                            prof.step(len(frames))
                         cur = IntE(apply_binop(f[1], lv.value, cur.value))
                         continue
                     if tag == _K_BINOP_L:
@@ -413,6 +420,8 @@ class CEKEvaluator:
                         if obs_on:
                             metrics_inc("f.machine.steps")
                         frames.pop()
+                        if prof is not None:
+                            prof.step(len(frames))
                         cur = IntE(apply_binop(f[1], cur.value, rv.value))
                         continue
                     if tag == _K_IF0:
@@ -427,6 +436,8 @@ class CEKEvaluator:
                         branch = f[1] if cur.value == 0 else f[2]
                         fenv = f[3]
                         frames.pop()
+                        if prof is not None:
+                            prof.step(len(frames))
                         mode, cur, env = _EVAL, branch, fenv
                         continue
                     if tag == _K_APP_F:
@@ -462,6 +473,8 @@ class CEKEvaluator:
                         if obs_on:
                             metrics_inc("f.machine.steps")
                         frames.pop()
+                        if prof is not None:
+                            prof.beta(lam, len(frames))
                         env = dict(fv.env)
                         for (x, _), a in zip(reversed(params),
                                              reversed(scanned)):
@@ -482,6 +495,8 @@ class CEKEvaluator:
                         if obs_on:
                             metrics_inc("f.machine.steps")
                         frames.pop()
+                        if prof is not None:
+                            prof.step(len(frames))
                         cur = cur.body
                         continue
                     if tag == _K_TUPLE:
@@ -518,6 +533,8 @@ class CEKEvaluator:
                         if obs_on:
                             metrics_inc("f.machine.steps")
                         frames.pop()
+                        if prof is not None:
+                            prof.step(len(frames))
                         cur = cur.items[index]
                         continue
                     raise MachineError(f"corrupt CEK frame tag {tag!r}")
@@ -566,6 +583,8 @@ class CEKEvaluator:
                         ft.steps += 1
                     if obs_on:
                         metrics_inc("f.machine.steps")
+                    if prof is not None:
+                        prof.beta(lam, len(frames))
                     env = dict(fv.env)
                     for (x, _), a in zip(reversed(params),
                                          reversed(scanned)):
@@ -593,6 +612,8 @@ class CEKEvaluator:
                         ft.steps += 1
                     if obs_on:
                         metrics_inc("f.machine.steps")
+                    if prof is not None:
+                        prof.step(len(frames))
                     cur = IntE(apply_binop(cur.op, lv.value, rv.value))
                     mode = _APPLY
                     continue
@@ -610,6 +631,8 @@ class CEKEvaluator:
                         ft.steps += 1
                     if obs_on:
                         metrics_inc("f.machine.steps")
+                    if prof is not None:
+                        prof.step(len(frames))
                     cur = cur.then if cv.value == 0 else cur.els
                     continue
                 if cls is Unfold:
@@ -626,6 +649,8 @@ class CEKEvaluator:
                         ft.steps += 1
                     if obs_on:
                         metrics_inc("f.machine.steps")
+                    if prof is not None:
+                        prof.step(len(frames))
                     mode, cur = _APPLY, bv.body
                     continue
                 if cls is Proj:
@@ -646,6 +671,8 @@ class CEKEvaluator:
                         ft.steps += 1
                     if obs_on:
                         metrics_inc("f.machine.steps")
+                    if prof is not None:
+                        prof.step(len(frames))
                     mode, cur = _APPLY, bv.items[cur.index]
                     continue
                 if cls is Fold:
@@ -724,6 +751,8 @@ class CEKEvaluator:
             # when a governor just tripped: contraction sites mutate the
             # frame stack only *after* a successful fuel charge, so the
             # persisted state always re-enters at the pre-charge point.
+            if prof is not None:
+                prof.exit_engine(prof_base)
             self._mode, self._focus, self._env, self._frames = (
                 mode, cur, env, frames)
 

@@ -21,6 +21,7 @@ from typing import List, Optional
 
 from repro.errors import MachineError
 from repro.obs.events import OBS
+from repro.obs.profile import PROFILER
 from repro.resilience.budget import Budget
 from repro.resilience.checkpoint import MachineSnapshot
 from repro.f.syntax import (
@@ -231,6 +232,8 @@ class FEvaluator:
         budget = self.budget
         cur, frames = self._cur, self._frames
         obs_on = OBS.enabled
+        prof = PROFILER if PROFILER.enabled else None
+        prof_base = prof.enter_engine() if prof is not None else 0
         with OBS.span("f.evaluate", "f"):
             try:
                 while True:
@@ -239,6 +242,12 @@ class FEvaluator:
                         budget.consume_fuel()
                         if obs_on:
                             OBS.metrics.inc("f.machine.steps")
+                        if prof is not None:
+                            if cur.__class__ is App and \
+                                    isinstance(cur.fn, Lam):
+                                prof.beta(cur.fn, len(frames))
+                            else:
+                                prof.step(len(frames))
                         cur = contracted
                         continue
                     split = split_context(cur)
@@ -262,6 +271,8 @@ class FEvaluator:
             finally:
                 # Keep the suspended state live for snapshot/resume even
                 # when a governor just tripped.
+                if prof is not None:
+                    prof.exit_engine(prof_base)
                 self._cur, self._frames = cur, frames
 
     # -- checkpointing ---------------------------------------------------

@@ -40,7 +40,8 @@ from typing import List, Optional, Tuple, Union
 from repro.errors import FuelExhausted, MachineError, SnapshotError
 from repro.f.eval import reduce_redex, split_context
 from repro.obs.events import OBS
-from repro.f.syntax import FExpr, is_value
+from repro.obs.profile import PROFILER
+from repro.f.syntax import App, FExpr, is_value, Lam
 from repro.ft.boundary import f_to_t, t_to_f
 from repro.ft.syntax import Boundary, Hole, Import, Protect
 from repro.resilience.budget import Budget
@@ -168,6 +169,8 @@ class FTMachine(TalMachine):
         budget = self.budget
         frames: List = []
         cur = e
+        prof = PROFILER if PROFILER.enabled else None
+        prof_base = prof.enter_engine() if prof is not None else 0
         try:
             while True:
                 if isinstance(cur, Hole):
@@ -215,6 +218,11 @@ class FTMachine(TalMachine):
                     self.steps += 1
                     if OBS.enabled:
                         OBS.metrics.inc("f.machine.steps")
+                    if prof is not None:
+                        if cur.__class__ is App and isinstance(cur.fn, Lam):
+                            prof.beta(cur.fn, len(frames))
+                        else:
+                            prof.step(len(frames))
                     cur = contracted
                     continue
                 split = split_context(cur)
@@ -228,6 +236,9 @@ class FTMachine(TalMachine):
                 cur = sub
         except RecursionError:
             raise budget.depth_error(len(frames)) from None
+        finally:
+            if prof is not None:
+                prof.exit_engine(prof_base)
 
     def step_fexpr(self, e: FExpr) -> FExpr:
         """One F-level step (a boundary runs its whole component).
@@ -279,17 +290,24 @@ class FTMachine(TalMachine):
 
     def run_t(self, state: MachineState) -> HaltedState:
         """Run a T machine state to halt under the shared budget."""
-        while not isinstance(state, HaltedState):
-            try:
-                self.consume()
-            except FuelExhausted:
-                # Our own fuel check tripped: this pre-step state is the
-                # exact resume point.  (When step() raises instead, a
-                # nested import already recorded the finer continuation.)
-                self._suspension.append(("t", state))
-                raise
-            state = self.step(state)
-        return state
+        prof = PROFILER if PROFILER.enabled else None
+        prof_base = prof.enter_engine() if prof is not None else 0
+        try:
+            while not isinstance(state, HaltedState):
+                try:
+                    self.consume()
+                except FuelExhausted:
+                    # Our own fuel check tripped: this pre-step state is
+                    # the exact resume point.  (When step() raises
+                    # instead, a nested import already recorded the finer
+                    # continuation.)
+                    self._suspension.append(("t", state))
+                    raise
+                state = self.step(state)
+            return state
+        finally:
+            if prof is not None:
+                prof.exit_engine(prof_base)
 
     def evaluate(self, e: FExpr) -> FExpr:
         """Entry point for F-outside programs."""

@@ -34,11 +34,16 @@ or from the CLI: ``funtal trace fig17 --format table`` and
 ``funtal stats fig17 --json``.  See ``docs/observability.md``.
 """
 
+from repro.obs.distributed import (
+    TraceContext, WorkerCapture, new_trace_id, stitch_envelope,
+)
 from repro.obs.events import (
     Counter, EventBus, Gauge, MachineEvent, OBS, ObsEvent, ObsState, Span,
     disable, enable, enabled, reset,
 )
 from repro.obs.metrics import HistogramSummary, MetricsRegistry
+from repro.obs.profile import PROFILER, Profiler, ProfileSnapshot, \
+    content_hash
 from repro.obs.trace_export import (
     SpanNode, build_span_tree, event_from_dict, event_to_dict,
     export_chrome, export_jsonl, load_jsonl,
@@ -48,6 +53,8 @@ __all__ = [
     "Counter", "EventBus", "Gauge", "MachineEvent", "OBS", "ObsEvent",
     "ObsState", "Span", "disable", "enable", "enabled", "reset",
     "HistogramSummary", "MetricsRegistry",
+    "PROFILER", "Profiler", "ProfileSnapshot", "content_hash",
+    "TraceContext", "WorkerCapture", "new_trace_id", "stitch_envelope",
     "SpanNode", "build_span_tree", "event_from_dict", "event_to_dict",
     "export_chrome", "export_jsonl", "load_jsonl",
 ]

@@ -1,0 +1,145 @@
+"""Cross-process trace propagation for the serve fleet.
+
+PR 1's observability layer stops at the process boundary: spans and
+counters recorded inside :mod:`repro.serve.pool` worker processes die
+with the worker's private :data:`~repro.obs.events.OBS` singleton.  This
+module carries them home:
+
+* :class:`TraceContext` -- the serializable propagation record (trace
+  id, parent span id, record flag) that rides on
+  :attr:`repro.serve.protocol.Job.trace_ctx` through the JSON-lines
+  wire format and the pool's chunked dispatch.
+* :class:`WorkerCapture` -- the worker-side context manager wrapped
+  around job execution.  It swaps in a fresh
+  :class:`~repro.obs.metrics.MetricsRegistry`, enables instrumentation
+  for the duration of the job, and on exit packs everything observed
+  into a JSON-ready *envelope* (``{"pid", "metrics", "events"}``)
+  shipped back on :attr:`repro.serve.protocol.JobResult.obs`.
+* :func:`stitch_envelope` -- the parent-side inverse: worker span ids
+  (allocated from the worker's own process-local counter, so they
+  collide across pids) are remapped to fresh parent-process ids, the
+  worker's root spans are re-parented under the pool's ``serve.job``
+  span, and every event is tagged with the worker pid so Chrome/Perfetto
+  render one lane per worker.
+
+Timestamps are ``perf_counter_ns`` ticks; on Linux that clock is
+CLOCK_MONOTONIC, shared across the forked workers, so stitched spans
+land on the parent's timeline without skew correction.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional
+
+from repro.obs import events as obs_events
+from repro.obs.events import OBS, ObsEvent, Span
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace_export import event_from_dict, event_to_dict
+
+__all__ = ["TraceContext", "WorkerCapture", "stitch_envelope",
+           "new_trace_id"]
+
+
+def new_trace_id() -> str:
+    """A fresh 64-bit hex trace id."""
+    return os.urandom(8).hex()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The propagation record a job carries across the process boundary.
+
+    ``record=False`` asks the worker for metrics only (the cheap,
+    always-on path that fixes the fleet's telemetry black hole);
+    ``record=True`` additionally captures the worker's span/machine
+    events for stitching into the parent's trace.
+    """
+
+    trace_id: str
+    parent_span_id: int = 0
+    record: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"trace_id": self.trace_id,
+                "parent_span_id": self.parent_span_id,
+                "record": self.record}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TraceContext":
+        return cls(trace_id=str(data.get("trace_id", "")),
+                   parent_span_id=int(data.get("parent_span_id", 0)),
+                   record=bool(data.get("record", False)))
+
+
+class WorkerCapture:
+    """Capture one job's worth of worker-side observability.
+
+    Swaps a fresh registry into ``OBS`` for the duration (so the
+    envelope contains exactly this job's metrics, not the worker's
+    lifetime totals), enables instrumentation, and restores the prior
+    switch state on exit.  The captured metrics are also folded back
+    into the worker's own registry so local totals keep accumulating.
+    """
+
+    def __init__(self, ctx: TraceContext):
+        self.ctx = ctx
+        self.envelope: Dict[str, Any] = {}
+        self._prior_metrics: Optional[MetricsRegistry] = None
+        self._prior_enabled = False
+        self._prior_recording = False
+
+    def __enter__(self) -> "WorkerCapture":
+        self._prior_enabled = OBS.enabled
+        self._prior_recording = OBS.bus.recording
+        self._prior_metrics = OBS.metrics
+        OBS.metrics = MetricsRegistry()
+        if self.ctx.record:
+            OBS.bus.clear()             # orphaned pre-job events, if any
+        OBS.bus.recording = self.ctx.record
+        OBS.enabled = True
+        return self
+
+    def __exit__(self, *exc) -> None:
+        OBS.enabled = self._prior_enabled
+        OBS.bus.recording = self._prior_recording
+        captured, OBS.metrics = OBS.metrics, self._prior_metrics
+        events: List[ObsEvent] = OBS.bus.drain() if self.ctx.record else []
+        snap = captured.snapshot()
+        self._prior_metrics.merge_snapshot(snap)
+        self.envelope = {
+            "pid": os.getpid(),
+            "trace_id": self.ctx.trace_id,
+            "metrics": snap,
+            "events": [event_to_dict(e) for e in events],
+        }
+
+
+def stitch_envelope(envelope: Dict[str, Any],
+                    parent_span_id: Optional[int] = None) -> List[ObsEvent]:
+    """Rehydrate a worker envelope's events into the parent process.
+
+    Worker span ids come from the worker's process-local counter, so two
+    workers routinely produce colliding ids; every span is remapped to a
+    fresh id from *this* process's counter.  Roots (``parent_id is
+    None``, or a parent that did not travel in the envelope) are
+    re-parented under ``parent_span_id``, and all events are tagged with
+    the worker pid.
+    """
+    pid = int(envelope.get("pid", 0))
+    events = [event_from_dict(d) for d in envelope.get("events", ())]
+    id_map = {e.span_id: next(obs_events._span_ids)
+              for e in events if isinstance(e, Span)}
+    stitched: List[ObsEvent] = []
+    for event in events:
+        if isinstance(event, Span):
+            parent = id_map.get(event.parent_id) if event.parent_id \
+                else None
+            if parent is None:
+                parent = parent_span_id
+            stitched.append(replace(event, span_id=id_map[event.span_id],
+                                    parent_id=parent, pid=pid))
+        else:
+            stitched.append(replace(event, pid=pid))
+    return stitched

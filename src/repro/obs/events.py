@@ -61,6 +61,7 @@ class Span:
     span_id: int
     parent_id: Optional[int] = None
     args: Tuple[Tuple[str, str], ...] = ()
+    pid: int = 0               # originating worker pid (0 = this process)
 
     @property
     def duration_ns(self) -> int:
@@ -80,6 +81,7 @@ class Counter:
     value: int
     ts: int
     cat: str = "metric"
+    pid: int = 0               # originating worker pid (0 = this process)
 
     def __str__(self) -> str:
         return f"counter {self.name} = {self.value}"
@@ -93,6 +95,7 @@ class Gauge:
     value: float
     ts: int
     cat: str = "metric"
+    pid: int = 0               # originating worker pid (0 = this process)
 
     def __str__(self) -> str:
         return f"gauge {self.name} = {self.value}"
@@ -115,6 +118,7 @@ class MachineEvent:
     stack: Tuple[str, ...]
     detail: str = ""
     ts: int = 0
+    pid: int = 0               # originating worker pid (0 = this process)
 
     def pretty_label(self) -> str:
         return self.target.split("%")[0] if self.target else ""

@@ -85,27 +85,65 @@ own family (see ``docs/performance.md``):
 (The CEK engine itself introduces no new counters: it reports the same
 ``f.machine.steps`` as the substitution stepper, 1:1, so traces and
 budget accounting are engine-independent.)
+
+The hot-code profiler (:mod:`repro.obs.profile`) and the distributed
+tracing layer (:mod:`repro.obs.distributed`) add:
+
+===================================  ========================================
+``profile.steps``                    machine steps attributed while the
+                                     profiler was enabled
+``profile.sites``                    distinct content-hashed code sites seen
+                                     (gauge, set at snapshot time)
+``serve.obs.envelopes``              worker obs envelopes folded into the
+                                     parent registry
+``serve.obs.spans_stitched``         worker-side spans re-parented into the
+                                     parent span tree
+===================================  ========================================
+
+Histograms now carry quantiles: every ``as_dict`` reports ``p50``/
+``p95``/``p99`` from a log-bucket sketch (~1% relative error) alongside
+the exact count/mean/min/max, and snapshots embed the sketch's integer
+buckets so cross-process merges (:meth:`MetricsRegistry.merge_snapshot`)
+stay exact and associative.
 """
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from typing import Any, Dict, List, Optional
 
 __all__ = ["HistogramSummary", "MetricsRegistry"]
 
+#: Relative accuracy of the log-bucket quantile sketch: bucket i covers
+#: ``(gamma^(i-1), gamma^i]``, so any reported quantile is within ~1% of
+#: the true value.  Integer bucket counts make merges exactly associative.
+_GAMMA = 1.02
+_LOG_GAMMA = math.log(_GAMMA)
+
 
 class HistogramSummary:
-    """Streaming count/total/min/max summary of observed values."""
+    """Streaming summary with quantiles: a DDSketch-style log-bucket
+    histogram on top of the count/total/min/max running summary.
 
-    __slots__ = ("count", "total", "min", "max")
+    Positive observations land in geometric buckets keyed by
+    ``ceil(log(v) / log(gamma))``; non-positive ones are counted in a
+    dedicated zero bucket.  Because the state is plain integer counts,
+    :meth:`merge` is exact and associative -- the property the serve
+    fleet relies on when worker-side snapshots are folded into the
+    parent registry in any order.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "_buckets", "_zeros")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self._buckets: Dict[int, int] = {}
+        self._zeros = 0
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -114,18 +152,81 @@ class HistogramSummary:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        if value > 0.0:
+            key = int(math.ceil(math.log(value) / _LOG_GAMMA))
+            self._buckets[key] = self._buckets.get(key, 0) + 1
+        else:
+            self._zeros += 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
-    def as_dict(self) -> Dict[str, float]:
+    def quantile(self, q: float) -> float:
+        """The q-quantile (0 <= q <= 1), within ~1% relative error,
+        clamped to the exact observed [min, max] envelope."""
+        if not self.count:
+            return 0.0
+        rank = q * (self.count - 1)
+        seen = self._zeros
+        if rank < seen:
+            return min(self.min, 0.0) if self.min is not None else 0.0
+        value = self.max if self.max is not None else 0.0
+        for key in sorted(self._buckets):
+            seen += self._buckets[key]
+            if rank < seen:
+                # midpoint of (gamma^(key-1), gamma^key]
+                value = 2.0 * (_GAMMA ** key) / (_GAMMA + 1.0)
+                break
+        lo = self.min if self.min is not None else value
+        hi = self.max if self.max is not None else value
+        return min(max(value, lo), hi)
+
+    def merge(self, other: "HistogramSummary") -> None:
+        """Fold another summary in (exact: integer bucket adds)."""
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None
+                                      or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None
+                                      or other.max > self.max):
+            self.max = other.max
+        for key, n in other._buckets.items():
+            self._buckets[key] = self._buckets.get(key, 0) + n
+        self._zeros += other._zeros
+
+    @classmethod
+    def from_wire(cls, data: Dict[str, Any]) -> "HistogramSummary":
+        """Rebuild a summary from its :meth:`as_dict` form (the
+        ``sketch`` sub-dict carries the mergeable bucket state)."""
+        hist = cls()
+        hist.count = int(data.get("count", 0))
+        hist.total = float(data.get("total", 0.0))
+        if hist.count:
+            hist.min = float(data.get("min", 0.0))
+            hist.max = float(data.get("max", 0.0))
+        sketch = data.get("sketch") or {}
+        hist._zeros = int(sketch.get("zeros", 0))
+        hist._buckets = {int(k): int(n)
+                         for k, n in (sketch.get("buckets") or {}).items()}
+        return hist
+
+    def as_dict(self) -> Dict[str, Any]:
         return {
             "count": self.count,
             "total": round(self.total, 3),
             "mean": round(self.mean, 3),
             "min": round(self.min, 3) if self.min is not None else 0.0,
             "max": round(self.max, 3) if self.max is not None else 0.0,
+            "p50": round(self.quantile(0.50), 3),
+            "p95": round(self.quantile(0.95), 3),
+            "p99": round(self.quantile(0.99), 3),
+            "sketch": {
+                "zeros": self._zeros,
+                "buckets": {str(k): n
+                            for k, n in sorted(self._buckets.items())},
+            },
         }
 
 
@@ -178,6 +279,28 @@ class MetricsRegistry:
             self._gauges.clear()
             self._histograms.clear()
 
+    # -- cross-process folding ------------------------------------------
+
+    def merge_snapshot(self, snap: Dict[str, Any]) -> None:
+        """Fold a :meth:`snapshot` dict (typically shipped back from a
+        worker process) into this registry: counters add, gauges are
+        last-write-wins, histograms merge bucket-wise.  The histogram
+        merge is exact and associative -- folding worker snapshots in
+        any arrival order yields identical quantiles.
+        """
+        with self._lock:
+            for name, value in (snap.get("counters") or {}).items():
+                self._counters[name] = self._counters.get(name, 0) + value
+            for name, value in (snap.get("gauges") or {}).items():
+                self._gauges[name] = value
+            for name, data in (snap.get("histograms") or {}).items():
+                incoming = HistogramSummary.from_wire(data)
+                hist = self._histograms.get(name)
+                if hist is None:
+                    self._histograms[name] = incoming
+                else:
+                    hist.merge(incoming)
+
     # -- bridging to the bus --------------------------------------------
 
     def flush_to(self, bus, ts: Optional[int] = None) -> int:
@@ -216,10 +339,12 @@ class MetricsRegistry:
         if snap["histograms"]:
             width = max(len(k) for k in snap["histograms"])
             lines.append("")
-            lines.append("histograms (count / mean / min / max)")
-            lines.append("-------------------------------------")
+            lines.append(
+                "histograms (count / mean / p50 / p95 / p99 / max)")
+            lines.append(
+                "-------------------------------------------------")
             for name, h in snap["histograms"].items():
                 lines.append(
                     f"{name:<{width}}  {h['count']} / {h['mean']} / "
-                    f"{h['min']} / {h['max']}")
+                    f"{h['p50']} / {h['p95']} / {h['p99']} / {h['max']}")
         return "\n".join(lines) if lines else "(no metrics recorded)"

@@ -42,21 +42,21 @@ def event_to_dict(event: ObsEvent) -> Dict[str, Any]:
             "type": "span", "name": event.name, "cat": event.cat,
             "start": event.start, "end": event.end,
             "span_id": event.span_id, "parent_id": event.parent_id,
-            "args": {k: v for k, v in event.args},
+            "args": {k: v for k, v in event.args}, "pid": event.pid,
         }
     if isinstance(event, Counter):
         return {"type": "counter", "name": event.name, "value": event.value,
-                "ts": event.ts, "cat": event.cat}
+                "ts": event.ts, "cat": event.cat, "pid": event.pid}
     if isinstance(event, Gauge):
         return {"type": "gauge", "name": event.name, "value": event.value,
-                "ts": event.ts, "cat": event.cat}
+                "ts": event.ts, "cat": event.cat, "pid": event.pid}
     if isinstance(event, MachineEvent):
         return {
             "type": "machine", "step": event.step, "kind": event.kind,
             "target": event.target,
             "regs": [[r, w] for r, w in event.regs],
             "stack": list(event.stack), "detail": event.detail,
-            "ts": event.ts,
+            "ts": event.ts, "pid": event.pid,
         }
     raise TypeError(f"not an observability event: {event!r}")
 
@@ -68,19 +68,20 @@ def event_from_dict(data: Dict[str, Any]) -> ObsEvent:
         return Span(
             data["name"], data["cat"], data["start"], data["end"],
             data["span_id"], data.get("parent_id"),
-            tuple((k, v) for k, v in data.get("args", {}).items()))
+            tuple((k, v) for k, v in data.get("args", {}).items()),
+            data.get("pid", 0))
     if tag == "counter":
         return Counter(data["name"], data["value"], data["ts"],
-                       data.get("cat", "metric"))
+                       data.get("cat", "metric"), data.get("pid", 0))
     if tag == "gauge":
         return Gauge(data["name"], data["value"], data["ts"],
-                     data.get("cat", "metric"))
+                     data.get("cat", "metric"), data.get("pid", 0))
     if tag == "machine":
         return MachineEvent(
             data["step"], data["kind"], data.get("target"),
             tuple((r, w) for r, w in data.get("regs", [])),
             tuple(data.get("stack", [])), data.get("detail", ""),
-            data.get("ts", 0))
+            data.get("ts", 0), data.get("pid", 0))
     raise ValueError(f"unknown event type tag {tag!r}")
 
 
@@ -145,13 +146,13 @@ def export_chrome(events: Iterable[ObsEvent],
                 "name": event.name, "cat": event.cat or "span", "ph": "X",
                 "ts": _ns_to_us(event.start),
                 "dur": _ns_to_us(event.duration_ns),
-                "pid": 1, "tid": 1,
+                "pid": event.pid or 1, "tid": 1,
                 "args": {k: v for k, v in event.args},
             })
         elif isinstance(event, (Counter, Gauge)):
             trace_events.append({
                 "name": event.name, "cat": event.cat, "ph": "C",
-                "ts": _ns_to_us(event.ts), "pid": 1,
+                "ts": _ns_to_us(event.ts), "pid": event.pid or 1,
                 "args": {event.name: event.value},
             })
         elif isinstance(event, MachineEvent):
@@ -159,7 +160,8 @@ def export_chrome(events: Iterable[ObsEvent],
                 f"{event.kind} -> {event.pretty_label()}"
             trace_events.append({
                 "name": name, "cat": "machine", "ph": "i",
-                "ts": _ns_to_us(event.ts), "pid": 1, "tid": 1, "s": "t",
+                "ts": _ns_to_us(event.ts), "pid": event.pid or 1,
+                "tid": 1, "s": "t",
                 "args": {
                     "step": event.step, "detail": event.detail,
                     "regs": {r: w for r, w in event.regs},

@@ -72,9 +72,12 @@ class ResultCache:
         return replace(stored, id=job.id, cached=True, attempts=0)
 
     def put(self, job: Job, result: JobResult) -> None:
-        """Store a finished result; only ``ok`` outcomes are kept."""
+        """Store a finished result; only ``ok`` outcomes are kept.  The
+        per-request obs envelope is stripped -- it describes one
+        execution, not the cacheable answer."""
         if result.ok and not job.options.no_cache:
-            self._lru.put(job_cache_key(job), replace(result, cached=False))
+            self._lru.put(job_cache_key(job),
+                          replace(result, cached=False, obs=None))
 
     def __len__(self) -> int:
         return len(self._lru)

@@ -283,12 +283,29 @@ _EXECUTORS = {
 def execute_job(job: Job) -> JobResult:
     """Execute ``job`` to a result; never raises for program-level
     failures.  The fault-injection options act *before* execution so the
-    resilience tests can stage crashes and hangs deterministically."""
+    resilience tests can stage crashes and hangs deterministically.
+
+    When the job carries a ``trace_ctx``, execution runs under a
+    :class:`repro.obs.distributed.WorkerCapture` and the result's
+    ``obs`` field ships this process's spans/metrics back to whoever is
+    stitching the cross-process trace.
+    """
     if job.options.inject_sleep > 0:
         time.sleep(job.options.inject_sleep)
     if job.options.inject_crash:
         # Simulate a segfault: bypass all exception handling and die.
         os._exit(23)
+    if job.trace_ctx is not None:
+        from repro.obs.distributed import TraceContext, WorkerCapture
+
+        with WorkerCapture(TraceContext.from_dict(job.trace_ctx)) as cap:
+            result = _execute_guarded(job)
+        result.obs = cap.envelope
+        return result
+    return _execute_guarded(job)
+
+
+def _execute_guarded(job: Job) -> JobResult:
     start = time.perf_counter()
     try:
         output = _EXECUTORS[job.kind](job)

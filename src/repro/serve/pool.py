@@ -55,9 +55,10 @@ import signal
 import socket
 import threading
 import time
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.obs import events as obs_events
+from repro.obs.distributed import new_trace_id, stitch_envelope
 from repro.obs.events import OBS
 from repro.serve.cache import ResultCache
 from repro.serve.protocol import Job, JobResult
@@ -80,14 +81,18 @@ class QueueFull(RuntimeError):
 class Ticket:
     """A future for one submitted job."""
 
-    __slots__ = ("job", "attempts", "not_before", "start_ns", "_event",
-                 "_lock", "_result", "_callbacks")
+    __slots__ = ("job", "attempts", "not_before", "start_ns", "span_id",
+                 "_event", "_lock", "_result", "_callbacks")
 
     def __init__(self, job: Job):
         self.job = job
         self.attempts = 0           # execution attempts charged so far
         self.not_before = 0.0       # backoff gate (monotonic seconds)
         self.start_ns = time.perf_counter_ns()
+        # Pre-allocate the serve.job span id while a trace is being
+        # recorded, so worker-side spans can be stitched under it.
+        self.span_id = next(obs_events._span_ids) \
+            if OBS.enabled and OBS.bus.active else 0
         self._event = threading.Event()
         self._lock = threading.Lock()
         self._result: Optional[JobResult] = None
@@ -228,6 +233,7 @@ class WorkerPool:
         self.chunk_max = max(1, chunk_max)
         self.cache = cache
         self._ctx = _pick_context(mp_context)
+        self._trace_id = new_trace_id()
 
         self._lock = threading.Lock()
         self._not_full = threading.Condition(self._lock)
@@ -431,6 +437,20 @@ class WorkerPool:
             f"job {what} {ticket.attempts} time(s); retry budget "
             f"({self.max_retries}) exhausted", attempts=ticket.attempts))
 
+    def _wire_job(self, ticket: Ticket) -> Dict[str, Any]:
+        """The wire dict for one dispatch.  While instrumentation is on,
+        jobs that do not already carry a trace context get one, so the
+        worker ships its spans/metrics back for stitching (events only
+        while a trace is actually being recorded)."""
+        wire = ticket.job.to_dict()
+        if OBS.enabled and "trace_ctx" not in wire:
+            wire["trace_ctx"] = {
+                "trace_id": self._trace_id,
+                "parent_span_id": ticket.span_id,
+                "record": bool(ticket.span_id),
+            }
+        return wire
+
     def _finish(self, ticket: Ticket, result: JobResult) -> None:
         result.attempts = max(result.attempts, ticket.attempts)
         if self.cache is not None:
@@ -441,13 +461,27 @@ class WorkerPool:
                             else "serve.jobs.failed")
             OBS.metrics.observe("serve.job.ms",
                                 (end_ns - ticket.start_ns) / 1e6)
+            envelope = result.obs
+            if envelope and envelope.get("metrics"):
+                OBS.metrics.merge_snapshot(envelope["metrics"])
+                OBS.metrics.inc("serve.obs.envelopes")
             if OBS.bus.active:
+                span_id = ticket.span_id or next(obs_events._span_ids)
+                if envelope and envelope.get("events"):
+                    stitched = stitch_envelope(envelope, span_id)
+                    for event in stitched:
+                        OBS.bus.publish(event)
+                    OBS.metrics.inc(
+                        "serve.obs.spans_stitched",
+                        sum(1 for e in stitched
+                            if isinstance(e, obs_events.Span)))
                 OBS.bus.publish(obs_events.Span(
                     "serve.job", "serve", ticket.start_ns, end_ns,
-                    next(obs_events._span_ids), None,
+                    span_id, None,
                     (("kind", ticket.job.kind),
                      ("status", result.status),
-                     ("attempts", str(ticket.attempts)))))
+                     ("attempts", str(ticket.attempts)),
+                     ("worker", str(result.worker or "")))))
         ticket._resolve(result)
         with self._all_done:
             self._outstanding -= 1
@@ -488,7 +522,7 @@ class WorkerPool:
             worker.inflight.extend(chunk)
             self._arm_deadline(worker)
             try:
-                worker.conn.send([t.job.to_dict() for t in chunk])
+                worker.conn.send([self._wire_job(t) for t in chunk])
             except (BrokenPipeError, OSError):
                 self._fail_worker(worker, "crashed")
 

@@ -138,6 +138,11 @@ class Job:
     example: Optional[str] = None       # built-in paper example name
     snapshot: Optional[Dict[str, Any]] = None   # resume: wire snapshot
     options: JobOptions = field(default_factory=JobOptions)
+    #: Cross-process trace propagation record
+    #: (:class:`repro.obs.distributed.TraceContext` wire dict).  Purely
+    #: observational: never part of the cache key, and absent from the
+    #: wire unless set.
+    trace_ctx: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         if self.kind not in JOB_KINDS:
@@ -180,12 +185,14 @@ class Job:
         opts = self.options.to_dict()
         if opts:
             out["options"] = opts
+        if self.trace_ctx is not None:
+            out["trace_ctx"] = self.trace_ctx
         return out
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "Job":
         extra = set(data) - {"kind", "id", "source", "example", "snapshot",
-                             "options", "op", "v"}
+                             "options", "op", "v", "trace_ctx"}
         if extra:
             raise ProtocolError(
                 f"unknown job field(s): {', '.join(sorted(extra))}")
@@ -198,6 +205,7 @@ class Job:
             example=data.get("example"),
             snapshot=data.get("snapshot"),
             options=JobOptions.from_dict(data.get("options", {}) or {}),
+            trace_ctx=data.get("trace_ctx"),
         )
 
 
@@ -216,6 +224,10 @@ class JobResult:
     duration_ms: float = 0.0            # executor wall time (the cached
                                         # value keeps the original run's)
     worker: Optional[int] = None        # pid of the executing worker
+    #: Worker-side observability envelope (``{"pid", "metrics",
+    #: "events"}``) captured when the job carried a ``trace_ctx``; see
+    #: :mod:`repro.obs.distributed`.  Stripped before caching.
+    obs: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -225,6 +237,8 @@ class JobResult:
         out = asdict(self)
         if self.worker is None:
             del out["worker"]
+        if self.obs is None:
+            del out["obs"]
         if not self.error:
             del out["error"]
             del out["error_type"]
@@ -246,6 +260,7 @@ class JobResult:
             cached=bool(data.get("cached", False)),
             duration_ms=float(data.get("duration_ms", 0.0)),
             worker=data.get("worker"),
+            obs=data.get("obs"),
         )
 
     @classmethod

@@ -32,6 +32,7 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.errors import MachineError, SnapshotError
 from repro.obs.events import MachineEvent, OBS
+from repro.obs.profile import PROFILER
 from repro.resilience.budget import Budget
 from repro.resilience.checkpoint import MachineSnapshot
 from repro.tal.heap import Memory, RegSnapshot, StackSnapshot
@@ -276,6 +277,8 @@ class TalMachine:
                 f"arguments but abstracts {len(block.delta)}")
         if OBS.enabled:
             OBS.metrics.inc("t.subst.instantiate")
+        if PROFILER.enabled:
+            PROFILER.enter_t(loc.name, block)
         inst = instantiate_code_block(block, all_omegas)
         if inst.delta:
             raise MachineError(
@@ -393,6 +396,8 @@ class TalMachine:
         self.steps += 1
         if OBS.enabled:
             OBS.metrics.inc("t.machine.steps")
+        if PROFILER.enabled:
+            PROFILER.step_t()
         if state.instrs:
             head, rest = state.instrs[0], state.rest
             if isinstance(head, Bnz):
@@ -436,6 +441,8 @@ class TalMachine:
 
     def _drive(self, state: MachineState) -> HaltedState:
         budget = self.budget
+        prof = PROFILER if PROFILER.enabled else None
+        prof_base = prof.enter_engine() if prof is not None else 0
         with OBS.span("t.run_seq", "t"):
             try:
                 while not isinstance(state, HaltedState):
@@ -447,6 +454,8 @@ class TalMachine:
             finally:
                 # Keep the suspended (or halted) state live so a tripped
                 # governor leaves the machine checkpointable.
+                if prof is not None:
+                    prof.exit_engine(prof_base)
                 self._state = state
 
     def run_component(self, comp: Component,

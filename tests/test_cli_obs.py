@@ -1,0 +1,126 @@
+"""Tests for the observability CLI surface: ``funtal top`` / ``flame`` /
+``slo``, quantiles in ``funtal stats``, and ``--trace-out`` on batch."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import EXIT_SLO_BREACH, main
+from repro.obs.profile import ProfileSnapshot, content_hash
+from repro.papers_examples.fig17_factorial import build_fact_f
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def inner_hash():
+    return content_hash(build_fact_f().body.fn.fn.body)
+
+
+class TestTop:
+    def test_ranks_factorial_lambda_first(self, capsys):
+        assert main(["top", "fig17"]) == 0
+        out = capsys.readouterr().out
+        rows = [l for l in out.splitlines() if l.strip().startswith("1 ")]
+        assert rows and inner_hash() in rows[0]
+        assert "value: <720, 720>" in out
+
+    def test_json_and_artifact(self, tmp_path, capsys):
+        path = str(tmp_path / "profile.json")
+        assert main(["top", "fig17", "--json", "--out", path]) == 0
+        data = json.loads(capsys.readouterr().out)
+        snap = ProfileSnapshot.load(path)
+        assert snap.to_dict() == data
+        assert snap.entries[0]["key"] == inner_hash()
+
+    def test_limit(self, capsys):
+        assert main(["top", "fig17", "--limit", "2"]) == 0
+        out = capsys.readouterr().out
+        assert not any(l.strip().startswith("3 ") for l in out.splitlines())
+
+    def test_unknown_example(self, capsys):
+        assert main(["top", "nope"]) == 2
+
+
+class TestFlame:
+    def test_folded_stacks_on_stdout(self, capsys):
+        assert main(["flame", "fig17"]) == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if l.strip()]
+        assert lines
+        for line in lines:
+            stack, count = line.rsplit(" ", 1)
+            assert int(count) > 0 and stack
+        assert any("block lloop" in l for l in lines)
+
+    def test_out_file(self, tmp_path, capsys):
+        path = str(tmp_path / "flame.folded")
+        assert main(["flame", "fig17", "--out", path]) == 0
+        content = open(path, encoding="utf-8").read()
+        assert inner_hash()[:8] in content
+
+
+class TestStatsQuantiles:
+    def test_stats_reports_quantiles(self, capsys):
+        assert main(["stats", "fig17", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        hist = data["histograms"]["span.ft.evaluate.us"]
+        for q in ("p50", "p95", "p99"):
+            assert hist[q] is not None
+
+
+class TestSlo:
+    def test_generous_thresholds_pass(self, capsys):
+        assert main(["slo", "--workers", "2", "--repeat", "1",
+                     "--p99-ms", "600000", "--max-error-rate", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "p99_ms" in out
+
+    def test_breach_exits_seven(self, capsys):
+        assert main(["slo", "--workers", "2", "--repeat", "1",
+                     "--p50-ms", "0.000001"]) == EXIT_SLO_BREACH
+        err = capsys.readouterr().err
+        assert "slo breach: p50_ms" in err
+
+    def test_json_report_shape(self, capsys):
+        assert main(["slo", "--workers", "2", "--repeat", "1",
+                     "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] and report["breaches"] == []
+        for q in ("p50", "p95", "p99"):
+            assert report["serve.job.ms"][q] is not None
+
+
+class TestBatchTraceOut:
+    def test_stitched_multi_pid_trace(self, tmp_path, capsys):
+        path = str(tmp_path / "trace.jsonl")
+        assert main(["batch", "--examples", "--workers", "4", "--no-cache",
+                     "--trace-out", path, "--out",
+                     str(tmp_path / "results.jsonl")]) == 0
+        events = [json.loads(l) for l in open(path, encoding="utf-8")]
+        spans = [e for e in events if e["type"] == "span"]
+        roots = [s for s in spans if s["name"] == "serve.job"]
+        assert roots
+        root_ids = {s["span_id"] for s in roots}
+        worker = [s for s in spans if s["pid"] != 0]
+        assert len({s["pid"] for s in worker}) >= 2
+        evaluates = [s for s in worker if s["name"] == "ft.evaluate"]
+        assert evaluates
+        assert all(s["parent_id"] in root_ids for s in evaluates)
+
+    def test_chrome_format(self, tmp_path, capsys):
+        path = str(tmp_path / "trace.json")
+        assert main(["batch", "--examples", "--workers", "2", "--no-cache",
+                     "--format", "chrome", "--trace-out", path, "--out",
+                     str(tmp_path / "results.jsonl")]) == 0
+        doc = json.load(open(path, encoding="utf-8"))
+        pids = {r["pid"] for r in doc["traceEvents"]
+                if r.get("ph") == "X"}
+        assert len(pids) >= 2    # parent lane + at least one worker lane

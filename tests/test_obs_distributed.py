@@ -1,0 +1,290 @@
+"""Tests for cross-process trace propagation (:mod:`repro.obs.distributed`).
+
+Covers pid round-tripping through the event wire format, multi-pid
+Chrome export, :meth:`MetricsRegistry.merge_snapshot` (associative and
+quantile-stable), worker-side capture, envelope stitching, and the
+4-worker pool integration that produces one stitched span tree.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.distributed import (
+    TraceContext, WorkerCapture, new_trace_id, stitch_envelope,
+)
+from repro.obs.events import Counter, Gauge, MachineEvent, OBS, Span
+from repro.obs.metrics import HistogramSummary, MetricsRegistry
+from repro.obs.trace_export import (
+    build_span_tree, event_from_dict, event_to_dict, export_chrome,
+)
+from repro.serve.pool import WorkerPool
+from repro.serve.protocol import Job, JobOptions
+
+
+@pytest.fixture(autouse=True)
+def obs_off():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class TestTraceContext:
+    def test_round_trip(self):
+        ctx = TraceContext(new_trace_id(), parent_span_id=42, record=True)
+        assert TraceContext.from_dict(ctx.to_dict()) == ctx
+
+    def test_defaults(self):
+        ctx = TraceContext.from_dict({"trace_id": "abc"})
+        assert ctx.parent_span_id == 0 and not ctx.record
+
+    def test_trace_ids_are_unique(self):
+        assert new_trace_id() != new_trace_id()
+
+
+class TestPidRoundTrip:
+    EVENTS = [
+        Span("serve.job", "serve", 10, 90, 1, None, (("kind", "run"),),
+             4242),
+        Counter("f.machine.steps", 7, 15, pid=4242),
+        Gauge("pool.queue", 3.0, 20, pid=4242),
+        MachineEvent(1, "jmp", "lloop", (), (), "", 25, 4242),
+    ]
+
+    @pytest.mark.parametrize("event", EVENTS)
+    def test_pid_survives_dict_round_trip(self, event):
+        data = event_to_dict(event)
+        assert data["pid"] == 4242
+        assert event_from_dict(data) == event
+
+    @pytest.mark.parametrize("event", EVENTS)
+    def test_legacy_dict_without_pid_defaults_to_zero(self, event):
+        data = event_to_dict(event)
+        del data["pid"]
+        assert event_from_dict(data).pid == 0
+
+
+class TestChromeMultiPid:
+    def test_spans_keep_their_worker_pid(self):
+        events = [
+            Span("serve.job", "serve", 0, 100, 1, None, (), 0),
+            Span("ft.evaluate", "f", 10, 90, 2, 1, (), 111),
+            Span("ft.evaluate", "f", 10, 90, 3, 1, (), 222),
+        ]
+        out = io.StringIO()
+        export_chrome(events, out)
+        rows = json.loads(out.getvalue())["traceEvents"]
+        pids = {r["pid"] for r in rows}
+        # pid 0 (untagged/parent) renders as Chrome's default lane 1;
+        # each worker gets its own lane.
+        assert pids == {1, 111, 222}
+
+
+def _registry_with(counter=0, gauge=None, samples=()):
+    reg = MetricsRegistry()
+    if counter:
+        reg.inc("jobs", counter)
+    if gauge is not None:
+        reg.set_gauge("depth", gauge)
+    for v in samples:
+        reg.observe("ms", v)
+    return reg
+
+
+class TestMergeSnapshot:
+    def test_counters_add(self):
+        a = _registry_with(counter=3)
+        a.merge_snapshot(_registry_with(counter=4).snapshot())
+        assert a.snapshot()["counters"]["jobs"] == 7
+
+    def test_gauges_last_write_wins(self):
+        a = _registry_with(gauge=1.0)
+        a.merge_snapshot(_registry_with(gauge=9.0).snapshot())
+        assert a.snapshot()["gauges"]["depth"] == 9.0
+
+    def test_histograms_merge_counts_and_extrema(self):
+        a = _registry_with(samples=[1.0, 2.0])
+        a.merge_snapshot(_registry_with(samples=[10.0, 0.5]).snapshot())
+        h = a.snapshot()["histograms"]["ms"]
+        assert h["count"] == 4
+        assert h["min"] == 0.5 and h["max"] == 10.0
+        assert h["total"] == pytest.approx(13.5)
+
+    def test_merge_is_associative(self):
+        import random
+
+        rng = random.Random(7)
+        snaps = [
+            _registry_with(counter=i + 1, gauge=float(i),
+                           samples=[rng.lognormvariate(0, 2)
+                                    for _ in range(50)]).snapshot()
+            for i in range(3)]
+
+        left = MetricsRegistry()
+        left.merge_snapshot(snaps[0])
+        left.merge_snapshot(snaps[1])
+        left.merge_snapshot(snaps[2])
+
+        inner = MetricsRegistry()
+        inner.merge_snapshot(snaps[1])
+        inner.merge_snapshot(snaps[2])
+        right = MetricsRegistry()
+        right.merge_snapshot(snaps[0])
+        right.merge_snapshot(inner.snapshot())
+
+        assert json.dumps(left.snapshot(), sort_keys=True) == \
+            json.dumps(right.snapshot(), sort_keys=True)
+
+    def test_merged_quantiles_match_combined_stream(self):
+        """Merging two sketches gives the same quantiles as observing
+        every sample into one sketch (the buckets add exactly)."""
+        import random
+
+        rng = random.Random(13)
+        xs = [rng.lognormvariate(1, 1.5) for _ in range(400)]
+        combined = HistogramSummary()
+        for x in xs:
+            combined.observe(x)
+        a, b = HistogramSummary(), HistogramSummary()
+        for x in xs[:150]:
+            a.observe(x)
+        for x in xs[150:]:
+            b.observe(x)
+        a.merge(b)
+        for q in ("p50", "p95", "p99"):
+            assert a.as_dict()[q] == combined.as_dict()[q]
+
+
+class TestWorkerCapture:
+    def test_envelope_carries_pid_metrics_events(self):
+        import os
+
+        ctx = TraceContext(new_trace_id(), parent_span_id=5, record=True)
+        with WorkerCapture(ctx) as cap:
+            with OBS.span("unit.work", "f"):
+                OBS.metrics.inc("unit.steps", 3)
+        env = cap.envelope
+        assert env["pid"] == os.getpid()
+        assert env["trace_id"] == ctx.trace_id
+        assert env["metrics"]["counters"]["unit.steps"] == 3
+        assert any(d.get("name") == "unit.work" for d in env["events"])
+
+    def test_metrics_only_mode_ships_no_events(self):
+        with WorkerCapture(TraceContext(new_trace_id())) as cap:
+            with OBS.span("unit.work", "f"):
+                OBS.metrics.inc("unit.steps")
+        assert cap.envelope["events"] == []
+        assert cap.envelope["metrics"]["counters"]["unit.steps"] == 1
+
+    def test_prior_state_restored_and_totals_accumulate(self):
+        obs.enable(record=False)
+        OBS.metrics.inc("outer", 2)
+        with WorkerCapture(TraceContext(new_trace_id())) as cap:
+            OBS.metrics.inc("inner")
+        assert OBS.enabled and not OBS.bus.recording
+        counters = OBS.metrics.snapshot()["counters"]
+        # The worker's lifetime registry keeps both its own counts and
+        # the captured job's (folded back in on exit).
+        assert counters["outer"] == 2 and counters["inner"] == 1
+        assert cap.envelope["metrics"]["counters"] == {"inner": 1}
+
+
+class TestStitchEnvelope:
+    def _envelope(self, pid=999):
+        return {
+            "pid": pid,
+            "trace_id": "t",
+            "metrics": {},
+            "events": [
+                event_to_dict(Span("ft.evaluate", "f", 0, 9, 1, None, ())),
+                event_to_dict(Span("ft.boundary", "t", 1, 8, 2, 1, ())),
+                event_to_dict(Span("orphan", "f", 2, 3, 3, 77, ())),
+                event_to_dict(MachineEvent(0, "jmp", "l", (), (), "", 5)),
+            ],
+        }
+
+    def test_roots_and_orphans_reparent(self):
+        stitched = stitch_envelope(self._envelope(), parent_span_id=123)
+        spans = {s.name: s for s in stitched if isinstance(s, Span)}
+        assert spans["ft.evaluate"].parent_id == 123
+        assert spans["orphan"].parent_id == 123     # parent 77 not shipped
+        assert spans["ft.boundary"].parent_id == spans["ft.evaluate"].span_id
+
+    def test_ids_remapped_and_pid_tagged(self):
+        stitched = stitch_envelope(self._envelope(pid=31337), 1)
+        assert all(e.pid == 31337 for e in stitched)
+        twice = stitch_envelope(self._envelope(pid=31337), 1)
+        first = {e.span_id for e in stitched if isinstance(e, Span)}
+        second = {e.span_id for e in twice if isinstance(e, Span)}
+        assert not first & second   # fresh parent-process ids every time
+
+
+class TestPoolStitching:
+    """The tentpole acceptance path: a 4-worker batch produces one
+    stitched span tree containing worker spans from >= 2 pids."""
+
+    def _run_batch(self, workers=4, jobs=8):
+        obs.enable(record=True)
+        batch = [Job("run", id=f"fig17#{i}", example="fig17",
+                     options=JobOptions(no_cache=True))
+                 for i in range(jobs)]
+        with WorkerPool(workers, cache=None) as pool:
+            results = pool.run_batch(batch, timeout=120.0)
+        assert all(r.ok for r in results)
+        return results, OBS.bus.drain(), OBS.metrics.snapshot()
+
+    def test_stitched_tree_spans_multiple_pids(self):
+        import os
+
+        results, events, snapshot = self._run_batch()
+        spans = [e for e in events if isinstance(e, Span)]
+        roots = [s for s in spans if s.name == "serve.job"]
+        assert len(roots) == 8
+        root_ids = {s.span_id for s in roots}
+        worker_spans = [s for s in spans if s.pid not in (0, os.getpid())]
+        worker_pids = {s.pid for s in worker_spans}
+        assert len(worker_pids) >= 2
+        # Every worker-side evaluate span hangs off a serve.job root.
+        evaluates = [s for s in worker_spans if s.name == "ft.evaluate"]
+        assert len(evaluates) == 8
+        assert all(s.parent_id in root_ids for s in evaluates)
+        # The tree builds without orphans.
+        tree_roots = build_span_tree(spans)
+        assert {r.span.span_id for r in tree_roots} >= root_ids
+
+    def test_worker_metrics_merge_into_parent_registry(self):
+        results, events, snapshot = self._run_batch(workers=2, jobs=4)
+        counters = snapshot["counters"]
+        assert counters["serve.obs.envelopes"] == 4
+        assert counters["f.machine.steps"] > 0
+        assert counters["t.machine.steps"] > 0
+        hist = snapshot["histograms"]["serve.job.ms"]
+        assert hist["count"] == 4
+        for q in ("p50", "p95", "p99"):
+            assert hist[q] is not None
+
+    def test_metrics_only_mode_still_fills_quantiles(self):
+        obs.enable(record=False)
+        batch = [Job("run", id=f"fig17#{i}", example="fig17",
+                     options=JobOptions(no_cache=True)) for i in range(3)]
+        with WorkerPool(2, cache=None) as pool:
+            results = pool.run_batch(batch, timeout=120.0)
+        assert all(r.ok for r in results)
+        assert OBS.bus.events() == ()
+        hist = OBS.metrics.snapshot()["histograms"]["serve.job.ms"]
+        assert hist["count"] == 3 and hist["p99"] >= hist["p50"]
+
+    def test_cached_results_do_not_leak_envelopes(self):
+        from repro.serve.cache import ResultCache
+
+        obs.enable(record=True)
+        job = Job("run", example="fig17")
+        with WorkerPool(2, cache=ResultCache(16)) as pool:
+            first = pool.submit(job).wait(60.0)
+            second = pool.submit(Job("run", example="fig17")).wait(60.0)
+        assert first.ok and second.ok and second.cached
+        assert second.obs is None

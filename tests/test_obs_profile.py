@@ -1,0 +1,247 @@
+"""Tests for the hot-code profiler (:mod:`repro.obs.profile`).
+
+Covers content-hashed code identity, step attribution across the CEK
+and substitution engines and the T machine, engine-boundary barriers,
+tail-call extent replacement, and :class:`ProfileSnapshot` round-trips
+and merges.
+"""
+
+import json
+
+import pytest
+
+from repro.f.cek import CEKEvaluator
+from repro.f.eval import FEvaluator
+from repro.f.syntax import App, BinOp, FArrow, FInt, IntE, Lam, Var
+from repro.ft.machine import evaluate_ft
+from repro.obs.profile import PROFILER, ProfileSnapshot, content_hash
+from repro.papers_examples.fig17_factorial import build_fact_f
+
+
+@pytest.fixture(autouse=True)
+def profiler_off():
+    PROFILER.disable()
+    PROFILER.reset()
+    yield
+    PROFILER.disable()
+    PROFILER.reset()
+
+
+def inner_fact_lam():
+    """The recursive ``lam(x)`` body of factF -- the hot lambda."""
+    return build_fact_f().body.fn.fn.body
+
+
+def profiled(fn):
+    PROFILER.enable()
+    try:
+        fn()
+    finally:
+        snap = PROFILER.snapshot()
+        PROFILER.disable()
+        PROFILER.reset()
+    return snap
+
+
+class TestContentHash:
+    def test_structurally_equal_code_hashes_equal(self):
+        assert content_hash(build_fact_f()) == content_hash(build_fact_f())
+
+    def test_different_code_hashes_differ(self):
+        a = Lam((("x", FInt()),), Var("x"))
+        b = Lam((("x", FInt()),), IntE(1))
+        assert content_hash(a) != content_hash(b)
+
+    def test_kind_disambiguates(self):
+        a = Lam((("x", FInt()),), Var("x"))
+        assert content_hash(a, "f") != content_hash(a, "t")
+
+
+class TestRanking:
+    def test_factorial_lambda_ranks_first(self):
+        program = App(build_fact_f(), (IntE(6),))
+        snap = profiled(lambda: CEKEvaluator(program).run())
+        assert snap.entries, "profiler attributed nothing"
+        assert snap.entries[0]["key"] == content_hash(inner_fact_lam())
+        assert snap.entries[0]["kind"] == "f"
+        assert snap.entries[0]["self_steps"] > snap.entries[1]["self_steps"]
+
+    def test_subst_engine_ranks_the_substituted_copy_first(self):
+        """The substitution engine betas *post-substitution* lambdas:
+        structurally identical across iterations (so attribution stays
+        coherent) but distinct from the source lambda, whose free ``f``
+        was replaced by the folded template.  Same hot row -- same label
+        and count -- under a substitution-stable hash of its own."""
+        subst = profiled(lambda: FEvaluator(
+            App(build_fact_f(), (IntE(6),))).run())
+        cek = profiled(lambda: CEKEvaluator(
+            App(build_fact_f(), (IntE(6),))).run())
+        assert subst.entries[0]["label"] == cek.entries[0]["label"] \
+            == "lam(x)"
+        assert subst.entries[0]["self_steps"] == \
+            cek.entries[0]["self_steps"]
+        assert subst.entries[0]["key"] != cek.entries[0]["key"]
+
+    def test_fig17_mixed_run_keeps_f_lambda_first(self):
+        from repro.papers_examples import resolve_example
+
+        build = resolve_example("fig17")[1]
+        snap = profiled(lambda: evaluate_ft(build()))
+        assert snap.entries[0]["key"] == content_hash(inner_fact_lam())
+        t_rows = [e for e in snap.entries if e["kind"] == "t"]
+        assert any(e["label"] == "block lloop" for e in t_rows)
+
+    def test_disabled_profiler_attributes_nothing(self):
+        CEKEvaluator(App(build_fact_f(), (IntE(4),))).run()
+        assert PROFILER.snapshot().total_steps == 0
+
+    def test_snapshot_publishes_profile_metrics(self):
+        """With obs enabled, ``snapshot()`` publishes ``profile.steps``
+        (delta-counted, so repeated snapshots don't double-bill) and the
+        ``profile.sites`` gauge."""
+        from repro import obs
+
+        obs.reset()
+        obs.enable(record=False)
+        try:
+            snap = profiled(lambda: CEKEvaluator(
+                App(build_fact_f(), (IntE(5),))).run())
+            metrics = obs.OBS.metrics.snapshot()
+            assert metrics["counters"]["profile.steps"] == snap.total_steps
+            assert metrics["gauges"]["profile.sites"] == len(snap.entries)
+        finally:
+            obs.disable()
+            obs.reset()
+
+    def test_repeated_snapshots_do_not_double_publish(self):
+        from repro import obs
+
+        obs.reset()
+        obs.enable(record=False)
+        PROFILER.enable()
+        try:
+            CEKEvaluator(App(build_fact_f(), (IntE(4),))).run()
+            first = PROFILER.snapshot()
+            second = PROFILER.snapshot()
+            assert second.total_steps == first.total_steps
+            counters = obs.OBS.metrics.snapshot()["counters"]
+            assert counters["profile.steps"] == first.total_steps
+        finally:
+            PROFILER.disable()
+            PROFILER.reset()
+            obs.disable()
+            obs.reset()
+
+    def test_engines_attribute_the_same_step_totals(self):
+        """The two F steppers are observably step-equivalent, so the
+        profiler must attribute identical totals and per-row counts."""
+        cek = profiled(lambda: CEKEvaluator(
+            App(build_fact_f(), (IntE(5),))).run())
+        subst = profiled(lambda: FEvaluator(
+            App(build_fact_f(), (IntE(5),))).run())
+        assert cek.total_steps == subst.total_steps
+        assert [e["self_steps"] for e in cek.entries] == \
+            [e["self_steps"] for e in subst.entries]
+
+
+class TestStacksAndBarriers:
+    def test_tail_recursion_keeps_stacks_flat(self):
+        """A self tail call replaces its own extent instead of stacking:
+        counting down from 40 must not produce 40-deep folded stacks."""
+        from repro.f.syntax import If0
+
+        # loop(n) = if0 n then 0 else loop(f, n - 1), via self-application.
+        mu_ish = FArrow((FInt(),), FInt())   # f is passed explicitly
+        loop = Lam(
+            (("f", FArrow((mu_ish, FInt()), FInt())), ("n", FInt())),
+            If0(Var("n"), IntE(0),
+                App(Var("f"), (Var("f"), BinOp("-", Var("n"), IntE(1))))))
+        program = App(loop, (loop, IntE(40)))
+        snap = profiled(lambda: CEKEvaluator(program).run())
+        deepest = max(len(f["stack"]) for f in snap.folded)
+        assert deepest <= 3
+
+    def test_non_tail_recursion_stacks_grow(self):
+        program = App(build_fact_f(), (IntE(6),))
+        snap = profiled(lambda: CEKEvaluator(program).run())
+        deepest = max(len(f["stack"]) for f in snap.folded)
+        assert deepest >= 5    # fact(6) keeps the multiply pending
+
+    def test_engine_barrier_protects_outer_extents(self):
+        """Frame depths are engine-local: a nested engine's beta at a
+        *smaller* depth must not unwind the caller's extents.  The
+        barrier stops the tail-call pop; the caller's extent survives
+        (and keeps nesting the inner work, which is the cross-language
+        flamegraph feature)."""
+        outer = Lam((("x", FInt()),), Var("x"))
+        inner = Lam((("y", FInt()),), Var("y"))
+        PROFILER.enable()
+        try:
+            PROFILER.beta(outer, depth=7)   # deep in the outer engine
+            base = PROFILER.enter_engine()
+            PROFILER.beta(inner, depth=1)   # shallow in the inner one
+            PROFILER.exit_engine(base)
+            PROFILER.step(depth=7)          # still charges `outer`
+        finally:
+            snap = PROFILER.snapshot()
+            PROFILER.disable()
+            PROFILER.reset()
+        by_key = {e["key"]: e["self_steps"] for e in snap.entries}
+        assert by_key[content_hash(outer)] == 2    # beta + the late step
+        assert by_key[content_hash(inner)] == 1
+        # The inner beta's folded stack nests under the outer extent.
+        inner_paths = [f["stack"] for f in snap.folded
+                       if f["keys"][-1] == content_hash(inner)]
+        assert inner_paths == [["lam(x)", "lam(y)"]]
+
+    def test_exit_engine_is_exception_safe(self):
+        PROFILER.enable()
+        try:
+            base = PROFILER.enter_engine()
+            PROFILER.beta(Lam((("x", FInt()),), Var("x")), depth=1)
+            PROFILER.exit_engine(base)
+            assert PROFILER._stack == []
+        finally:
+            PROFILER.disable()
+            PROFILER.reset()
+
+
+class TestProfileSnapshot:
+    def _snap(self, n=5):
+        return profiled(
+            lambda: CEKEvaluator(App(build_fact_f(), (IntE(n),))).run())
+
+    def test_dict_round_trip(self):
+        snap = self._snap()
+        again = ProfileSnapshot.from_dict(snap.to_dict())
+        assert again.to_dict() == snap.to_dict()
+
+    def test_save_load(self, tmp_path):
+        snap = self._snap()
+        path = str(tmp_path / "profile.json")
+        snap.save(path)
+        assert ProfileSnapshot.load(path).to_dict() == snap.to_dict()
+        with open(path, encoding="utf-8") as handle:
+            json.load(handle)               # valid JSON on disk
+
+    def test_merge_is_associative_and_adds(self):
+        a, b, c = self._snap(3), self._snap(4), self._snap(5)
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        assert left.to_dict() == right.to_dict()
+        assert left.total_steps == \
+            a.total_steps + b.total_steps + c.total_steps
+
+    def test_format_table_ranks_and_hashes(self):
+        snap = self._snap()
+        table = snap.format_table()
+        lines = [l for l in table.splitlines() if l.strip()]
+        first_row = lines[2]
+        assert content_hash(inner_fact_lam()) in first_row
+
+    def test_format_folded_is_flamegraph_input(self):
+        snap = self._snap()
+        for line in snap.format_folded().splitlines():
+            stack, count = line.rsplit(" ", 1)
+            assert int(count) > 0
+            assert stack
