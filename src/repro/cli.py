@@ -6,6 +6,13 @@ The reproduction's counterpart to the paper artifact's in-browser tools::
     funtal typecheck FILE        # infer and print the type (and out-stack)
     funtal run FILE [--fuel N] [--trace]   # evaluate; --trace prints the
                                  # jump-level control-flow table
+    funtal build MANIFEST [--store DIR] [--validate]
+                                 # separate compilation: build each
+                                 # component of a manifest store-first
+                                 # (only changed components recompile)
+    funtal link MANIFEST [--store DIR] [--run]
+                                 # build + typed linking (interface
+                                 # checking, no body re-typechecking)
     funtal examples [NAME]       # list / run the built-in paper examples
     funtal examples --run        # run every example sequentially
     funtal trace NAME --format jsonl|chrome|table
@@ -243,13 +250,44 @@ def cmd_compile(args: argparse.Namespace) -> int:
         print(result.pretty_ir())
     print()
     print(pretty_component(result.component))
-    if args.validate:
-        report = validate_compilation(result, fuel=args.fuel,
-                                      seed=args.seed)
+    store = digest = None
+    if args.store is not None:
+        from repro.link import ArtifactStore, ComponentInterface, \
+            component_digest
+        from repro.link.build import StoredComponent
+
+        store = ArtifactStore(args.store or None)
+        digest = component_digest(node, result.free)
+        iface = ComponentInterface(name="<compile>", ty=result.ty,
+                                   imports=result.free, digest=digest,
+                                   tier=result.tier)
+        store.put(digest, StoredComponent(iface, result.wrapped),
+                  meta={"tier": result.tier, "type": str(result.ty)})
         print()
-        print(f"translation validation: {report}")
-        if not report.ok:
-            return 3
+        print(f"stored: {digest[:16]} -> {store.root}")
+    if args.validate:
+        if store is not None:
+            # Validation amortized by content hash: an `ok` receipt in
+            # the store skips the (expensive) re-validation of an
+            # artifact already validated by any earlier process.
+            from repro.link import cached_validation
+
+            payload, was_cached = cached_validation(
+                store, digest, result, fuel=args.fuel, seed=args.seed)
+            verdict = "cached receipt" if was_cached else (
+                "validated" if payload["ok"]
+                else f"FAILED: {payload['failure']}")
+            print()
+            print(f"translation validation: {verdict}")
+            if not payload["ok"]:
+                return 3
+        else:
+            report = validate_compilation(result, fuel=args.fuel,
+                                          seed=args.seed)
+            print()
+            print(f"translation validation: {report}")
+            if not report.ok:
+                return 3
     if args.run:
         program: FExpr = result.wrapped
         if args.apply:
@@ -272,6 +310,86 @@ def cmd_compile(args: argparse.Namespace) -> int:
             _sys.setrecursionlimit(old_limit)
         print()
         print(f"value: {value}")
+    return 0
+
+
+def _open_store(path: Optional[str]) -> "object":
+    from repro.link import ArtifactStore
+
+    return ArtifactStore(path or None)
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.link import build_manifest, parse_manifest
+
+    manifest = parse_manifest(_load(args.manifest))
+    store = _open_store(args.store)
+    report = build_manifest(manifest, store, validate=args.validate,
+                            validate_fuel=args.fuel, seed=args.seed)
+    if args.json:
+        print(_json.dumps(dict(report.to_json(), store=str(store.root)),
+                          indent=2, sort_keys=True))
+    else:
+        print(f"built {len(report.records)} component(s) "
+              f"(store: {store.root})")
+        for rec in report.records:
+            status = "cached  " if rec.cached else "compiled"
+            print(f"  {status}  {rec.name:<10s} {rec.tier:<12s} "
+                  f"{rec.digest[:12]}  : {rec.iface.ty}")
+            if rec.validation is not None:
+                verdict = ("cached receipt" if rec.validation_cached
+                           else "validated" if rec.validation.get("ok")
+                           else f"FAILED: {rec.validation.get('failure')}")
+                print(f"{'':>12s}validation: {verdict}")
+    failed = [rec.name for rec in report.records
+              if rec.validation is not None
+              and not rec.validation.get("ok")]
+    if failed:
+        print(f"validation failed: {', '.join(failed)}", file=sys.stderr)
+        return 3
+    return 0
+
+
+def cmd_link(args: argparse.Namespace) -> int:
+    import sys as _sys
+
+    from repro.link import build_and_link, parse_manifest
+
+    manifest = parse_manifest(_load(args.manifest))
+    store = _open_store(args.store)
+    report, linked = build_and_link(manifest, store,
+                                    validate=args.validate,
+                                    validate_fuel=args.fuel,
+                                    seed=args.seed)
+    failed = [rec.name for rec in report.records
+              if rec.validation is not None
+              and not rec.validation.get("ok")]
+    if failed:
+        print(f"validation failed: {', '.join(failed)}", file=sys.stderr)
+        return 3
+    # Linked programs inline one compiled closure per component, so
+    # typechecking/running wants the same raised host stack as
+    # ``compile --run`` (see docs/performance.md).
+    old_limit = _sys.getrecursionlimit()
+    _sys.setrecursionlimit(max(old_limit, 100_000))
+    try:
+        ty, _ = check_ft_expr(linked.program)
+        print(f"linked {len(report.records)} component(s) in order: "
+              f"{', '.join(linked.order)}")
+        for rec in report.records:
+            status = "cached" if rec.cached else "compiled"
+            print(f"  {rec.name:<10s} {rec.tier:<12s} {status:<8s} "
+                  f": {rec.iface.ty}")
+        print(f"labels renamed: {linked.labels_renamed}")
+        print(f"type: {ty}")
+        if args.run:
+            budget = Budget.of(args.run_fuel, None, None)
+            value, _machine = evaluate_ft(linked.program, budget=budget)
+            print(f"value: {value}")
+    finally:
+        _sys.setrecursionlimit(old_limit)
     return 0
 
 
@@ -1040,7 +1158,56 @@ def build_arg_parser() -> argparse.ArgumentParser:
                              "(default 1,000,000)")
     p_comp.add_argument("--seed", type=int, default=0,
                         help="validation input-generator seed")
+    p_comp.add_argument("--store", nargs="?", const="", default=None,
+                        metavar="DIR",
+                        help="persist the compilation in the artifact "
+                             "store (default dir: $FUNTAL_STORE or "
+                             "~/.cache/funtal); with --validate, reuses "
+                             "stored validation receipts")
     p_comp.set_defaults(fn=cmd_compile)
+
+    p_bld = sub.add_parser(
+        "build",
+        help="incrementally compile a multi-component manifest "
+             "(store-first: only changed components recompile)")
+    p_bld.add_argument("manifest",
+                       help="manifest JSON file ('-' for stdin); see "
+                            "docs/linking.md")
+    p_bld.add_argument("--store", default=None, metavar="DIR",
+                       help="artifact store directory (default: "
+                            "$FUNTAL_STORE or ~/.cache/funtal)")
+    p_bld.add_argument("--validate", action="store_true",
+                       help="translation-validate compiled components "
+                            "(receipts cached by content hash)")
+    p_bld.add_argument("--fuel", type=int, default=30_000,
+                       help="fuel per validation observation")
+    p_bld.add_argument("--seed", type=int, default=0,
+                       help="validation input-generator seed")
+    p_bld.add_argument("--json", action="store_true",
+                       help="machine-readable build report")
+    p_bld.set_defaults(fn=cmd_build)
+
+    p_lnk = sub.add_parser(
+        "link",
+        help="build a manifest, link the components with interface "
+             "checking, and typecheck (optionally run) the result")
+    p_lnk.add_argument("manifest",
+                       help="manifest JSON file ('-' for stdin)")
+    p_lnk.add_argument("--store", default=None, metavar="DIR",
+                       help="artifact store directory (default: "
+                            "$FUNTAL_STORE or ~/.cache/funtal)")
+    p_lnk.add_argument("--validate", action="store_true",
+                       help="translation-validate compiled components")
+    p_lnk.add_argument("--run", action="store_true",
+                       help="evaluate the linked program")
+    p_lnk.add_argument("--fuel", type=int, default=30_000,
+                       help="fuel per validation observation")
+    p_lnk.add_argument("--run-fuel", type=int, default=None,
+                       help="machine step budget for --run "
+                            "(default 1,000,000)")
+    p_lnk.add_argument("--seed", type=int, default=0,
+                       help="validation input-generator seed")
+    p_lnk.set_defaults(fn=cmd_link)
 
     p_lint = sub.add_parser(
         "lint", help="static lints over the program's components")

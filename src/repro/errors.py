@@ -18,6 +18,9 @@ The main judgment families each get their own subclass:
   observe (potential) divergence and runaway allocation without dying.
 * :class:`SnapshotError` -- a machine checkpoint could not be captured or
   restored (unpicklable state, hash mismatch, truncation).
+* :class:`LinkError` -- separately compiled components could not be linked
+  (duplicate exports, unresolved/cyclic imports, interface mismatches);
+  see :mod:`repro.link`.
 * :class:`InjectedFault` -- a deterministic chaos fault fired at a named
   seam (:mod:`repro.resilience.chaos`).  Tests use it to assert that every
   degradation path is handled; it must never escape as an unhandled
@@ -142,6 +145,30 @@ class InjectedFault(FunTALError):
         self.seam = seam
         extra = f": {detail}" if detail else ""
         super().__init__(f"injected fault at seam {seam!r}{extra}")
+
+
+class LinkError(FunTALError):
+    """Separate compilation could not be combined into a program.
+
+    Raised by :mod:`repro.link` for every structured linking failure:
+    duplicate exports, unresolved or cyclic imports, and import/export
+    interface mismatches.  ``stage`` names the link phase that failed
+    (``"resolve"``, ``"interface"``, ``"exports"``, ``"cycle"``,
+    ``"manifest"``) and ``subject`` the offending component or import
+    name, so callers (CLI, serve) can report which edge of the component
+    graph broke without parsing the message.
+    """
+
+    def __init__(self, message: str, *, stage: str = "",
+                 subject: str = ""):
+        self.stage = stage
+        self.subject = subject
+        parts = [message]
+        if stage:
+            parts.append(f"[stage: {stage}]")
+        if subject:
+            parts.append(f"[subject: {subject}]")
+        super().__init__(" ".join(parts))
 
 
 class ParseError(FunTALError):

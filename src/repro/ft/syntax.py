@@ -526,9 +526,15 @@ def rename_locs_in_fexpr(e: FExpr, mapping: Dict[Loc, Loc],
 
 
 def _rename_component(comp: Component, mapping, rename_locs) -> Component:
+    # Heap entry *keys* are renamed along with references: a mapping that
+    # covers a component's own labels must move the binding occurrence
+    # too, or every renamed reference dangles.  Mappings that only touch
+    # labels bound elsewhere (the machine's load-time freshening) leave
+    # the keys alone via the ``get`` default.
     return Component(
         rename_locs(comp.instrs, mapping),
-        tuple((loc, rename_locs(h, mapping)) for loc, h in comp.heap))
+        tuple((mapping.get(loc, loc), rename_locs(h, mapping))
+              for loc, h in comp.heap))
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,53 @@
+"""``repro.link`` -- separate compilation, artifact store, typed linking.
+
+The production form of FunTAL's multi-language story: instead of one
+whole-program compile (:mod:`repro.compile`), a program is a *set of
+components* -- compiled F lambdas and hand-written T components -- each
+built independently, persisted in an on-disk content-addressed store,
+and combined by a linker that checks import/export interfaces (with TAL
+register-file subtyping) without ever re-typechecking component bodies.
+
+Layers (see ``docs/linking.md``):
+
+* :mod:`repro.link.fingerprint` -- process-stable content addresses;
+* :mod:`repro.link.store` -- the ``~/.cache/funtal`` artifact store
+  (atomic writes, integrity hashes, LRU eviction, ``link.store.*``
+  counters);
+* :mod:`repro.link.interface` -- component interfaces and the link-time
+  signature checker;
+* :mod:`repro.link.linker` -- alpha-renaming + substitution linking of
+  independently-built units into one closed FT program;
+* :mod:`repro.link.build` -- manifests, incremental recompilation, and
+  content-hash-amortized translation validation.
+
+CLI: ``funtal build`` / ``funtal link``; service: the ``link`` job kind
+(:mod:`repro.serve`).
+"""
+
+from repro.errors import LinkError
+from repro.link.build import (
+    BUILTIN_COMPONENTS, BuildRecord, BuildReport, Manifest,
+    TIER_HANDWRITTEN, build_and_link, build_manifest, cached_validation,
+    component_digest, parse_manifest,
+)
+from repro.link.fingerprint import canonical_encoding, stable_fingerprint
+from repro.link.interface import (
+    ComponentInterface, check_import, export_code_type, imports_compatible,
+)
+from repro.link.linker import (
+    LinkedProgram, LinkUnit, collect_labels, link_components,
+    rename_unit_labels, topological_order,
+)
+from repro.link.store import ArtifactStore, default_store_root
+
+__all__ = [
+    "LinkError", "ArtifactStore", "default_store_root",
+    "canonical_encoding", "stable_fingerprint",
+    "ComponentInterface", "check_import", "export_code_type",
+    "imports_compatible",
+    "LinkUnit", "LinkedProgram", "link_components", "collect_labels",
+    "rename_unit_labels", "topological_order",
+    "Manifest", "parse_manifest", "BuildRecord", "BuildReport",
+    "build_manifest", "build_and_link", "cached_validation",
+    "component_digest", "BUILTIN_COMPONENTS", "TIER_HANDWRITTEN",
+]

@@ -1,0 +1,104 @@
+"""Process-stable content addresses for syntax trees and artifacts.
+
+The store and the build system key everything -- compiled components,
+interfaces, validation receipts -- by the SHA-256 of a *canonical
+structural encoding* of the object.  Pickle is no good here: its byte
+stream leaks memoization order, protocol version, and interning
+accidents (two structurally equal nodes pickle differently depending on
+whether :class:`repro.caching.InternTable` collapsed them), so the same
+lambda would hash differently in two worker processes and the on-disk
+cache would never hit across runs.  The encoding below depends only on
+the node classes and their field values:
+
+* dataclasses encode as ``(module.QualName field-encodings...)`` in
+  ``__dataclass_fields__`` order -- the declaration order is part of the
+  class, not of the process;
+* containers encode structurally (dicts and sets are sorted by their
+  encoded keys/elements, so iteration order is irrelevant);
+* atoms carry a type tag so ``1``, ``1.0`` and ``True`` stay distinct.
+
+Anything else (functions, machines, open file handles) is rejected
+loudly -- an artifact hash must never silently depend on unhashable
+runtime state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any
+
+__all__ = ["canonical_encoding", "stable_fingerprint"]
+
+
+def canonical_encoding(obj: Any) -> str:
+    """A deterministic, process-independent text encoding of ``obj``."""
+    out: list = []
+    _encode(obj, out)
+    return "".join(out)
+
+
+def _encode(obj: Any, out: list) -> None:
+    if obj is None:
+        out.append("#n")
+        return
+    if obj is True or obj is False:
+        out.append("#t" if obj else "#f")
+        return
+    if isinstance(obj, int):
+        out.append(f"i{obj}")
+        return
+    if isinstance(obj, float):
+        out.append(f"f{obj!r}")
+        return
+    if isinstance(obj, str):
+        out.append(f"s{json.dumps(obj, ensure_ascii=True)}")
+        return
+    if isinstance(obj, bytes):
+        out.append(f"b{obj.hex()}")
+        return
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        cls = type(obj)
+        out.append(f"({cls.__module__}.{cls.__qualname__}")
+        for name in cls.__dataclass_fields__:
+            out.append(" ")
+            _encode(getattr(obj, name), out)
+        out.append(")")
+        return
+    if isinstance(obj, (tuple, list)):
+        out.append("(t" if isinstance(obj, tuple) else "(l")
+        for item in obj:
+            out.append(" ")
+            _encode(item, out)
+        out.append(")")
+        return
+    if isinstance(obj, dict):
+        # Sort by the *encoded* key so mixed-type keys still order
+        # deterministically, independent of insertion order.
+        items = sorted((canonical_encoding(k), k, v)
+                       for k, v in obj.items())
+        out.append("(d")
+        for enc_k, _, v in items:
+            out.append(f" {enc_k} ")
+            _encode(v, out)
+        out.append(")")
+        return
+    if isinstance(obj, (set, frozenset)):
+        out.append("(S")
+        for enc in sorted(canonical_encoding(x) for x in obj):
+            out.append(f" {enc}")
+        out.append(")")
+        return
+    raise TypeError(
+        f"cannot content-address a {type(obj).__module__}."
+        f"{type(obj).__qualname__}: only dataclasses, containers, and "
+        f"atoms have canonical encodings")
+
+
+def stable_fingerprint(obj: Any) -> str:
+    """SHA-256 hex digest of the canonical encoding -- identical across
+    calls, runs, interpreters, and machines for structurally equal
+    inputs."""
+    return hashlib.sha256(
+        canonical_encoding(obj).encode("utf-8")).hexdigest()

@@ -26,6 +26,11 @@ Job kinds mirror the CLI subcommands:
                ``options.right`` at ``options.type``
 ``resume``     continue a fuel-suspended machine from ``job.snapshot``
                with ``options.fuel`` as the next slice
+``link``       build the multi-component manifest in ``source``
+               incrementally against the on-disk artifact store
+               (``options.store``), link with interface checking, and
+               (unless ``options.run`` is false) evaluate the linked
+               program; warm workers reuse store artifacts across jobs
 =============  ===========================================================
 
 ``run`` and ``resume`` respect the unified resource governors
@@ -269,6 +274,52 @@ def _do_equiv(job: Job) -> Dict[str, Any]:
             "agreements": len(report.agreements)}
 
 
+def _do_link(job: Job) -> Dict[str, Any]:
+    import sys
+
+    from repro.ft.machine import FTMachine
+    from repro.link import ArtifactStore, build_and_link, parse_manifest
+    from repro.resilience.budget import Budget
+
+    manifest = parse_manifest(job.source)
+    store = ArtifactStore(job.options.store) if job.options.store else None
+    report, linked = build_and_link(
+        manifest, store, validate=job.options.validate,
+        validate_fuel=job.options.fuel or 30_000, seed=job.options.seed)
+    out: Dict[str, Any] = {
+        "components": [r.name for r in report.records],
+        "tiers": {r.name: r.tier for r in report.records},
+        "digests": {r.name: r.digest for r in report.records},
+        "recompiled": report.recompiled,
+        "cached": report.cached,
+        "labels_renamed": linked.labels_renamed,
+    }
+    if job.options.validate:
+        out["validation"] = {
+            r.name: dict(r.validation, cached=r.validation_cached)
+            for r in report.records if r.validation is not None}
+    # Linked closures nest an F evaluator per boundary crossing, so
+    # typechecking/running recursive programs needs the same host-stack
+    # headroom the compile CLI grants (docs/performance.md).
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 100_000))
+    try:
+        from repro.ft.typecheck import check_ft_expr
+
+        ty, _ = check_ft_expr(linked.program)
+        out["type"] = str(ty)
+        if job.options.run:
+            machine = FTMachine(budget=Budget(
+                fuel=job.options.fuel or DEFAULT_FUEL,
+                heap=job.options.heap, depth=job.options.depth))
+            value = machine.evaluate(linked.program)
+            out["value"] = str(value)
+            out["steps"] = machine.budget.fuel_used
+    finally:
+        sys.setrecursionlimit(old_limit)
+    return out
+
+
 _EXECUTORS = {
     "parse": _do_parse,
     "typecheck": _do_typecheck,
@@ -277,6 +328,7 @@ _EXECUTORS = {
     "compile": _do_compile,
     "equiv": _do_equiv,
     "resume": _do_resume,
+    "link": _do_link,
 }
 
 

@@ -35,9 +35,12 @@ __all__ = [
 #: ``resume``, which continues a fuel-suspended machine from the
 #: content-addressed snapshot a checkpointing ``run`` handed back.
 #: ``compile`` is the whole-F compiler (:mod:`repro.compile`); ``jit``
-#: remains the historical arithmetic-fragment entry point.
+#: remains the historical arithmetic-fragment entry point.  ``link``
+#: builds and links a multi-component manifest (:mod:`repro.link`);
+#: its ``source`` is the manifest JSON, and warm workers reuse the
+#: on-disk artifact store (``options.store``) across jobs.
 JOB_KINDS = ("parse", "typecheck", "run", "jit", "compile", "equiv",
-             "resume")
+             "resume", "link")
 
 #: Every status a result can carry.  ``ok`` is the only cacheable one;
 #: ``rejected`` is produced by the server under backpressure (bounded
@@ -86,6 +89,8 @@ class JobOptions:
     right: Optional[str] = None         # equiv: right-hand source
     no_cache: bool = False              # bypass the result cache
     engine: Optional[str] = None        # run/resume: F stepper (subst|cek)
+    store: Optional[str] = None         # link: artifact-store directory
+    run: bool = True                    # link: evaluate the linked program
     inject_crash: bool = False          # fault injection: kill the worker
     inject_sleep: float = 0.0           # fault injection: stall the worker
 
@@ -94,7 +99,9 @@ class JobOptions:
     #: because the two F steppers are observably step-equivalent (the
     #: differential suite enforces identical values, step counts, and
     #: budget verdicts), so results are shareable across engines.
-    NON_SEMANTIC = ("timeout", "no_cache", "engine",
+    #: ``store`` is operational too: the artifact store is a cache, and
+    #: content addressing makes its hits semantically invisible.
+    NON_SEMANTIC = ("timeout", "no_cache", "engine", "store",
                     "inject_crash", "inject_sleep")
 
     def to_dict(self) -> Dict[str, Any]:
@@ -166,6 +173,10 @@ class Job:
             if self.options.right is None or self.options.type is None:
                 raise ProtocolError(
                     "equiv jobs need options.right and options.type")
+        if self.kind == "link" and self.source is None:
+            raise ProtocolError(
+                "link jobs take 'source' (the manifest JSON), not "
+                "'example'")
         if self.options.checkpoint and self.options.jit:
             raise ProtocolError(
                 "options.checkpoint and options.jit are mutually "

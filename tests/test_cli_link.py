@@ -1,0 +1,126 @@
+"""Tests for ``funtal build`` / ``funtal link`` and ``compile --store``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+MANIFEST = {
+    "components": {
+        "double": "lam (x: int). (x + x)",
+        "quad": "lam (x: int). double (double x)",
+        "fact": {"builtin": "fact-t"},
+    },
+    "main": "quad (fact 3)",
+}
+
+
+@pytest.fixture
+def manifest_file(tmp_path):
+    def write(data=None):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps(data or MANIFEST))
+        return str(path)
+
+    return write
+
+
+@pytest.fixture
+def store_dir(tmp_path):
+    return str(tmp_path / "store")
+
+
+class TestBuild:
+    def test_cold_then_warm(self, manifest_file, store_dir, capsys):
+        path = manifest_file()
+        assert main(["build", path, "--store", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert out.count("compiled") == 3
+        assert "handwritten" in out
+
+        assert main(["build", path, "--store", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert out.count("cached") == 3
+        assert "compiled" not in out
+
+    def test_json_report(self, manifest_file, store_dir, capsys):
+        path = manifest_file()
+        assert main(["build", path, "--store", store_dir, "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert sorted(data["recompiled"]) == ["double", "fact", "quad"]
+        assert data["store"] == store_dir
+
+    def test_validate(self, manifest_file, store_dir, capsys):
+        path = manifest_file()
+        assert main(["build", path, "--store", store_dir,
+                     "--validate"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("validation: validated") == 2   # not handwritten
+        assert main(["build", path, "--store", store_dir,
+                     "--validate"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("validation: cached receipt") == 2
+
+    def test_bad_manifest_exits_1(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("not json {")
+        assert main(["build", str(path)]) == 1
+        assert "manifest" in capsys.readouterr().err
+
+
+class TestLink:
+    def test_link_and_run(self, manifest_file, store_dir, capsys):
+        path = manifest_file()
+        assert main(["link", path, "--store", store_dir, "--run"]) == 0
+        out = capsys.readouterr().out
+        assert "linked 3 component(s) in order: double, fact, quad" in out
+        assert "type: int" in out
+        assert "value: 24" in out
+        assert "labels renamed:" in out
+
+    def test_link_reuses_build_store(self, manifest_file, store_dir,
+                                     capsys):
+        path = manifest_file()
+        assert main(["build", path, "--store", store_dir]) == 0
+        capsys.readouterr()
+        assert main(["link", path, "--store", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert out.count("cached") == 3
+
+    def test_interface_error_exits_1(self, tmp_path, capsys):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps({
+            "components": {"a": "lam (x: int). ghost x"},
+            "main": "a 1"}))
+        assert main(["link", str(path)]) == 1
+        assert "ghost" in capsys.readouterr().err
+
+
+class TestCompileStore:
+    def test_store_and_cached_receipt(self, tmp_path, store_dir, capsys):
+        src = tmp_path / "dbl.f"
+        src.write_text("lam (x: int). (x + x)")
+        assert main(["compile", str(src), "--store", store_dir,
+                     "--validate"]) == 0
+        out = capsys.readouterr().out
+        assert "stored:" in out
+        assert "translation validation: validated" in out
+        assert main(["compile", str(src), "--store", store_dir,
+                     "--validate"]) == 0
+        out = capsys.readouterr().out
+        assert "translation validation: cached receipt" in out
+
+    def test_compile_store_shares_artifacts_with_build(
+            self, tmp_path, manifest_file, store_dir, capsys):
+        """`funtal compile --store` and `funtal build` address by the
+        same content digest, so one seeds the other."""
+        src = tmp_path / "dbl.f"
+        src.write_text(MANIFEST["components"]["double"])
+        assert main(["compile", str(src), "--store", store_dir]) == 0
+        capsys.readouterr()
+        assert main(["build", manifest_file(), "--store", store_dir]) == 0
+        out = capsys.readouterr().out
+        # double is already in the store; only quad and fact compile.
+        assert "cached    double" in out
+        assert out.count("compiled") == 2

@@ -1,0 +1,201 @@
+"""Tests for :mod:`repro.link.store` -- the on-disk artifact store.
+
+The robustness contract: a truncated or bit-flipped artifact is
+*detected* (integrity hash) and *healed* (deleted, read as a miss, the
+caller recompiles), never deserialized or crashed on; concurrent
+writers of one digest never produce a torn read.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.f.syntax import IntE, Lam, FInt, Var
+from repro.link import ArtifactStore, default_store_root, \
+    stable_fingerprint
+from repro.link.store import STORE_VERSION
+
+
+@pytest.fixture(autouse=True)
+def obs_off():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store", maxsize=8)
+
+
+def digest_of(obj):
+    return stable_fingerprint(obj)
+
+
+PAYLOAD = Lam((("x", FInt()),), Var("x"))
+
+
+class TestRoundtrip:
+    def test_put_get(self, store):
+        digest = digest_of(PAYLOAD)
+        path = store.put(digest, PAYLOAD, meta={"tier": "arith"})
+        assert path.exists() and path == store.path(digest)
+        found = store.get(digest)
+        assert found is not None
+        meta, obj = found
+        assert meta == {"tier": "arith"}
+        assert obj == PAYLOAD
+        assert len(store) == 1
+
+    def test_miss(self, store):
+        assert store.get("0" * 64) is None
+
+    def test_kinds_are_disjoint(self, store):
+        digest = digest_of(PAYLOAD)
+        store.put(digest, PAYLOAD)
+        assert store.get(digest, kind="validation") is None
+        store.put_validation(digest, {"ok": True})
+        assert store.get_validation(digest) == {"ok": True}
+        assert store.stats()["artifacts"] == 1
+        assert store.stats()["validations"] == 1
+
+    def test_delete_and_clear(self, store):
+        digest = digest_of(PAYLOAD)
+        store.put(digest, PAYLOAD)
+        assert store.delete(digest)
+        assert not store.delete(digest)
+        store.put(digest, PAYLOAD)
+        store.clear()
+        assert len(store) == 0
+
+    def test_default_root_honors_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("FUNTAL_STORE", str(tmp_path / "env-store"))
+        assert default_store_root() == tmp_path / "env-store"
+        assert ArtifactStore().root == tmp_path / "env-store"
+
+    def test_envelope_is_json_with_integrity(self, store):
+        digest = digest_of(PAYLOAD)
+        envelope = json.loads(store.put(digest, PAYLOAD).read_text())
+        assert envelope["version"] == STORE_VERSION
+        assert envelope["digest"] == digest
+        assert set(envelope) >= {"kind", "meta", "payload", "integrity"}
+
+
+class TestCorruption:
+    """Every flavor of damage reads as a counted miss and self-heals."""
+
+    def _damage_cases(self, path):
+        text = path.read_text()
+        envelope = json.loads(text)
+        flipped = dict(envelope)
+        payload = flipped["payload"]
+        flipped["payload"] = \
+            ("A" if payload[0] != "A" else "B") + payload[1:]
+        return {
+            "truncated": text[: len(text) // 2],
+            "empty": "",
+            "not json": "payload: definitely not json {",
+            "bit-flipped payload": json.dumps(flipped),
+            "wrong digest": json.dumps(dict(envelope, digest="f" * 64)),
+            "future version": json.dumps(dict(envelope, version=999)),
+        }
+
+    def test_damage_is_detected_and_healed(self, store):
+        digest = digest_of(PAYLOAD)
+        path = store.put(digest, PAYLOAD)
+        for name, damaged in self._damage_cases(path).items():
+            store.put(digest, PAYLOAD)          # restore a good copy
+            path.write_text(damaged)
+            assert store.get(digest) is None, f"case {name!r} not a miss"
+            assert not path.exists(), f"case {name!r} not deleted"
+            # ... and recovery is just re-putting:
+            store.put(digest, PAYLOAD)
+            assert store.get(digest) is not None
+
+    def test_corruption_is_counted(self, store):
+        digest = digest_of(PAYLOAD)
+        path = store.put(digest, PAYLOAD)
+        path.write_text(path.read_text()[:40])
+        obs.enable(record=False)
+        assert store.get(digest) is None
+        counters = obs.OBS.metrics.snapshot()["counters"]
+        assert counters.get("link.store.corrupt") == 1
+        assert counters.get("link.store.miss") == 1
+
+    def test_no_stray_temp_files_after_puts(self, store):
+        digest = digest_of(PAYLOAD)
+        for _ in range(5):
+            store.put(digest, PAYLOAD)
+        assert list(store.root.glob("*.tmp")) == []
+
+
+class TestConcurrency:
+    def test_concurrent_same_digest_writers_no_torn_reads(self, tmp_path):
+        """N threads hammering put() of one digest while readers poll:
+        every successful get returns the one true payload (atomic
+        replace means torn envelopes are impossible)."""
+        store = ArtifactStore(tmp_path / "store", maxsize=64)
+        digest = digest_of(PAYLOAD)
+        errors = []
+
+        def writer():
+            for _ in range(10):
+                store.put(digest, PAYLOAD)
+
+        def reader():
+            for _ in range(20):
+                found = store.get(digest)
+                if found is not None and found[1] != PAYLOAD:
+                    errors.append("torn read")
+
+        threads = [threading.Thread(target=writer) for _ in range(4)] \
+            + [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        found = store.get(digest)
+        assert found is not None and found[1] == PAYLOAD
+
+
+class TestEviction:
+    def test_lru_eviction_beyond_maxsize(self, tmp_path):
+        import os
+        store = ArtifactStore(tmp_path / "store", maxsize=3)
+        digests = [digest_of(("entry", i)) for i in range(4)]
+        for i, digest in enumerate(digests[:3]):
+            path = store.put(digest, IntE(i))
+            os.utime(path, (1000 + i, 1000 + i))    # deterministic ages
+        store.put(digests[3], IntE(3))
+        assert len(store) == 3
+        assert store.get(digests[0]) is None        # stalest is gone
+        assert all(store.get(d) is not None for d in digests[1:])
+
+    def test_get_touches_mtime(self, tmp_path):
+        import os
+        store = ArtifactStore(tmp_path / "store", maxsize=2)
+        a, b, c = (digest_of(("touch", i)) for i in range(3))
+        pa = store.put(a, IntE(0))
+        pb = store.put(b, IntE(1))
+        os.utime(pa, (1000, 1000))
+        os.utime(pb, (2000, 2000))
+        store.get(a)                                # a becomes the MRU
+        store.put(c, IntE(2))
+        assert store.get(a) is not None
+        assert store.get(b) is None
+
+    def test_counters(self, store):
+        obs.enable(record=False)
+        digest = digest_of(PAYLOAD)
+        store.get(digest)
+        store.put(digest, PAYLOAD)
+        store.get(digest)
+        counters = obs.OBS.metrics.snapshot()["counters"]
+        assert counters.get("link.store.miss") == 1
+        assert counters.get("link.store.put") == 1
+        assert counters.get("link.store.hit") == 1

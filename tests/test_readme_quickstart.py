@@ -50,3 +50,28 @@ def test_quickstart_cli_line_works(capsys, tmp_path, monkeypatch):
                         io.StringIO("(lam (x: int). (x * 2)) (21)"))
     assert main(["run", "-"]) == 0
     assert "value: 42" in capsys.readouterr().out
+
+
+def test_quickstart_linking_lines_work(capsys, tmp_path):
+    """Verbatim from README.md's separate-compilation snippet."""
+    import json
+
+    from repro.cli import main
+
+    manifest = tmp_path / "prog.json"
+    manifest.write_text(json.dumps({
+        "components": {
+            "double": "lam (x: int). (x + x)",
+            "quad": "lam (x: int). double (double x)",
+            "fact": {"builtin": "fact-t"},
+        },
+        "main": "quad (fact 3)",
+    }))
+    store = str(tmp_path / ".store")
+    assert main(["build", str(manifest), "--store", store]) == 0
+    assert capsys.readouterr().out.count("compiled") == 3
+    assert main(["build", str(manifest), "--store", store]) == 0
+    assert capsys.readouterr().out.count("cached") == 3
+    assert main(["link", str(manifest), "--store", store, "--run"]) == 0
+    out = capsys.readouterr().out
+    assert "type: int" in out and "value: 24" in out

@@ -1,0 +1,101 @@
+"""Tests for the ``link`` job kind: manifests through the serving layer.
+
+A warm worker pointed at a shared ``--store`` serves repeat links from
+artifacts written by any earlier process (or the CLI).
+"""
+
+import json
+
+import pytest
+
+from repro.serve.executor import execute_job
+from repro.serve.protocol import JOB_KINDS, Job, JobOptions, ProtocolError
+
+MANIFEST = json.dumps({
+    "components": {
+        "double": "lam (x: int). (x + x)",
+        "quad": "lam (x: int). double (double x)",
+        "fact": {"builtin": "fact-t"},
+    },
+    "main": "quad (fact 3)",
+})
+
+
+class TestProtocol:
+    def test_link_is_a_job_kind(self):
+        assert "link" in JOB_KINDS
+
+    def test_link_needs_source(self):
+        with pytest.raises(ProtocolError):
+            Job("link", example="fig17")
+        with pytest.raises(ProtocolError):
+            Job("link")
+
+    def test_store_is_not_semantic(self):
+        opts = JobOptions(store="/anywhere", fuel=99)
+        assert "store" not in opts.semantic_dict()
+        assert opts.semantic_dict().get("fuel") == 99
+        assert JobOptions.from_dict(
+            {"store": "/x", "run": False}).run is False
+
+    def test_roundtrip(self):
+        job = Job("link", source=MANIFEST,
+                  options=JobOptions(store="/tmp/s", run=False))
+        back = Job.from_dict(job.to_dict())
+        assert back.kind == "link"
+        assert back.options.store == "/tmp/s"
+        assert back.options.run is False
+
+
+class TestExecute:
+    def test_link_and_run(self):
+        result = execute_job(Job("link", source=MANIFEST))
+        assert result.ok
+        out = result.output
+        assert out["value"] == "24"
+        assert out["components"] == ["double", "fact", "quad"]
+        assert out["tiers"]["fact"] == "handwritten"
+        assert sorted(out["recompiled"]) == ["double", "fact", "quad"]
+        assert out["labels_renamed"] > 0
+        assert out["type"] == "int"
+
+    def test_link_without_run(self):
+        result = execute_job(Job("link", source=MANIFEST,
+                                 options=JobOptions(run=False)))
+        assert result.ok
+        assert "value" not in result.output
+        assert result.output["type"] == "int"
+
+    def test_store_reuse_across_jobs(self, tmp_path):
+        store = str(tmp_path / "store")
+        cold = execute_job(Job("link", source=MANIFEST,
+                               options=JobOptions(store=store)))
+        assert sorted(cold.output["recompiled"]) \
+            == ["double", "fact", "quad"]
+        warm = execute_job(Job("link", source=MANIFEST,
+                               options=JobOptions(store=store)))
+        assert warm.output["recompiled"] == []
+        assert sorted(warm.output["cached"]) == ["double", "fact", "quad"]
+        assert warm.output["value"] == "24"
+
+    def test_validation_option(self, tmp_path):
+        result = execute_job(Job(
+            "link", source=MANIFEST,
+            options=JobOptions(store=str(tmp_path / "store"),
+                               validate=True, run=False)))
+        assert result.ok
+        validation = result.output["validation"]
+        assert validation["double"]["ok"] and validation["quad"]["ok"]
+        assert "fact" not in validation        # handwritten: static check
+
+    def test_bad_manifest_is_an_error_result(self):
+        result = execute_job(Job("link", source="not json {"))
+        assert result.status == "error"
+        assert "manifest" in result.error
+
+    def test_link_error_is_an_error_result(self):
+        bad = json.dumps({"components": {"a": "lam (x: int). ghost x"},
+                          "main": "a 1"})
+        result = execute_job(Job("link", source=bad))
+        assert result.status == "error"
+        assert "ghost" in result.error
