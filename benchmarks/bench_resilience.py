@@ -14,6 +14,11 @@ resilient-runtime trajectory:
   latency and payload size at a mid-run suspension of ``fact-f``.
 * ``chaos`` -- the fixed-seed drill (seeds 0,1,2 over every example):
   asserted zero wrong answers and zero unhandled exceptions.
+* ``serve_drill`` -- the serve-fleet storm (``funtal chaos drill
+  --serve``): >= 200 mixed jobs against a live worker pool under kills,
+  hangs, corrupt envelopes, and store faults.  Gated hard in CI:
+  ``jobs_lost`` must be 0 and at least one job must finish via mid-run
+  checkpoint recovery on a sibling worker; MTTR quantiles are archived.
 """
 
 import json
@@ -143,3 +148,37 @@ def test_chaos_drill(record, capsys):
         "faults_injected": sum(r["faults"] for r in payload["rows"]),
     }
     record(f"chaos drill: {_RESULTS['chaos']}")
+
+
+def test_serve_chaos_drill(record):
+    """The serve-fleet storm (supervision acceptance gate).
+
+    Seeded corpus of >= 200 mixed jobs -- runs, typechecks, links
+    against a chaos-armed artifact store, adversarial components,
+    checkpointed runs -- with ~10% of jobs carrying worker kills,
+    hangs, corrupt result envelopes, or long stalls.  The invariants:
+
+    * ``jobs_lost == 0`` -- every submitted job resolves terminally;
+    * ``recovered >= 1`` -- at least one killed job finished from its
+      mid-run checkpoint on a *different* worker (not a cold restart).
+    """
+    from repro.serve.drill import run_serve_drill
+
+    report = run_serve_drill(seed=0, jobs=200, workers=4, rate=0.1)
+    _RESULTS["serve_drill"] = {
+        "seed": report["seed"],
+        "jobs": report["jobs"],
+        "workers": report["workers"],
+        "fault_rate": report["fault_rate"],
+        "statuses": report["statuses"],
+        "jobs_lost": report["lost"],
+        "recovered": report["recovered"],
+        "degraded": report["degraded"],
+        "quarantined_digests": report["quarantine"].get("entries", 0),
+        "mttr_ms": {k: round(v, 3) if isinstance(v, float) else v
+                    for k, v in report["mttr_ms"].items()},
+        "wall_s": report["duration_s"],
+    }
+    record(f"serve drill: {_RESULTS['serve_drill']}")
+    assert report["lost"] == 0, f"lost jobs: {report['lost_ids']}"
+    assert report["recovered"] >= 1

@@ -137,12 +137,27 @@ def test_batch_throughput_vs_sequential(record):
     if speedup < 1.0:
         # A pool slower than the sequential baseline is a regression on
         # any host, cores or not -- say so loudly instead of quietly
-        # recording speedup_asserted: false.
+        # recording speedup_asserted: false, AND write it into the
+        # artifact as a first-class known_regressions entry so the
+        # trajectory diff cannot miss it (first observed at 0.379x on
+        # the 1-CPU CI host, where the speedup assertion is skipped).
         msg = (f"serve batch REGRESSION: {WORKERS}-worker pool is "
                f"{speedup:.2f}x the sequential baseline (slower!) on a "
                f"{cpus}-CPU host; history {_RESULTS['throughput']['speedup_history']}")
         record(msg)
         warnings.warn(msg, stacklevel=1)
+        _RESULTS.setdefault("known_regressions", []).append({
+            "name": "batch_parallelism",
+            "metric": "throughput.speedup",
+            "value": round(speedup, 3),
+            "threshold": 1.0,
+            "asserted": cpus >= WORKERS,
+            "cpus": cpus,
+            "first_observed": 0.379,
+            "cause": "dispatch/IPC overhead dominates on hosts with "
+                     "fewer CPUs than workers; the >=2x assertion only "
+                     "arms when cpus >= workers",
+        })
     if cpus >= WORKERS:
         # The ISSUE acceptance bound; meaningless without the cores.
         assert speedup >= 2.0, (

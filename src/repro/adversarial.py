@@ -1,0 +1,137 @@
+"""Handwritten adversarial T components (ROADMAP item 5, seeded).
+
+Each entry is a small TAL component that *looks* plausible but violates
+the FT typing discipline in a way the paper's metatheory is supposed to
+rule out: smuggling a forged return address, re-entering freed stack
+space, misusing ``protect``, or lying about what ``halt`` hands back.
+
+Every component satisfies two checkable properties, asserted by
+``tests/test_adversarial.py`` and exercised continuously by the serve
+chaos drill (``funtal chaos drill --serve``):
+
+* the FT typechecker **rejects** it with a structured
+  :class:`~repro.errors.FTTypeError` (never an unstructured crash), and
+* running it anyway on the untyped machine either **traps safely**
+  (structured :class:`~repro.errors.MachineError`) or halts -- it never
+  corrupts the interpreter or escapes as a raw Python exception.
+
+The registry doubles as a serve-job corpus: :func:`adversarial_jobs`
+yields ``typecheck`` jobs whose expected terminal status is ``error``,
+which the drill mixes into its workload so supervision is tested against
+hostile *inputs*, not just injected *faults*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+__all__ = ["Adversary", "ADVERSARIES", "adversarial_jobs"]
+
+
+@dataclass(frozen=True)
+class Adversary:
+    """One adversarial component and what we expect of it."""
+
+    name: str
+    title: str
+    source: str
+    #: substring expected in the typechecker's rejection message
+    rejects_with: str
+    #: "trap" if the untyped machine raises MachineError, "halt" if it
+    #: runs to a (bogus) halt -- either is safe; a raw crash is not.
+    machine_behavior: str
+    description: str
+
+
+ADVERSARIES: Tuple[Adversary, ...] = (
+    Adversary(
+        name="smuggled-ra",
+        title="Smuggled return address",
+        source=(
+            "(mv r1, 42; mv ra, evil; ret ra {r1}, "
+            "{evil -> code[]{r1: int; int :: nil} end{int; nil}. "
+            "halt int, int :: nil {r1}})"
+        ),
+        rejects_with="marker",
+        machine_behavior="halt",
+        description=(
+            "Forges a return address into ``ra`` and returns through it. "
+            "The fake continuation's halt announces a stack (``int :: "
+            "nil``) that contradicts its own ``end{int; nil}`` marker, so "
+            "the caller's protected frame would be misreported."
+        ),
+    ),
+    Adversary(
+        name="stack-reentry",
+        title="Re-entry into freed stack space",
+        source=(
+            "(mv r1, 7; salloc 1; sst 0, r1; jmp loop, "
+            "{loop -> code[]{r1: int; unit :: nil} end{int; nil}. "
+            "sfree 1; jmp loop})"
+        ),
+        rejects_with="stack",
+        machine_behavior="trap",
+        description=(
+            "A loop that frees its stack slot and then jumps back to "
+            "itself, which still expects the slot to be live.  The "
+            "second entry would read memory below the stack pointer; "
+            "the typechecker rejects the re-entering jmp because the "
+            "current stack ``nil`` no longer matches the code type's "
+            "``unit :: nil``, and the untyped machine traps with a "
+            "stack underflow."
+        ),
+    ),
+    Adversary(
+        name="protect-misuse",
+        title="protect over slots that are not there",
+        source="(protect <int>, z; halt int, int :: z {r1}, .)",
+        rejects_with="protect",
+        machine_behavior="trap",
+        description=(
+            "Claims to protect one stack slot while the stack is empty, "
+            "then halts through the phantom tail variable.  Accepting "
+            "this would let untrusted code abstract over (and thereby "
+            "capture) callee stack space it never owned."
+        ),
+    ),
+    Adversary(
+        name="halt-confusion",
+        title="halt lies about the answer's type",
+        source=(
+            "(mv r1, blk; halt int, nil {r1}, "
+            "{blk -> code[]{.; nil} end{int; nil}. "
+            "mv r1, 0; halt int, nil {r1}})"
+        ),
+        rejects_with="halt",
+        machine_behavior="halt",
+        description=(
+            "Halts announcing an ``int`` result while ``r1`` actually "
+            "holds a code pointer.  If accepted, the F side of the "
+            "boundary would treat a raw code location as an integer -- "
+            "exactly the value-confusion FT's boundary typing exists to "
+            "prevent."
+        ),
+    ),
+)
+
+
+def adversarial_jobs(ids_prefix: str = "adv") -> List["Job"]:
+    """Serve jobs for the registry: each typecheck must come back
+    ``error`` (structured rejection), never ``ok`` and never ``crashed``.
+
+    Imported lazily so ``repro.adversarial`` stays importable without
+    the serve package (e.g. from documentation tooling).
+    """
+    from repro.serve.protocol import Job
+
+    return [
+        Job("typecheck", id=f"{ids_prefix}-{adv.name}", source=adv.source)
+        for adv in ADVERSARIES
+    ]
+
+
+def iter_sources() -> Iterator[Tuple[str, str]]:
+    """(name, source) pairs, for quick corpus iteration."""
+    for adv in ADVERSARIES:
+        yield adv.name, adv.source

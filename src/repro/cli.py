@@ -770,7 +770,7 @@ def _result_exit_code(result) -> int:
         return 0
     if result.status in ("fuel_exhausted", "resource_exhausted"):
         return EXIT_FUEL_EXHAUSTED
-    if result.status in ("timeout", "crashed", "rejected"):
+    if result.status in ("timeout", "crashed", "rejected", "overloaded"):
         return EXIT_JOB_FAILED
     return 1
 
@@ -1021,10 +1021,56 @@ def _chaos_one(name: str, build, reference: str, seed: int, rate: float,
     return verdict, detail
 
 
+def _cmd_chaos_serve_drill(args: argparse.Namespace) -> int:
+    """``funtal chaos drill --serve``: storm a live worker pool.
+
+    Exit 0 iff no job was lost AND at least one job finished via
+    mid-run checkpoint recovery on a sibling worker -- the two
+    supervision invariants the fleet is built around.
+    """
+    import json as _json
+
+    from repro.serve.drill import run_serve_drill
+
+    report = run_serve_drill(
+        seed=args.seed, jobs=args.jobs, workers=args.workers,
+        rate=args.fault_rate)
+    if args.json:
+        print(_json.dumps(report, sort_keys=True))
+    else:
+        statuses = ", ".join(f"{k}={v}"
+                             for k, v in report["statuses"].items())
+        mttr = report["mttr_ms"]
+        print(f"serve drill: seed={report['seed']} "
+              f"jobs={report['jobs']} workers={report['workers']} "
+              f"rate={report['fault_rate']}")
+        print(f"  statuses: {statuses}")
+        print(f"  lost={report['lost']} recovered={report['recovered']} "
+              f"degraded={report['degraded']} shed={report['shed']} "
+              f"quarantined={report['quarantined']}")
+        print(f"  mttr: count={mttr.get('count', 0)} "
+              f"mean={mttr.get('mean', 0.0):.1f}ms "
+              f"max={mttr.get('max', 0.0):.1f}ms "
+              f"wall={report['duration_s']}s")
+    ok = report["lost"] == 0 and report["recovered"] >= 1
+    if not ok:
+        print(f"serve drill FAILED: lost={report['lost']} "
+              f"recovered={report['recovered']} "
+              "(need lost == 0 and recovered >= 1)", file=sys.stderr)
+    return 0 if ok else 1
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     import json as _json
 
     from repro.resilience.chaos import SEAMS
+
+    if getattr(args, "mode", None) == "drill":
+        if not args.serve:
+            print("chaos drill requires --serve (the classic in-process "
+                  "sweep is plain 'funtal chaos')", file=sys.stderr)
+            return 2
+        return _cmd_chaos_serve_drill(args)
 
     seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
     seams = None
@@ -1380,6 +1426,21 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "chaos",
         help="run the paper examples under deterministic fault injection "
              "and assert every degradation path (see docs/resilience.md)")
+    p_ch.add_argument("mode", nargs="?", choices=("drill",),
+                      help="'drill' with --serve storms a live worker "
+                           "pool (kills, hangs, corrupt envelopes, "
+                           "store faults) and asserts zero lost jobs")
+    p_ch.add_argument("--serve", action="store_true",
+                      help="with 'drill': attack the serve fleet instead "
+                           "of the in-process seams")
+    p_ch.add_argument("--seed", type=int, default=0,
+                      help="serve drill corpus/fault seed")
+    p_ch.add_argument("--jobs", type=int, default=200,
+                      help="serve drill corpus size")
+    p_ch.add_argument("--workers", type=int, default=4,
+                      help="serve drill pool size")
+    p_ch.add_argument("--fault-rate", type=float, default=0.1,
+                      help="serve drill share of jobs carrying a fault")
     p_ch.add_argument("--seeds", default="0,1,2",
                       help="comma-separated fault-plane seeds")
     p_ch.add_argument("--rate", type=float, default=0.05,

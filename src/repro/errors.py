@@ -25,6 +25,14 @@ The main judgment families each get their own subclass:
   seam (:mod:`repro.resilience.chaos`).  Tests use it to assert that every
   degradation path is handled; it must never escape as an unhandled
   non-FunTAL exception.
+* :class:`OverloadError` -- the serving layer declined work it could not
+  take on right now.  Its two subclasses carry distinct recovery advice:
+  :class:`QueueFull` (the bounded pool queue is at capacity -- back off
+  for ``retry_after_ms`` and resubmit) and :class:`PoolClosed` (the pool
+  is shutting down -- resubmission to this pool is pointless).  The
+  serve layer maps them to distinct wire statuses (``overloaded`` vs
+  ``rejected``) so clients handle transient and terminal refusals
+  differently.
 """
 
 from __future__ import annotations
@@ -169,6 +177,31 @@ class LinkError(FunTALError):
         if subject:
             parts.append(f"[subject: {subject}]")
         super().__init__(" ".join(parts))
+
+
+class OverloadError(FunTALError):
+    """The serving layer refused work (admission control).
+
+    Catch this one type to cover every refusal; the subclasses tell a
+    caller whether backing off helps.
+    """
+
+
+class QueueFull(OverloadError):
+    """The pool's bounded pending queue is at capacity (``block=False``).
+
+    ``retry_after_ms`` is the pool's load-shedding advice: an estimate of
+    how long the queue needs to drain one slot, suitable for a jittered
+    client backoff.  Zero means the pool could not estimate.
+    """
+
+    def __init__(self, message: str, *, retry_after_ms: int = 0):
+        self.retry_after_ms = retry_after_ms
+        super().__init__(message)
+
+
+class PoolClosed(OverloadError):
+    """submit() after close(); resubmission to this pool cannot succeed."""
 
 
 class ParseError(FunTALError):

@@ -40,6 +40,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
 from repro.obs.events import OBS
+from repro.resilience.chaos import probe
 
 __all__ = ["ArtifactStore", "default_store_root", "STORE_VERSION"]
 
@@ -114,6 +115,7 @@ class ArtifactStore:
         ``link.store.corrupt``, is deleted, and reads as a miss -- the
         caller's recovery (recompile + re-put) heals the store.
         """
+        probe("store.io", f"get {kind} {digest[:12]}")
         path = self.path(digest, kind)
         try:
             text = path.read_text(encoding="utf-8")
@@ -159,6 +161,7 @@ class ArtifactStore:
         either the old complete file or the new complete file, never a
         torn one.
         """
+        probe("store.io", f"put {kind} {digest[:12]}")
         payload, integrity = _encode_payload(obj)
         envelope = {
             "version": STORE_VERSION,

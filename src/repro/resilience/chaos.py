@@ -28,6 +28,11 @@ Seams (see :data:`SEAMS`):
     execution of already-jitted code faults at call time.
 ``snapshot.pickle``
     checkpoint capture -- the pickler dies mid-snapshot.
+``snapshot.restore``
+    checkpoint restore -- the snapshot cannot be revived on this side.
+``store.io``
+    ArtifactStore.get/put -- the on-disk artifact store is faulting
+    (serve jobs degrade to store-less compilation rather than failing).
 
 Use as a context manager to scope injection::
 
@@ -54,6 +59,8 @@ SEAMS: Dict[str, str] = {
     "jit.compile": "JIT compilation of an F lambda",
     "jit.run": "execution of previously-jitted code",
     "snapshot.pickle": "machine checkpoint capture (pickling)",
+    "snapshot.restore": "machine checkpoint restore (unpickling)",
+    "store.io": "artifact-store reads/writes (ArtifactStore.get / put)",
 }
 
 #: The plane currently armed, or None.  Single-threaded by design: the

@@ -120,6 +120,7 @@ class MachineSnapshot:
         Returns the machine-specific resumable state that was passed to
         :meth:`capture`.
         """
+        probe("snapshot.restore", self.kind)
         actual = hashlib.sha256(self.payload).hexdigest()
         if actual != self.digest:
             raise SnapshotError(

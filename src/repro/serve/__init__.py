@@ -16,9 +16,18 @@ This package is that service, built from four layers:
   wall-clock timeouts and crash isolation: a worker that dies or hangs is
   reaped and respawned, its job retried with backoff up to a retry budget,
   then reported failed -- the pool itself never goes down.
+* :mod:`repro.serve.supervisor` -- the fleet supervision policy layered
+  over the pool: heartbeat-based hung-worker detection, per-slot restart
+  budgets with backoff, a per-kind circuit breaker, digest quarantine,
+  deadline shedding, and checkpoint-based mid-job crash recovery.
 * :mod:`repro.serve.server` / :mod:`repro.serve.client` -- an asyncio
   JSON-lines TCP server over the pool plus a synchronous client library
-  with ``submit``, ``submit_batch``, and streaming result iteration.
+  with ``submit``, ``submit_batch``, and streaming result iteration;
+  the client retries ``overloaded`` refusals with jittered backoff.
+* :mod:`repro.serve.drill` -- the seeded serve-level chaos drill
+  (``funtal chaos drill --serve``): a mixed job corpus under worker
+  kills, hangs, corrupt envelopes, and store faults, verifying that no
+  job is ever lost.
 
 Everything is instrumented through :mod:`repro.obs` (``serve.*`` counters,
 a queue-depth gauge, per-job spans).  CLI front-ends: ``funtal serve``,
@@ -31,6 +40,7 @@ from repro.serve.pool import PoolClosed, QueueFull, Ticket, WorkerPool
 from repro.serve.protocol import (
     JOB_KINDS, Job, JobResult, ProtocolError, decode_line, encode_line,
 )
+from repro.serve.supervisor import SupervisorConfig, job_fault_key
 
 __all__ = [
     "JOB_KINDS", "Job", "JobResult", "ProtocolError",
@@ -38,4 +48,5 @@ __all__ = [
     "LRUCache", "ResultCache", "job_cache_key",
     "execute_job",
     "PoolClosed", "QueueFull", "Ticket", "WorkerPool",
+    "SupervisorConfig", "job_fault_key",
 ]

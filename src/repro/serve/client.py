@@ -18,12 +18,20 @@
 The server replies out of submission order (results return as workers
 finish), so every call correlates replies by job id; ids are assigned
 client-side (``c1``, ``c2``, ...) when the caller did not pick any.
+
+``overloaded`` replies (admission control: bounded queue at capacity or
+an open circuit breaker) are retried automatically: the client honors
+the server's ``retry_after_ms`` hint with multiplicative jitter, up to
+``overload_retries`` resubmissions per job, before surfacing the
+``overloaded`` result to the caller.
 """
 
 from __future__ import annotations
 
 import itertools
+import random
 import socket
+import time
 from typing import Dict, Iterable, Iterator, List, Optional
 
 from repro.errors import FunTALError
@@ -42,9 +50,12 @@ class ServeClient:
     """One connection to a running ``funtal serve`` instance."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 4017,
-                 timeout: Optional[float] = 60.0):
+                 timeout: Optional[float] = 60.0,
+                 overload_retries: int = 3):
         self.host = host
         self.port = port
+        self.overload_retries = max(0, overload_retries)
+        self._rng = random.Random()
         self._ids = itertools.count(1)
         try:
             self._sock = socket.create_connection((host, port),
@@ -115,17 +126,35 @@ class ServeClient:
 
     def stream(self, jobs: Iterable[Job]) -> Iterator[JobResult]:
         """Submit everything up front, then yield results *as the server
-        finishes them* (arrival order, not submission order)."""
+        finishes them* (arrival order, not submission order).
+
+        ``overloaded`` replies are resubmitted after the server's
+        ``retry_after_ms`` hint (jittered by a uniform factor in
+        [0.5, 1.5) so a fleet of shed clients does not stampede back in
+        lockstep), up to :attr:`overload_retries` times per job."""
         expected = set()
+        by_id: Dict[str, Job] = {}
+        budget: Dict[str, int] = {}
         for job in jobs:
             self._ensure_id(job)
             if job.id in expected:
                 raise ClientError(f"duplicate job id {job.id!r}")
             expected.add(job.id)
+            by_id[job.id] = job
+            budget[job.id] = self.overload_retries
             self._send(job.to_dict())
         while expected:
             data = self._recv()
             result = JobResult.from_dict(data)
+            if result.status == "overloaded" \
+                    and budget.get(result.id, 0) > 0:
+                budget[result.id] -= 1
+                hint_ms = int(result.output.get("retry_after_ms", 0)) \
+                    or 50
+                time.sleep((hint_ms / 1000.0)
+                           * (0.5 + self._rng.random()))
+                self._send(by_id[result.id].to_dict())
+                continue
             # Unsolicited ids (e.g. rejects for unparsable lines) are
             # surfaced too -- the caller sent every line we read replies
             # for on this socket.

@@ -48,14 +48,21 @@ Programs come either inline (``source``) or as a built-in paper example
 from __future__ import annotations
 
 import os
+import signal
 import time
-from typing import Any, Dict, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
-from repro.errors import FuelExhausted, FunTALError, ResourceExhausted
+from repro.errors import (
+    FuelExhausted, FunTALError, InjectedFault, ResourceExhausted,
+)
 from repro.resilience.budget import DEFAULT_FUEL
 from repro.serve.protocol import Job, JobResult
 
 __all__ = ["execute_job", "DEFAULT_FUEL"]
+
+#: Callback type for mid-run checkpoints: the worker loop wires this to
+#: the result pipe, so the pool learns how far a job got before a crash.
+Progress = Callable[[Dict[str, Any]], None]
 
 
 class _Suspended(Exception):
@@ -126,36 +133,104 @@ def _do_typecheck(job: Job) -> Dict[str, Any]:
             "node": "component" if is_component else "expression"}
 
 
-def _do_run(job: Job) -> Dict[str, Any]:
+def _drive_slices(job: Job, machine, first: Callable[[], Any],
+                  progress: Optional[Progress],
+                  extra: Dict[str, Any]) -> Tuple[Any, int]:
+    """Run ``first()`` and keep resuming in ``checkpoint_every``-sized
+    fuel slices until the overall ``options.fuel`` budget is spent,
+    shipping a progress snapshot between slices.
+
+    Returns ``(outcome, total fuel used)``.  Exhausting the *overall*
+    budget behaves exactly like the unsliced path: ``suspended`` when
+    ``options.checkpoint`` is set and the machine can suspend,
+    ``fuel_exhausted`` otherwise.  ``inject_crash_at=N`` kills the
+    worker right *after* the Nth snapshot is on the wire, so recovery
+    tests know a checkpoint exists before the crash."""
+    total = job.options.fuel or DEFAULT_FUEL
+    every = max(1, int(job.options.checkpoint_every))
+    used = 0
+    shipped = 0
+    attempt = first
+    while True:
+        try:
+            outcome = attempt()
+        except FuelExhausted:
+            used += machine.budget.fuel_used
+            if not machine.suspended:
+                raise
+            if used >= total:
+                if job.options.checkpoint:
+                    raise _suspend(machine, dict(extra)) from None
+                raise
+            if progress is not None:
+                snapshot = machine.snapshot()
+                progress({"snapshot": snapshot.to_wire(), "spent": used,
+                          "remaining": total - used})
+            shipped += 1
+            if job.options.inject_crash_at is not None \
+                    and shipped >= job.options.inject_crash_at:
+                os._exit(23)
+            nxt = min(every, total - used)
+            attempt = lambda f=nxt: machine.resume(fuel=f)  # noqa: E731
+            continue
+        return outcome, used + machine.budget.fuel_used
+
+
+def _outcome_dict(outcome) -> Dict[str, Any]:
+    from repro.tal.machine import HaltedState
+
+    if isinstance(outcome, HaltedState):
+        return {"halted": str(outcome.word), "type": str(outcome.ty)}
+    return {"value": str(outcome)}
+
+
+def _do_run(job: Job, progress: Optional[Progress] = None) -> Dict[str, Any]:
     from repro.ft.machine import FTMachine
 
     node, is_component = _resolve_program(job)
     trace = job.options.trace
 
-    if job.options.jit and not is_component:
+    if job.options.jit and not is_component and not job.options.degraded:
         from repro.resilience.safety_net import run_guarded
 
         value, machine, report = run_guarded(
             node, fuel=job.options.fuel or DEFAULT_FUEL,
             heap=job.options.heap, depth=job.options.depth, trace=trace)
         out = {"value": str(value), "jit": report.to_json()}
+        if getattr(report, "fell_back", False):
+            out["degraded"] = True
         out["steps"] = machine.budget.fuel_used
         return out
 
     machine = FTMachine(trace=trace, budget=_job_budget(job),
                         engine=job.options.engine)
-    try:
-        if is_component:
-            halted = machine.run_component(node)
-            out = {"halted": str(halted.word), "type": str(halted.ty)}
-        else:
-            value = machine.evaluate(node)
-            out = {"value": str(value)}
-    except FuelExhausted:
-        if job.options.checkpoint and machine.suspended:
-            raise _suspend(machine, {}) from None
-        raise
-    out["steps"] = machine.budget.fuel_used
+    if job.options.checkpoint_every:
+        total = job.options.fuel or DEFAULT_FUEL
+        machine.budget.refill(min(max(1, job.options.checkpoint_every),
+                                  total))
+        outcome, used = _drive_slices(
+            job, machine,
+            (lambda: machine.run_component(node)) if is_component
+            else (lambda: machine.evaluate(node)),
+            progress, {})
+        out = _outcome_dict(outcome)
+        out["steps"] = used
+    else:
+        try:
+            if is_component:
+                halted = machine.run_component(node)
+                out = {"halted": str(halted.word), "type": str(halted.ty)}
+            else:
+                value = machine.evaluate(node)
+                out = {"value": str(value)}
+        except FuelExhausted:
+            if job.options.checkpoint and machine.suspended:
+                raise _suspend(machine, {}) from None
+            raise
+        out["steps"] = machine.budget.fuel_used
+    if job.options.degraded and job.options.jit:
+        # Breaker-forced interpreter tier: same answer, no JIT.
+        out["degraded"] = True
     if trace:
         from repro.analysis.trace import control_flow_table, format_table
 
@@ -164,10 +239,10 @@ def _do_run(job: Job) -> Dict[str, Any]:
     return out
 
 
-def _do_resume(job: Job) -> Dict[str, Any]:
+def _do_resume(job: Job,
+               progress: Optional[Progress] = None) -> Dict[str, Any]:
     from repro.ft.machine import FTMachine
     from repro.resilience.checkpoint import MachineSnapshot
-    from repro.tal.machine import HaltedState
 
     snapshot = MachineSnapshot.from_wire(job.snapshot)
     machine = FTMachine.restore(snapshot, trace=job.options.trace)
@@ -178,6 +253,15 @@ def _do_resume(job: Job) -> Dict[str, Any]:
 
         machine.engine = resolve_engine(job.options.engine)
     fuel = job.options.fuel or DEFAULT_FUEL
+    if job.options.checkpoint_every:
+        slice_fuel = min(max(1, job.options.checkpoint_every), fuel)
+        outcome, used = _drive_slices(
+            job, machine, lambda: machine.resume(fuel=slice_fuel),
+            progress, {"resumed_from": snapshot.digest})
+        out = _outcome_dict(outcome)
+        out["steps"] = used
+        out["resumed_from"] = snapshot.digest
+        return out
     try:
         outcome = machine.resume(fuel=fuel)
     except FuelExhausted:
@@ -185,10 +269,7 @@ def _do_resume(job: Job) -> Dict[str, Any]:
             raise _suspend(machine, {"resumed_from": snapshot.digest}
                            ) from None
         raise
-    if isinstance(outcome, HaltedState):
-        out = {"halted": str(outcome.word), "type": str(outcome.ty)}
-    else:
-        out = {"value": str(outcome)}
+    out = _outcome_dict(outcome)
     out["steps"] = machine.budget.fuel_used
     out["resumed_from"] = snapshot.digest
     return out
@@ -283,9 +364,26 @@ def _do_link(job: Job) -> Dict[str, Any]:
 
     manifest = parse_manifest(job.source)
     store = ArtifactStore(job.options.store) if job.options.store else None
-    report, linked = build_and_link(
-        manifest, store, validate=job.options.validate,
-        validate_fuel=job.options.fuel or 30_000, seed=job.options.seed)
+    degraded_store = False
+    try:
+        report, linked = build_and_link(
+            manifest, store, validate=job.options.validate,
+            validate_fuel=job.options.fuel or 30_000,
+            seed=job.options.seed)
+    except (InjectedFault, OSError) as fault:
+        # Graceful degradation: a faulting artifact store must cost
+        # cache hits, not answers.  Rebuild everything store-less.
+        if store is None or (isinstance(fault, InjectedFault)
+                             and fault.seam != "store.io"):
+            raise
+        degraded_store = True
+        from repro.obs.events import OBS
+        if OBS.enabled:
+            OBS.metrics.inc("serve.degraded.store")
+        report, linked = build_and_link(
+            manifest, None, validate=job.options.validate,
+            validate_fuel=job.options.fuel or 30_000,
+            seed=job.options.seed)
     out: Dict[str, Any] = {
         "components": [r.name for r in report.records],
         "tiers": {r.name: r.tier for r in report.records},
@@ -294,6 +392,8 @@ def _do_link(job: Job) -> Dict[str, Any]:
         "cached": report.cached,
         "labels_renamed": linked.labels_renamed,
     }
+    if degraded_store:
+        out["degraded"] = True
     if job.options.validate:
         out["validation"] = {
             r.name: dict(r.validation, cached=r.validation_cached)
@@ -332,10 +432,15 @@ _EXECUTORS = {
 }
 
 
-def execute_job(job: Job) -> JobResult:
+def execute_job(job: Job,
+                progress: Optional[Progress] = None) -> JobResult:
     """Execute ``job`` to a result; never raises for program-level
     failures.  The fault-injection options act *before* execution so the
     resilience tests can stage crashes and hangs deterministically.
+
+    ``progress`` (wired by the pool worker loop to the result pipe)
+    receives mid-run checkpoint records from jobs that set
+    ``options.checkpoint_every``.
 
     When the job carries a ``trace_ctx``, execution runs under a
     :class:`repro.obs.distributed.WorkerCapture` and the result's
@@ -347,20 +452,46 @@ def execute_job(job: Job) -> JobResult:
     if job.options.inject_crash:
         # Simulate a segfault: bypass all exception handling and die.
         os._exit(23)
+    if job.options.inject_hang and hasattr(signal, "SIGSTOP"):
+        # Freeze the whole process (heartbeat thread included): only
+        # the manager's hung-worker detection can clear this.
+        os.kill(os.getpid(), signal.SIGSTOP)
     if job.trace_ctx is not None:
         from repro.obs.distributed import TraceContext, WorkerCapture
 
         with WorkerCapture(TraceContext.from_dict(job.trace_ctx)) as cap:
-            result = _execute_guarded(job)
+            result = _run_with_chaos(job, progress)
         result.obs = cap.envelope
         return result
-    return _execute_guarded(job)
+    return _run_with_chaos(job, progress)
 
 
-def _execute_guarded(job: Job) -> JobResult:
+def _run_with_chaos(job: Job, progress: Optional[Progress]) -> JobResult:
+    """Arm a worker-side :class:`FaultPlane` when the job asks for one
+    (``options.chaos_rate``), so drills can storm the executor seams
+    inside real worker processes."""
+    if job.options.chaos_rate <= 0:
+        return _execute_guarded(job, progress)
+    from repro.resilience.chaos import FaultPlane, active_plane
+
+    if active_plane() is not None:     # e.g. in-process pool tests
+        return _execute_guarded(job, progress)
+    seams = [s.strip() for s in (job.options.chaos_seams or "").split(",")
+             if s.strip()] or None
+    with FaultPlane(seed=job.options.chaos_seed,
+                    rate=job.options.chaos_rate, seams=seams):
+        return _execute_guarded(job, progress)
+
+
+def _execute_guarded(job: Job,
+                     progress: Optional[Progress] = None) -> JobResult:
     start = time.perf_counter()
     try:
-        output = _EXECUTORS[job.kind](job)
+        fn = _EXECUTORS[job.kind]
+        if job.kind in ("run", "resume"):
+            output = fn(job, progress)
+        else:
+            output = fn(job)
         status, error, error_type = "ok", "", ""
     except _Suspended as s:
         output, status = s.output, "suspended"

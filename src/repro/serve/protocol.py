@@ -43,13 +43,18 @@ JOB_KINDS = ("parse", "typecheck", "run", "jit", "compile", "equiv",
              "resume", "link")
 
 #: Every status a result can carry.  ``ok`` is the only cacheable one;
-#: ``rejected`` is produced by the server under backpressure (bounded
-#: queue full) or for malformed requests.  ``suspended`` means the run
-#: hit its fuel ceiling with ``options.checkpoint`` set and the output
-#: carries a resumable snapshot; ``resource_exhausted`` covers the
-#: non-fuel governors (heap cells, stack depth), which are terminal.
+#: ``rejected`` is produced for malformed requests, for quarantined job
+#: digests, and when the pool is closing (resubmission cannot help).
+#: ``overloaded`` is the *transient* refusal: admission control shed the
+#: job (bounded queue at capacity, or an open per-kind circuit breaker)
+#: and the output carries ``retry_after_ms`` -- back off and resubmit.
+#: ``suspended`` means the run hit its fuel ceiling with
+#: ``options.checkpoint`` set and the output carries a resumable
+#: snapshot; ``resource_exhausted`` covers the non-fuel governors (heap
+#: cells, stack depth), which are terminal.
 RESULT_STATUSES = ("ok", "error", "fuel_exhausted", "resource_exhausted",
-                   "suspended", "timeout", "crashed", "rejected")
+                   "suspended", "timeout", "crashed", "rejected",
+                   "overloaded")
 
 
 class ProtocolError(FunTALError):
@@ -91,8 +96,26 @@ class JobOptions:
     engine: Optional[str] = None        # run/resume: F stepper (subst|cek)
     store: Optional[str] = None         # link: artifact-store directory
     run: bool = True                    # link: evaluate the linked program
+    deadline_ms: Optional[int] = None   # admission control: shed the job
+                                        # if not *started* within this
+                                        # many ms of submission
+    checkpoint_every: Optional[int] = None  # run/resume: ship a progress
+                                        # snapshot every N fuel, so a
+                                        # killed worker's job resumes
+                                        # from its last checkpoint
+    degraded: bool = False              # dispatch-side: forced interpreter
+                                        # tier (open compile/jit breaker)
     inject_crash: bool = False          # fault injection: kill the worker
     inject_sleep: float = 0.0           # fault injection: stall the worker
+    inject_hang: bool = False           # fault injection: SIGSTOP the
+                                        # worker (freezes heartbeats too)
+    inject_corrupt: bool = False        # fault injection: garbage result
+                                        # envelope on the wire
+    inject_crash_at: Optional[int] = None   # fault injection: die right
+                                        # after the Nth progress snapshot
+    chaos_rate: float = 0.0             # worker-side FaultPlane rate
+    chaos_seed: int = 0                 # worker-side FaultPlane seed
+    chaos_seams: Optional[str] = None   # comma-separated seam subset
 
     #: Option names that do not affect the *semantic* result and are
     #: therefore excluded from the content address.  ``engine`` is here
@@ -101,8 +124,15 @@ class JobOptions:
     #: budget verdicts), so results are shareable across engines.
     #: ``store`` is operational too: the artifact store is a cache, and
     #: content addressing makes its hits semantically invisible.
+    #: ``checkpoint_every`` preserves exact slicing (same value, same
+    #: total steps), and ``deadline_ms`` is pure admission control.
+    #: ``degraded`` results never enter the cache (the pool skips the
+    #: put), so the flag staying out of the key cannot poison it.
     NON_SEMANTIC = ("timeout", "no_cache", "engine", "store",
-                    "inject_crash", "inject_sleep")
+                    "deadline_ms", "checkpoint_every", "degraded",
+                    "inject_crash", "inject_sleep", "inject_hang",
+                    "inject_corrupt", "inject_crash_at",
+                    "chaos_rate", "chaos_seed", "chaos_seams")
 
     def to_dict(self) -> Dict[str, Any]:
         """Wire dict containing only the non-default entries."""
@@ -276,9 +306,11 @@ class JobResult:
 
     @classmethod
     def failure(cls, job: "Job", status: str, error: str,
-                error_type: str = "", attempts: int = 1) -> "JobResult":
+                error_type: str = "", attempts: int = 1,
+                output: Optional[Dict[str, Any]] = None) -> "JobResult":
         return cls(id=job.id, kind=job.kind, status=status, error=error,
-                   error_type=error_type or status, attempts=attempts)
+                   error_type=error_type or status, attempts=attempts,
+                   output=output or {})
 
 
 def encode_line(message: Dict[str, Any]) -> bytes:

@@ -8,9 +8,13 @@ assigns ``srv-N`` ids to jobs submitted without one).  Control lines:
 * ``{"op": "ping"}``            -> ``{"op": "pong"}``
 * ``{"op": "stats"}``           -> pool/cache stats + metrics snapshot
 
-Malformed lines and backpressure (bounded pool queue at capacity) are
-answered with ``status: "rejected"`` results rather than dropped
-connections, so a batch client can account for every job it sent.
+Malformed lines are answered with ``status: "rejected"`` results and
+backpressure (bounded pool queue at capacity, open circuit breaker)
+with ``status: "overloaded"`` results carrying a ``retry_after_ms``
+hint, rather than dropped connections, so a batch client can account
+for every job it sent -- and knows which refusals are worth retrying
+(:class:`~repro.serve.client.ServeClient` retries ``overloaded``
+automatically with jittered backoff).
 
 The bridge between the pool's threads and asyncio is one-way and safe:
 pool tickets resolve on the manager thread, whose done-callback hops the
@@ -32,7 +36,9 @@ from typing import Optional
 
 from repro.obs.events import OBS
 from repro.serve.cache import ResultCache
-from repro.serve.pool import PoolClosed, QueueFull, WorkerPool
+from repro.serve.pool import (
+    PoolClosed, QueueFull, SupervisorConfig, WorkerPool,
+)
 from repro.serve.protocol import (
     Job, JobResult, ProtocolError, decode_line, encode_line,
 )
@@ -49,14 +55,17 @@ class ServeServer:
                  *, workers: int = 2, cache_size: int = 1024,
                  queue_size: int = 256, default_timeout: float = 30.0,
                  max_retries: int = 2,
-                 mp_context: Optional[str] = None):
+                 mp_context: Optional[str] = None,
+                 supervisor: Optional[SupervisorConfig] = None,
+                 shed_policy: Optional[str] = None):
         self.host = host
         self.port = port
         self.cache = ResultCache(cache_size) if cache_size else None
         self.pool = WorkerPool(
             workers, cache=self.cache, queue_size=queue_size,
             default_timeout=default_timeout, max_retries=max_retries,
-            mp_context=mp_context)
+            mp_context=mp_context, supervisor=supervisor,
+            shed_policy=shed_policy)
         self._ids = itertools.count(1)
         self._server: Optional[asyncio.AbstractServer] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -98,11 +107,21 @@ class ServeServer:
         try:
             ticket = self.pool.submit(job, block=False)
         except QueueFull as err:
+            # Transient: the bounded queue is at capacity.  Tell the
+            # client when to come back instead of pretending the job
+            # itself was bad.
+            if OBS.enabled:
+                OBS.metrics.inc("serve.jobs.overloaded")
+            return JobResult.failure(
+                job, "overloaded", str(err), error_type="QueueFull",
+                output={"retry_after_ms":
+                        getattr(err, "retry_after_ms", 0) or 50})
+        except PoolClosed as err:
+            # Terminal for this server: resubmission cannot succeed.
             if OBS.enabled:
                 OBS.metrics.inc("serve.jobs.rejected")
-            return JobResult.failure(job, "rejected", str(err))
-        except PoolClosed as err:
-            return JobResult.failure(job, "rejected", str(err))
+            return JobResult.failure(job, "rejected", str(err),
+                                     error_type="PoolClosed")
         if ticket.done:          # cache hit resolved synchronously
             return ticket.result
         ticket.add_done_callback(

@@ -1,0 +1,89 @@
+"""Tests for the adversarial T component registry (ROADMAP item 5).
+
+Three properties per component: it parses (these are syntactically
+honest programs), the FT typechecker rejects it with a *structured*
+error, and the untyped machine either traps safely or halts -- never a
+raw Python exception.  Plus the serving-layer property the chaos drill
+relies on: submitted as jobs, adversaries resolve ``error``.
+"""
+
+import pytest
+
+from repro.adversarial import ADVERSARIES, adversarial_jobs
+from repro.errors import FTTypeError, FunTALError, MachineError
+
+ADV_IDS = [adv.name for adv in ADVERSARIES]
+
+
+def _parse(source):
+    from repro.surface.parser import parse_component
+
+    return parse_component(source)
+
+
+class TestRegistry:
+    def test_three_to_four_components(self):
+        assert 3 <= len(ADVERSARIES) <= 4
+
+    def test_names_unique(self):
+        assert len({a.name for a in ADVERSARIES}) == len(ADVERSARIES)
+
+    def test_required_attack_classes_present(self):
+        names = {a.name for a in ADVERSARIES}
+        assert "smuggled-ra" in names       # forged return address
+        assert "stack-reentry" in names     # re-entry into freed stack
+        assert "protect-misuse" in names    # protect over phantom slots
+
+
+@pytest.mark.parametrize("adv", ADVERSARIES, ids=ADV_IDS)
+class TestEachAdversary:
+    def test_parses(self, adv):
+        assert _parse(adv.source) is not None
+
+    def test_typechecker_rejects_structurally(self, adv):
+        from repro.ft.typecheck import check_ft_component
+        from repro.tal.syntax import NIL_STACK, QEnd, TInt
+
+        comp = _parse(adv.source)
+        with pytest.raises(FTTypeError) as exc:
+            check_ft_component(comp, q=QEnd(TInt(), NIL_STACK))
+        assert adv.rejects_with in str(exc.value)
+
+    def test_machine_traps_safely_or_halts(self, adv):
+        """Run the *rejected* component on the untyped machine anyway:
+        the worst allowed outcome is a structured MachineError."""
+        from repro.ft.machine import FTMachine
+
+        comp = _parse(adv.source)
+        machine = FTMachine()
+        if adv.machine_behavior == "trap":
+            with pytest.raises(MachineError):
+                machine.run_component(comp)
+        else:
+            machine.run_component(comp)     # halts (with a bogus claim)
+
+    def test_executor_returns_error_never_crash(self, adv):
+        from repro.serve.executor import execute_job
+        from repro.serve.protocol import Job
+
+        result = execute_job(Job("typecheck", source=adv.source))
+        assert result.status == "error"
+        assert result.error_type == "FTTypeError"
+
+
+class TestJobCorpus:
+    def test_adversarial_jobs_cover_the_registry(self):
+        jobs = adversarial_jobs()
+        assert len(jobs) == len(ADVERSARIES)
+        assert all(j.kind == "typecheck" for j in jobs)
+        assert len({j.id for j in jobs}) == len(jobs)
+
+    def test_through_a_live_pool(self):
+        from repro.serve.pool import WorkerPool
+
+        with WorkerPool(1, default_timeout=30.0) as pool:
+            for job in adversarial_jobs(ids_prefix="pool-adv"):
+                result = pool.submit(job).wait(30.0)
+                assert result is not None
+                assert result.status == "error"
+                assert result.attempts == 1     # semantic, not a fault

@@ -96,7 +96,26 @@ class TestSeamsAreWired:
 
     def test_seam_registry(self):
         assert set(SEAMS) == {"heap.alloc", "boundary.translate",
-                              "jit.compile", "jit.run", "snapshot.pickle"}
+                              "jit.compile", "jit.run", "snapshot.pickle",
+                              "snapshot.restore", "store.io"}
+
+    def test_snapshot_restore_seam(self):
+        from repro.ft.machine import FTMachine
+
+        snap = FTMachine().snapshot()
+        with FaultPlane(seed=1, rate=1.0, seams=["snapshot.restore"]):
+            with pytest.raises(InjectedFault):
+                FTMachine.restore(snap)
+
+    def test_store_io_seam(self, tmp_path):
+        from repro.link.store import ArtifactStore
+
+        store = ArtifactStore(tmp_path)
+        with FaultPlane(seed=1, rate=1.0, seams=["store.io"]):
+            with pytest.raises(InjectedFault):
+                store.put("0" * 64, {"x": 1})
+            with pytest.raises(InjectedFault):
+                store.get("0" * 64)
 
     def test_heap_alloc_seam(self):
         from repro.errors import FunTALError
