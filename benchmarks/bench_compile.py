@@ -15,7 +15,15 @@ Three sections, doubling as the CI gate for the compiler:
 * ``paper_examples`` -- the gate: every closed pure-F paper example must
   compile, typecheck, and pass translation validation.  A regression
   that breaks compilation or validation of a paper example fails CI
-  here.
+  here;
+* ``fast_tier`` -- the T-engine gate: the direct-threaded fast tier
+  (``repro.tal.fast``) must beat the reference ``TalMachine`` by >=10x
+  wall-clock on a T-dominated hot loop, and must not lose to it on the
+  compiled factorial.  The *whole-program* compiled-vs-interpreted gap
+  on ``fact_f`` is boundary-dominated (each recursion level re-crosses
+  the F/T boundary), so it is recorded as ``gap_history`` and carried in
+  ``known_regressions`` rather than asserted -- closing it needs cheaper
+  boundaries, not a faster T engine (see docs/performance.md).
 """
 
 import json
@@ -29,7 +37,7 @@ from repro.f.syntax import App, BinOp, FInt, IntE, Lam, Var
 from repro.ft.machine import FTMachine
 from repro.ft.typecheck import check_ft_expr
 from repro.papers_examples import example_entries
-from repro.papers_examples.fig17_factorial import build_fact_f
+from repro.papers_examples.fig17_factorial import build_count_t, build_fact_f
 from repro.resilience.budget import Budget
 from repro.resilience.safety_net import Quarantine
 from repro.compile.pipeline import (
@@ -84,10 +92,27 @@ def _higher_order_program():
     return App(twice(twice(step, FInt()), FInt()), (IntE(1),))
 
 
-def _run(program):
-    machine = FTMachine(budget=Budget(fuel=RUN_FUEL))
+def _run(program, tal_engine=None):
+    machine = FTMachine(budget=Budget(fuel=RUN_FUEL), tal_engine=tal_engine)
     value = machine.evaluate(program)
     return value, machine.budget.fuel_used
+
+
+def _gap_history(current: float, keep: int = 20):
+    """The compiled-vs-interpreted wall-clock gap across benchmark runs
+    (fast tier), previous artifact's history plus this run, newest last
+    -- the ``speedup_history`` idiom from ``bench_serve.py``: the
+    trajectory toward closing the gap lives in the archived JSON."""
+    history = []
+    if _BENCH_PATH.exists():
+        try:
+            prev = json.loads(_BENCH_PATH.read_text(encoding="utf-8"))
+            history = list(prev.get("compiled_vs_interpreted", {})
+                           .get("fact_f", {}).get("gap_history", []))
+        except (ValueError, OSError):
+            history = []
+    history.append(round(current, 1))
+    return history[-keep:]
 
 
 def test_compile_time(record):
@@ -119,6 +144,8 @@ def test_compile_time(record):
 
 
 def test_compiled_vs_interpreted(record):
+    from repro.tal import fast
+
     cases = {
         "fact_f": App(build_fact_f(), (IntE(FACT_N),)),
         "higher_order": _higher_order_program(),
@@ -129,19 +156,104 @@ def test_compiled_vs_interpreted(record):
         int_value, int_fuel = _run(program)
         cmp_value, cmp_fuel = _run(compiled)
         assert cmp_value == int_value, name
+        fast.clear_fast_caches()
+        fast_value, fast_fuel = _run(compiled, tal_engine="fast")
+        assert fast_value == int_value, name
+        assert fast_fuel == cmp_fuel, name    # lockstep, not just close
         int_s = _best(lambda p=program: _run(p))
         cmp_s = _best(lambda p=compiled: _run(p))
+        fast_s = _best(lambda p=compiled: _run(p, tal_engine="fast"))
         rows[name] = {
             "value": str(int_value),
             "interpreted_s": round(int_s, 6),
             "compiled_s": round(cmp_s, 6),
+            "compiled_fast_s": round(fast_s, 6),
+            "fast_vs_ref": round(cmp_s / fast_s, 2) if fast_s else None,
             "interpreted_fuel": int_fuel,
             "compiled_fuel": cmp_fuel,
             "fuel_overhead": round(cmp_fuel / max(int_fuel, 1), 1),
         }
         record(f"{name}: interpreted {int_s * 1e3:.2f}ms/{int_fuel} fuel, "
-               f"compiled {cmp_s * 1e3:.2f}ms/{cmp_fuel} fuel")
+               f"compiled(ref) {cmp_s * 1e3:.2f}ms/{cmp_fuel} fuel, "
+               f"compiled(fast) {fast_s * 1e3:.2f}ms")
+        if name == "fact_f":
+            gap = fast_s / int_s if int_s else float("inf")
+            rows[name]["gap"] = round(gap, 1)
+            rows[name]["gap_history"] = _gap_history(gap)
+            record(f"fact_f compiled-vs-interpreted gap (fast tier): "
+                   f"{gap:.0f}x; history {rows[name]['gap_history']}")
     _RESULTS["compiled_vs_interpreted"] = rows
+
+    # The residual fact_f gap is a first-class known regression until
+    # closed: the fast tier removed the T-side overhead, but each of the
+    # ~500 F/T boundary crossings still pays omega substitution into the
+    # imported F payload on BOTH engines, so whole-program wall-clock
+    # stays boundary-bound.  asserted:false -- this artifact records the
+    # trajectory; the gate on the fast tier itself is test_fast_tier_gate.
+    _RESULTS.setdefault("known_regressions", []).append({
+        "name": "fact_f_boundary_gap",
+        "metric": "compiled_vs_interpreted.fact_f.gap",
+        "value": rows["fact_f"]["gap"],
+        "threshold": 240.0,    # a 10x shrink of the ~2400x seed gap
+        "asserted": False,
+        "first_observed": 2400.0,
+        "cause": "per-crossing Import-payload substitution and F/T "
+                 "value translation dominate compiled fact_f; both "
+                 "engines pay it, so a faster T tier cannot close it "
+                 "-- needs cheaper boundaries (ROADMAP item 4)",
+    })
+
+
+def test_fast_tier_gate(record):
+    """The fast-tier CI gate: on a T-dominated hot loop the fast engine
+    must beat the reference TalMachine >=10x wall-clock, and on the
+    compiled factorial it must not lose to it."""
+    from repro.tal import fast
+
+    fast.clear_fast_caches()
+    loop = App(build_count_t(), (IntE(30_000),))
+
+    def run_loop(engine):
+        machine = FTMachine(budget=Budget(fuel=RUN_FUEL), tal_engine=engine)
+        return machine.evaluate(loop), machine.budget.fuel_used
+
+    (ref_value, ref_fuel) = run_loop("ref")
+    (fast_value, fast_fuel) = run_loop("fast")   # also warms the JIT
+    assert str(fast_value) == str(ref_value) == "30000"
+    assert fast_fuel == ref_fuel
+    ref_s = _best(lambda: run_loop("ref"), rounds=3)
+    fast_s = _best(lambda: run_loop("fast"), rounds=3)
+    speedup = ref_s / fast_s if fast_s else float("inf")
+
+    compiled = compile_term(App(build_fact_f(), (IntE(FACT_N),))).wrapped
+    _run(compiled, tal_engine="fast")            # warm the block tables
+    fact_ref_s = _best(lambda: _run(compiled), rounds=3)
+    fact_fast_s = _best(lambda: _run(compiled, tal_engine="fast"), rounds=3)
+    fact_ratio = fact_ref_s / fact_fast_s if fact_fast_s else float("inf")
+
+    stats = fast.fast_cache_stats()
+    _RESULTS["fast_tier"] = {
+        "hot_loop_ref_s": round(ref_s, 6),
+        "hot_loop_fast_s": round(fast_s, 6),
+        "hot_loop_speedup": round(speedup, 2),
+        "fact_f_ref_s": round(fact_ref_s, 6),
+        "fact_f_fast_s": round(fact_fast_s, 6),
+        "fact_f_fast_vs_ref": round(fact_ratio, 2),
+        "block_cache": stats["tal.fast.block"],
+    }
+    record(f"fast tier: hot loop ref {ref_s * 1e3:.1f}ms vs fast "
+           f"{fast_s * 1e3:.1f}ms = {speedup:.1f}x; compiled fact_f "
+           f"ref/fast = {fact_ratio:.2f}x")
+    # The perf gate proper: fast must not be slower than ref anywhere,
+    # and on T-dominated code it must clear the 10x bar.
+    assert speedup >= 10.0, (
+        f"fast tier only {speedup:.1f}x on the hot loop (need >=10x)")
+    # fact_f is boundary-bound, so fast and ref measure within noise of
+    # each other; gate on "not slower" with a noise allowance (shared CI
+    # hosts swing +-20%) and record the exact ratio in the artifact.
+    assert fact_ratio >= 0.8, (
+        f"fast tier is {fact_ratio:.2f}x ref on compiled fact_f "
+        f"(slower beyond noise)")
 
 
 def test_paper_examples_gate(record):

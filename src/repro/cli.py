@@ -112,6 +112,12 @@ def _add_engine_arg(parser: argparse.ArgumentParser) -> None:
                         help="F stepper: cek (environment machine, the "
                              "default) or subst (literal substitution "
                              "semantics)")
+    parser.add_argument("--tal-engine", choices=("ref", "fast"),
+                        default=None, dest="tal_engine",
+                        help="T engine: ref (typed reference stepper, the "
+                             "default) or fast (type-erased direct-threaded "
+                             "tier with template JIT); observably "
+                             "equivalent, purely a performance knob")
 
 
 def _budget_from_args(args: argparse.Namespace) -> Budget:
@@ -156,11 +162,13 @@ def cmd_run(args: argparse.Namespace) -> int:
     if isinstance(node, Component):
         halted, machine = run_ft_component(node, trace=args.trace,
                                            budget=budget,
-                                           engine=args.engine)
+                                           engine=args.engine,
+                                           tal_engine=args.tal_engine)
         print(f"halted with {halted.word} : {halted.ty}")
     else:
         value, machine = evaluate_ft(node, trace=args.trace, budget=budget,
-                                     engine=args.engine)
+                                     engine=args.engine,
+                                     tal_engine=args.tal_engine)
         print(f"value: {value}")
     if args.trace:
         rows = control_flow_table(machine.trace)
@@ -459,7 +467,8 @@ def cmd_examples(args: argparse.Namespace) -> int:
 
 
 def _run_example_instrumented(name: str, budget: Budget,
-                              engine: Optional[str] = None):
+                              engine: Optional[str] = None,
+                              tal_engine: Optional[str] = None):
     """Run a paper example under the observability layer; returns
     ``(value, machine, events, metrics_snapshot)`` or ``None`` (after
     printing the shared unknown-example message) if the name is unknown.
@@ -478,7 +487,7 @@ def _run_example_instrumented(name: str, budget: Budget,
     obs.enable(record=True)
     try:
         value, machine = evaluate_ft(program, trace=True, budget=budget,
-                                     engine=engine)
+                                     engine=engine, tal_engine=tal_engine)
         # Append the final counter totals to the stream (while the bus is
         # still recording) so exported traces are self-contained -- one
         # Counter event per metric, not one per increment.
@@ -496,7 +505,9 @@ def cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs.events import MachineEvent
 
     result = _run_example_instrumented(args.example, _budget_from_args(args),
-                                       engine=args.engine)
+                                       engine=args.engine,
+                                       tal_engine=getattr(args, "tal_engine",
+                                                          None))
     if result is None:
         return 2
     value, machine, events, snapshot = result
@@ -607,7 +618,8 @@ def _format_snapshot(snapshot: Dict) -> str:
 
 
 def _run_example_profiled(name: str, budget: Budget,
-                          engine: Optional[str] = None):
+                          engine: Optional[str] = None,
+                          tal_engine: Optional[str] = None):
     """Run a paper example under the hot-code profiler; returns
     ``(value, ProfileSnapshot)`` or ``None`` (after printing the shared
     unknown-example message).  Shared by ``funtal top`` and ``funtal
@@ -623,7 +635,8 @@ def _run_example_profiled(name: str, budget: Budget,
     PROFILER.reset()
     PROFILER.enable()
     try:
-        value, _machine = evaluate_ft(program, budget=budget, engine=engine)
+        value, _machine = evaluate_ft(program, budget=budget, engine=engine,
+                                      tal_engine=tal_engine)
     finally:
         snap = PROFILER.snapshot()
         PROFILER.disable()
@@ -635,13 +648,22 @@ def cmd_top(args: argparse.Namespace) -> int:
     import json as _json
 
     result = _run_example_profiled(args.example, _budget_from_args(args),
-                                   engine=args.engine)
+                                   engine=args.engine,
+                                   tal_engine=getattr(args, "tal_engine",
+                                                      None))
     if result is None:
         return 2
     value, snap = result
     if args.out:
         snap.save(args.out)
         print(f"wrote profile snapshot to {args.out}", file=sys.stderr)
+    if getattr(args, "promote_threshold", None) is not None:
+        # The adaptive-tiering hand-off: digests of T blocks hot enough
+        # to pre-seed the fast tier's template JIT (one per line, or
+        # comma-join for FUNTAL_TAL_PROMOTE).
+        for digest in snap.promote(args.promote_threshold):
+            print(digest)
+        return 0
     if args.json:
         print(_json.dumps(snap.to_dict(), indent=2, sort_keys=True))
     else:
@@ -753,6 +775,7 @@ def _job_from_args(args: argparse.Namespace):
         right=_load(args.right) if getattr(args, "right", None) else None,
         no_cache=getattr(args, "no_cache", False),
         engine=getattr(args, "engine", None),
+        tal_engine=getattr(args, "tal_engine", None),
     )
     if args.example:
         return Job(args.kind, example=args.example, options=options)
@@ -880,7 +903,8 @@ def _batch_rounds(args: argparse.Namespace):
                  options=JobOptions(fuel=args.fuel, heap=args.heap,
                                     depth=args.depth, timeout=args.timeout,
                                     no_cache=args.no_cache,
-                                    engine=args.engine))
+                                    engine=args.engine,
+                                    tal_engine=args.tal_engine))
              for name in _example_entries()]
             for rep in range(args.repeat)]
     if not args.file:
@@ -891,7 +915,7 @@ def _batch_rounds(args: argparse.Namespace):
             job.options.no_cache = True
         if args.timeout and job.options.timeout is None:
             job.options.timeout = args.timeout
-        for knob in ("fuel", "heap", "depth", "engine"):
+        for knob in ("fuel", "heap", "depth", "engine", "tal_engine"):
             if getattr(args, knob) and getattr(job.options, knob) is None:
                 setattr(job.options, knob, getattr(args, knob))
     return [jobs]
@@ -1307,6 +1331,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
                        help="print the full ProfileSnapshot as JSON")
     p_top.add_argument("--out",
                        help="also save the ProfileSnapshot artifact here")
+    p_top.add_argument("--promote-threshold", type=int, default=None,
+                       dest="promote_threshold", metavar="N",
+                       help="instead of the table, print the digests of T "
+                            "blocks with >= N attributed self steps (the "
+                            "list repro.tal.fast.promote_digests and "
+                            "FUNTAL_TAL_PROMOTE consume)")
     _add_budget_args(p_top)
     _add_engine_arg(p_top)
     p_top.set_defaults(fn=cmd_top)

@@ -70,13 +70,15 @@ class FTMachine(TalMachine):
                  fuel: Optional[int] = None,
                  max_events: Optional[int] = None,
                  budget: Optional[Budget] = None,
-                 engine: Optional[str] = None):
+                 engine: Optional[str] = None,
+                 tal_engine: Optional[str] = None):
         # Imported lazily: repro.f.cek pulls in repro.ft.syntax, whose
         # package __init__ imports this module.
         from repro.f.cek import resolve_engine
 
         super().__init__(memory, trace, max_events=max_events,
-                         budget=Budget.of(fuel=fuel, budget=budget))
+                         budget=Budget.of(fuel=fuel, budget=budget),
+                         tal_engine=tal_engine)
         #: Which F-side stepper drives pure-F segments: the environment
         #: machine of :mod:`repro.f.cek` (default) or the literal
         #: substitution loop.  Both are observably step-equivalent; the
@@ -290,6 +292,10 @@ class FTMachine(TalMachine):
 
     def run_t(self, state: MachineState) -> HaltedState:
         """Run a T machine state to halt under the shared budget."""
+        if self.tal_engine == "fast":
+            from repro.tal import fast
+            if not fast.instrumented(self):
+                return fast.fast_run_t(self, state)
         prof = PROFILER if PROFILER.enabled else None
         prof_base = prof.enter_engine() if prof is not None else 0
         try:
@@ -426,11 +432,12 @@ def _rebuild(cur: FExpr, frames: List) -> FExpr:
 def evaluate_ft(e: FExpr, fuel: Optional[int] = None, trace: bool = False,
                 max_events: Optional[int] = None,
                 budget: Optional[Budget] = None,
-                engine: Optional[str] = None
+                engine: Optional[str] = None,
+                tal_engine: Optional[str] = None
                 ) -> Tuple[FExpr, FTMachine]:
     """Evaluate a closed FT expression in a fresh memory."""
     machine = FTMachine(trace=trace, fuel=fuel, max_events=max_events,
-                        budget=budget, engine=engine)
+                        budget=budget, engine=engine, tal_engine=tal_engine)
     return machine.evaluate(e), machine
 
 
@@ -438,9 +445,10 @@ def run_ft_component(comp: Component, fuel: Optional[int] = None,
                      trace: bool = False,
                      max_events: Optional[int] = None,
                      budget: Optional[Budget] = None,
-                     engine: Optional[str] = None
+                     engine: Optional[str] = None,
+                     tal_engine: Optional[str] = None
                      ) -> Tuple[HaltedState, FTMachine]:
     """Run a closed FT component (T outside) in a fresh memory."""
     machine = FTMachine(trace=trace, fuel=fuel, max_events=max_events,
-                        budget=budget, engine=engine)
+                        budget=budget, engine=engine, tal_engine=tal_engine)
     return machine.run_component(comp), machine

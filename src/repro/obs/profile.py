@@ -276,6 +276,16 @@ class ProfileSnapshot:
                                total_steps=self.total_steps
                                + other.total_steps)
 
+    def promote(self, threshold: int,
+                kinds: Tuple[str, ...] = ("t",)) -> List[str]:
+        """Digests of code at or above ``threshold`` attributed self
+        steps -- the list ``funtal top --promote-threshold`` emits and
+        :func:`repro.tal.fast.promote_digests` consumes to pre-seed the
+        template JIT (skipping the per-run hot counter)."""
+        return [entry["key"] for entry in self.entries
+                if entry["kind"] in kinds
+                and entry["self_steps"] >= threshold]
+
     def format_table(self, limit: int = 20) -> str:
         """The ``funtal top`` view: rank / self steps / % / kind / hash
         / label."""

@@ -36,7 +36,8 @@ from repro.tal.syntax import (
     TyApp, WInt, WLoc, seq,
 )
 
-__all__ = ["build_fact_f", "build_fact_t", "ARROW", "expected"]
+__all__ = ["build_fact_f", "build_fact_t", "build_count_t",
+           "ARROW", "expected"]
 
 ARROW = FArrow((FInt(),), FInt())
 
@@ -104,5 +105,52 @@ def build_fact_t() -> Lam:
             Mv("r1", WLoc(lfact)),
             Halt(arrow_t, zstack, "r1")),
         ((lfact, fact_block), (lloop, loop_block)))
+    return Lam((("x", FInt()),),
+               App(Boundary(ARROW, comp), (Var("x"),)))
+
+
+def build_count_t(start: int = 0) -> Lam:
+    """``factT``'s loop shape with ``add`` in place of ``mul``: counts
+    down the argument while counting ``r7`` up, so ``countT n == n``.
+
+    Unlike ``build_fact_t`` the answer never overflows, which makes this
+    the T-dominated hot workload the fast-tier benchmarks and the
+    template-JIT tests spin for tens of thousands of iterations."""
+    zeps = (DeltaBind(KIND_ZETA, "z"), DeltaBind(KIND_EPS, "e"))
+    zstack = StackTy((), "z")
+    cont = continuation_type(TInt(), zstack)
+    entry_sigma = StackTy((TInt(),), "z")
+    lent = Loc("lcount")
+    lloop = Loc("lcloop")
+
+    entry_block = HCode(
+        zeps, RegFileTy.of(ra=cont), entry_sigma, QReg("ra"),
+        seq(
+            Sld("r3", 0),
+            Mv("r7", WInt(start)),
+            Bnz("r3", TyApp(WLoc(lloop), (zstack, QEps("e")))),
+            Sfree(1),
+            Mv("r1", WInt(start)),
+            Ret("ra", "r1"),
+        ))
+    loop_block = HCode(
+        zeps,
+        RegFileTy.of(r3=TInt(), r7=TInt(), ra=cont),
+        entry_sigma, QReg("ra"),
+        seq(
+            Aop("add", "r7", "r7", WInt(1)),
+            Aop("sub", "r3", "r3", WInt(1)),
+            Bnz("r3", TyApp(WLoc(lloop), (zstack, QEps("e")))),
+            Sfree(1),
+            Mv("r1", RegOp("r7")),
+            Ret("ra", "r1"),
+        ))
+
+    arrow_t = type_translation(ARROW)
+    comp = Component(
+        seq(Protect((), "z"),
+            Mv("r1", WLoc(lent)),
+            Halt(arrow_t, zstack, "r1")),
+        ((lent, entry_block), (lloop, loop_block)))
     return Lam((("x", FInt()),),
                App(Boundary(ARROW, comp), (Var("x"),)))

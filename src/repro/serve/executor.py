@@ -203,7 +203,8 @@ def _do_run(job: Job, progress: Optional[Progress] = None) -> Dict[str, Any]:
         return out
 
     machine = FTMachine(trace=trace, budget=_job_budget(job),
-                        engine=job.options.engine)
+                        engine=job.options.engine,
+                        tal_engine=job.options.tal_engine)
     if job.options.checkpoint_every:
         total = job.options.fuel or DEFAULT_FUEL
         machine.budget.refill(min(max(1, job.options.checkpoint_every),
@@ -252,6 +253,12 @@ def _do_resume(job: Job,
         from repro.f.cek import resolve_engine
 
         machine.engine = resolve_engine(job.options.engine)
+    if job.options.tal_engine is not None:
+        # Same portability for the T tier: the fast engine re-lowers
+        # blocks on demand from the restored heap.
+        from repro.tal.machine import resolve_tal_engine
+
+        machine.tal_engine = resolve_tal_engine(job.options.tal_engine)
     fuel = job.options.fuel or DEFAULT_FUEL
     if job.options.checkpoint_every:
         slice_fuel = min(max(1, job.options.checkpoint_every), fuel)

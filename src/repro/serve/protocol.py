@@ -94,6 +94,7 @@ class JobOptions:
     right: Optional[str] = None         # equiv: right-hand source
     no_cache: bool = False              # bypass the result cache
     engine: Optional[str] = None        # run/resume: F stepper (subst|cek)
+    tal_engine: Optional[str] = None    # run/resume: T engine (ref|fast)
     store: Optional[str] = None         # link: artifact-store directory
     run: bool = True                    # link: evaluate the linked program
     deadline_ms: Optional[int] = None   # admission control: shed the job
@@ -122,13 +123,16 @@ class JobOptions:
     #: because the two F steppers are observably step-equivalent (the
     #: differential suite enforces identical values, step counts, and
     #: budget verdicts), so results are shareable across engines.
+    #: ``tal_engine`` is non-semantic for the same reason: the fast T
+    #: tier locksteps with the reference machine (identical values, fuel
+    #: verdicts, and trap behaviour), so ref/fast runs share entries.
     #: ``store`` is operational too: the artifact store is a cache, and
     #: content addressing makes its hits semantically invisible.
     #: ``checkpoint_every`` preserves exact slicing (same value, same
     #: total steps), and ``deadline_ms`` is pure admission control.
     #: ``degraded`` results never enter the cache (the pool skips the
     #: put), so the flag staying out of the key cannot poison it.
-    NON_SEMANTIC = ("timeout", "no_cache", "engine", "store",
+    NON_SEMANTIC = ("timeout", "no_cache", "engine", "tal_engine", "store",
                     "deadline_ms", "checkpoint_every", "degraded",
                     "inject_crash", "inject_sleep", "inject_hang",
                     "inject_corrupt", "inject_crash_at",

@@ -1,0 +1,1683 @@
+"""The fast T execution tier: direct-threaded, type-erased block execution.
+
+The reference :class:`~repro.tal.machine.TalMachine` re-substitutes a
+block's instruction sequence at every jump (``instantiate_code_block``)
+and dispatches every step through an ``isinstance`` chain against a dict
+register file.  Erasure-compatibility (:mod:`repro.tal.erasure`) licenses
+something much cheaper: a validated artifact's types can never change an
+answer, so the fast tier *preinstantiates* each block once into a flat
+executable form and stops consulting types at run time:
+
+* every instruction is lowered to a **direct-threaded Python closure**
+  bound to its operands (no per-step dispatch);
+* registers live in a **flat list** indexed by slot, not a dict;
+* type instantiation is **environment-lazy**: entering a block binds its
+  ``Delta`` to the omegas as an immutable env tuple, and only the rare
+  operands whose free type variables demand it are substituted (memoized
+  per site x env) -- straight-line arithmetic never touches a type;
+* the per-component lowering is keyed by the PR 7 **content digest** and
+  cached through the :mod:`repro.link` ArtifactStore, so a compiled
+  artifact is lowered once fleet-wide (``tal.fast.preinst.*``);
+* blocks flagged hot (entry counter, or a digest list produced by
+  ``funtal top --promote-threshold``) are **template-JITted**: the block
+  body is rendered into one fused Python function per basic block
+  (branch-out via block transfer requests) and compiled with ``exec``.
+
+Semantics are bit-identical to the reference engine -- same values, same
+``steps``/``fuel_used`` accounting, same trap messages, same suspension
+records (checkpoints are engine-portable) -- enforced by the differential
+lockstep suite in ``tests/test_tal_fast_differential.py``.  Anything the
+lowering does not recognise (``import``, exotic instructions, invalid
+registers) falls back per-block to the reference rules via
+:func:`_walk_ref`, so the fast tier is *total*.  Instrumented runs
+(tracing, a live event bus, or the profiler) are executed by the
+reference interpreter: the fast tier is the batch tier.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.caching import LRUCache
+from repro.errors import FuelExhausted, MachineError
+from repro.obs.events import OBS
+from repro.obs.profile import PROFILER, content_hash
+from repro.tal.machine import HaltedState, rename_locs
+from repro.tal.subst import (
+    Subst, free_type_vars, instantiate_code_block, subst_instr,
+    subst_instr_seq, subst_operand, subst_q, subst_stack, subst_ty,
+)
+from repro.tal.syntax import (
+    Aop, Balloc, Bnz, BOX, Call, Component, Fold, Halt, HCode, HTuple,
+    InstrSeq, Jmp, KIND_ALPHA, KIND_EPS, KIND_ZETA, Ld, Loc, Mv, Pack,
+    Ralloc, REF, REGISTERS, RegOp, Ret, RetMarker, Salloc, Sfree, Sld, Sst,
+    St, StackTy, TalType, TyApp, UnfoldI, Unpack, WInt, WLoc, WUnit,
+    check_register,
+)
+
+__all__ = [
+    "FastBlock", "fast_drive", "fast_run_t", "instrumented",
+    "install_component", "promote_digests", "set_jit_threshold",
+    "clear_fast_caches", "fast_cache_stats", "PREINST_VERSION",
+]
+
+#: Bump when the lowered descriptor format changes: the digest of the
+#: on-disk preinstantiation artifacts includes it, so stale store entries
+#: simply miss instead of deserialising into the wrong shape.
+PREINST_VERSION = 1
+
+_UNSET = object()          # register-slot sentinel (None is not a word)
+_SLOT = {r: i for i, r in enumerate(REGISTERS)}
+_NREGS = len(REGISTERS)
+_AOPS = {"add": "+", "sub": "-", "mul": "*"}
+_AOP_FNS = {"add": lambda a, b: a + b, "sub": lambda a, b: a - b,
+            "mul": lambda a, b: a * b}
+_KIND_EXPECT = {KIND_ALPHA: TalType, KIND_ZETA: StackTy,
+                KIND_EPS: RetMarker}
+_MISS = object()
+
+# ---------------------------------------------------------------------------
+# Caches (the PR 4 tal.subst.cache.* machinery, grown into the fast tier)
+# ---------------------------------------------------------------------------
+
+#: env tuple -> combined Subst (bindings folded left to right; a ``None``
+#: omega is a Protect shadow and deletes its key).
+_ENVSUB_CACHE = LRUCache(1024)
+#: (id(site), env[, tag]) -> (site, substituted result); identity-checked.
+_SITE_CACHE = LRUCache(4096, metric_prefix="tal.fast.site")
+#: (id(block), omegas) -> (block, env tuple): the fast tier's block
+#: instantiation memo (the Fig 17 loop pays the kind checks once).
+_ENV_CACHE = LRUCache(4096, metric_prefix="tal.fast.block")
+#: id(Component) -> (comp, FlatProgram): per-process lowering memo.
+_COMP_MEMO = LRUCache(256)
+#: Component (structural hash/eq) -> FlatProgram: catches re-loads of
+#: structurally identical components rebuilt fresh by substitution.
+_STRUCT_MEMO = LRUCache(256)
+#: digest -> FlatProgram, in front of the on-disk ArtifactStore.
+_PREINST_LRU = LRUCache(128, metric_prefix="tal.fast.preinst")
+#: id(HCode) -> (hcode, FlatCode): direct-mode lowering memo (restored
+#: snapshots, blocks reached outside a component load).
+_HCODE_MEMO = LRUCache(512)
+#: JIT source string -> compiled function (process-wide).
+_JIT_FNS: Dict[str, object] = {}
+
+_EMPTY_SUBST = Subst()
+
+
+def clear_fast_caches() -> None:
+    """Drop every fast-tier memo (tests, benchmarks)."""
+    _ENVSUB_CACHE.clear()
+    _SITE_CACHE.clear()
+    _ENV_CACHE.clear()
+    _COMP_MEMO.clear()
+    _STRUCT_MEMO.clear()
+    _PREINST_LRU.clear()
+    _HCODE_MEMO.clear()
+    _JIT_FNS.clear()
+
+
+def fast_cache_stats() -> Dict[str, Dict[str, int]]:
+    return {
+        "tal.fast.site": _SITE_CACHE.stats(),
+        "tal.fast.block": _ENV_CACHE.stats(),
+        "tal.fast.preinst": _PREINST_LRU.stats(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# JIT promotion policy
+# ---------------------------------------------------------------------------
+
+_PROMOTED: Optional[set] = None
+_JIT_THRESHOLD: Optional[int] = None
+
+
+def _promoted() -> set:
+    global _PROMOTED
+    if _PROMOTED is None:
+        raw = os.environ.get("FUNTAL_TAL_PROMOTE", "")
+        _PROMOTED = {d.strip() for d in raw.split(",") if d.strip()}
+    return _PROMOTED
+
+
+def promote_digests(digests) -> None:
+    """Seed the JIT with profiler block digests (the list emitted by
+    ``funtal top --promote-threshold``): matching blocks are promoted on
+    first entry instead of waiting out the hot counter."""
+    _promoted().update(digests)
+
+
+def _jit_threshold() -> int:
+    global _JIT_THRESHOLD
+    if _JIT_THRESHOLD is None:
+        _JIT_THRESHOLD = int(os.environ.get("FUNTAL_TAL_JIT_THRESHOLD",
+                                            "16"))
+    return _JIT_THRESHOLD
+
+
+def set_jit_threshold(n: Optional[int]) -> None:
+    """Override (or with ``None`` re-read from the environment) the
+    entry count after which an eligible block is template-JITted."""
+    global _JIT_THRESHOLD
+    _JIT_THRESHOLD = n
+
+
+def instrumented(machine) -> bool:
+    """Instrumented runs (tracing, live event bus, profiler) stay on the
+    reference interpreter, which emits per-step events."""
+    return (machine.trace_enabled or PROFILER.enabled
+            or (OBS.enabled and OBS.bus.active))
+
+
+# ---------------------------------------------------------------------------
+# Environment-lazy substitution
+# ---------------------------------------------------------------------------
+
+def _env_subst(env: tuple) -> Subst:
+    """The combined substitution an env tuple denotes.
+
+    At run time every omega is closed, so folding the entries in order
+    (later bindings override, Protect shadows delete) is exactly the
+    reference engine's sequential substitution discipline."""
+    if not env:
+        return _EMPTY_SUBST
+    hit = _ENVSUB_CACHE.get(id(env))
+    if hit is not None and hit[0] is env:
+        return hit[1]
+    mapping: dict = {}
+    for kind, name, omega in env:
+        if omega is None:
+            mapping.pop((kind, name), None)
+        else:
+            mapping[(kind, name)] = omega
+    s = Subst(mapping)
+    _ENVSUB_CACHE.put(id(env), (env, s))
+    return s
+
+
+# Site caches key on object identity, not structure: hashing type-laden
+# env tuples costs more than the substitution they memoize (the frozen
+# syntax dataclasses recompute deep hashes every time).  Identity keys
+# stay canonical because enter() reuses one env tuple per (block, omega)
+# pair, and pinning the keyed objects in the value prevents id reuse.
+
+def _site_operand(u, env: tuple):
+    """Substitute a typed operand site under ``env`` (memoized)."""
+    if not env:
+        return u
+    key = (id(u), id(env))
+    hit = _SITE_CACHE.get(key)
+    if hit is not None and hit[0] is u and hit[1] is env:
+        return hit[2]
+    res = subst_operand(u, _env_subst(env))
+    _SITE_CACHE.put(key, (u, env, res))
+    return res
+
+
+def _site_halt(t: Halt, env: tuple):
+    if not env:
+        return t.ty, t.sigma
+    key = (id(t), id(env), "halt")
+    hit = _SITE_CACHE.get(key)
+    if hit is not None and hit[0] is t and hit[1] is env:
+        return hit[2]
+    s = _env_subst(env)
+    res = (subst_ty(t.ty, s), subst_stack(t.sigma, s))
+    _SITE_CACHE.put(key, (t, env, res))
+    return res
+
+
+def _site_call_extra(t: Call, env: tuple):
+    if not env:
+        return (t.sigma, t.q)
+    key = (id(t), id(env), "call")
+    hit = _SITE_CACHE.get(key)
+    if hit is not None and hit[0] is t and hit[1] is env:
+        return hit[2]
+    s = _env_subst(env)
+    res = (subst_stack(t.sigma, s), subst_q(t.q, s))
+    _SITE_CACHE.put(key, (t, env, res))
+    return res
+
+
+def _site_instr(i, env: tuple):
+    """Substitute a whole (non-binding) instruction under ``env``
+    (memoized): what the native import op uses to close its F payload."""
+    if not env:
+        return i
+    key = (id(i), id(env), "instr")
+    hit = _SITE_CACHE.get(key)
+    if hit is not None and hit[0] is i and hit[1] is env:
+        return hit[2]
+    s = _env_subst(env)
+    res = i if s.is_empty() else subst_instr(i, s)
+    _SITE_CACHE.put(key, (i, env, res))
+    return res
+
+
+# ---------------------------------------------------------------------------
+# Runtime operand resolution against the flat register file
+# ---------------------------------------------------------------------------
+
+def _resolve_rt(u, regs):
+    cls = u.__class__
+    if cls is RegOp:
+        idx = _SLOT.get(u.reg)
+        if idx is None:
+            check_register(u.reg)  # raises the canonical message
+        w = regs[idx]
+        if w is _UNSET:
+            raise MachineError(f"read of unset register {u.reg}")
+        return w
+    if cls is WUnit or cls is WInt or cls is WLoc:
+        return u
+    if cls is Pack:
+        return Pack(u.hidden, _resolve_rt(u.body, regs), u.as_ty)
+    if cls is Fold:
+        return Fold(u.as_ty, _resolve_rt(u.body, regs))
+    if cls is TyApp:
+        body = _resolve_rt(u.body, regs)
+        if body.__class__ is TyApp:
+            return TyApp(body.body, body.insts + u.insts)
+        return TyApp(body, u.insts)
+    raise MachineError(f"cannot resolve operand {u}")
+
+
+def _resolve_const(u):
+    """Resolve a register-free operand to its word value (load time)."""
+    return _resolve_rt(u, None)
+
+
+def _target_of(w) -> Tuple[Loc, tuple]:
+    omegas: tuple = ()
+    while w.__class__ is TyApp:
+        omegas = tuple(w.insts) + omegas
+        w = w.body
+    if w.__class__ is not WLoc:
+        raise MachineError(f"jump to non-location value {w}")
+    return w.loc, omegas
+
+
+def _has_regop(u) -> bool:
+    cls = u.__class__
+    if cls is RegOp:
+        return True
+    if cls is Pack or cls is Fold or cls is TyApp:
+        return _has_regop(u.body)
+    return False
+
+
+def _is_const(u) -> bool:
+    return not _has_regop(u) and not free_type_vars(u)
+
+
+# ---------------------------------------------------------------------------
+# Lowering: instructions -> picklable descriptors
+# ---------------------------------------------------------------------------
+
+_FT_CLASSES: Optional[tuple] = None
+
+
+def _ft_classes() -> tuple:
+    global _FT_CLASSES
+    if _FT_CLASSES is None:
+        try:
+            from repro.ft.syntax import Import, Protect
+            _FT_CLASSES = (Import, Protect)
+        except Exception:  # pragma: no cover - ft always importable here
+            _FT_CLASSES = (None, None)
+    return _FT_CLASSES
+
+
+def _uspec(u):
+    """Classify an operand: ("c", u) const / ("r", slot, name) register /
+    ("g", u, has_ftv) general."""
+    if u.__class__ is RegOp:
+        slot = _SLOT.get(u.reg)
+        if slot is None:
+            return None
+        return ("r", slot, u.reg)
+    if _is_const(u):
+        return ("c", u)
+    return ("g", u, bool(free_type_vars(u)))
+
+
+def _lower_instr(i) -> tuple:
+    """Total: anything unliftable lowers to a reference delegation."""
+    try:
+        return _lower_instr_raw(i)
+    except Exception:
+        return ("refop",)
+
+
+def _lower_instr_raw(i) -> tuple:
+    cls = i.__class__
+    if cls is Mv:
+        rd = _SLOT.get(i.rd)
+        spec = _uspec(i.u)
+        if rd is None or spec is None:
+            return ("refop",)
+        return ("mv", rd, spec)
+    if cls is Aop:
+        rd, rs = _SLOT.get(i.rd), _SLOT.get(i.rs)
+        spec = _uspec(i.u)
+        if rd is None or rs is None or spec is None or i.op not in _AOPS:
+            return ("refop",)
+        return ("aop", i.op, rd, rs, i.rs, spec)
+    if cls is Bnz:
+        rs = _SLOT.get(i.r)
+        if rs is None:
+            return ("refop",)
+        if _is_const(i.u):
+            return ("bnz_c", rs, i.r, i.u)
+        return ("bnz_g", rs, i.r, i.u, bool(free_type_vars(i.u)))
+    if cls is Ld:
+        rd, rs = _SLOT.get(i.rd), _SLOT.get(i.rs)
+        if rd is None or rs is None:
+            return ("refop",)
+        return ("ld", rd, rs, i.index)
+    if cls is St:
+        rd, rs = _SLOT.get(i.rd), _SLOT.get(i.rs)
+        if rd is None or rs is None:
+            return ("refop",)
+        return ("st", rd, i.index, rs, i.rs)
+    if cls is Ralloc or cls is Balloc:
+        rd = _SLOT.get(i.rd)
+        if rd is None:
+            return ("refop",)
+        return ("alloc", rd, i.n, REF if cls is Ralloc else BOX)
+    if cls is Salloc:
+        return ("salloc", i.n)
+    if cls is Sfree:
+        return ("sfree", i.n)
+    if cls is Sld:
+        rd = _SLOT.get(i.rd)
+        if rd is None:
+            return ("refop",)
+        return ("sld", rd, i.index)
+    if cls is Sst:
+        rs = _SLOT.get(i.rs)
+        if rs is None:
+            return ("refop",)
+        return ("sst", i.index, rs, i.rs)
+    if cls is Unpack:
+        rd = _SLOT.get(i.rd)
+        spec = _uspec(i.u)
+        if rd is None or spec is None:
+            return ("refop",)
+        return ("unpack", i.alpha, rd, spec)
+    if cls is UnfoldI:
+        rd = _SLOT.get(i.rd)
+        spec = _uspec(i.u)
+        if rd is None or spec is None:
+            return ("refop",)
+        return ("unfold", rd, spec)
+    import_cls, protect_cls = _ft_classes()
+    if import_cls is not None and cls is import_cls:
+        if _SLOT.get(i.rd) is None:
+            return ("refop",)
+        # ftv is conservatively True: walking the embedded F expression
+        # to prove closedness costs more than the (memoized, usually
+        # env-empty) runtime substitution it would skip.
+        return ("imp", i, True)
+    if protect_cls is not None and cls is protect_cls:
+        return ("protect", i.zeta)
+    return ("refop",)  # anything unknown: reference rules
+
+
+def _lower_term(t) -> tuple:
+    try:
+        return _lower_term_raw(t)
+    except Exception:
+        return ("ref_term",)
+
+
+def _lower_term_raw(t) -> tuple:
+    cls = t.__class__
+    if cls is Halt:
+        r = _SLOT.get(t.r)
+        if r is None:
+            return ("ref_term",)
+        ftv = bool(free_type_vars(t.ty) | free_type_vars(t.sigma))
+        return ("halt", r, t.r, t, ftv)
+    if cls is Jmp:
+        if _is_const(t.u):
+            return ("jmp_c", t.u)
+        return ("jmp_g", t.u, bool(free_type_vars(t.u)))
+    if cls is Call:
+        sq_ftv = bool(free_type_vars(t.sigma) | free_type_vars(t.q))
+        if _is_const(t.u) and not sq_ftv:
+            return ("call_c", t.u, t.sigma, t.q)
+        return ("call_g", t.u, bool(free_type_vars(t.u)), t, sq_ftv)
+    if cls is Ret:
+        r = _SLOT.get(t.r)
+        if r is None:
+            return ("ref_term",)
+        return ("ret", r, t.r, t.rr)
+    return ("ref_term",)
+
+
+def _lower_seq(iseq: InstrSeq, delta: tuple) -> dict:
+    """Lower an instruction sequence to a picklable FlatCode dict."""
+    ops = tuple(_lower_instr(i) for i in iseq.instrs)
+    term = _lower_term(iseq.term)
+    jit = _jit_source(ops, term)
+    return {"delta": delta, "ops": ops, "term": term, "jit": jit}
+
+
+def _lower_component(comp: Component) -> dict:
+    blocks = []
+    for idx, (_, h) in enumerate(comp.heap):
+        if isinstance(h, HCode):
+            blocks.append((idx, _lower_seq(h.instrs, h.delta)))
+    return {"version": PREINST_VERSION,
+            "entry": _lower_seq(comp.instrs, ()),
+            "blocks": tuple(blocks)}
+
+
+# ---------------------------------------------------------------------------
+# Digest-keyed preinstantiation through the link store
+# ---------------------------------------------------------------------------
+
+_PURE_INSTRS = (Mv, Aop, Bnz, Ld, St, Ralloc, Balloc, Salloc, Sfree, Sld,
+                Sst, Unpack, UnfoldI)
+
+
+def _scan_component(comp: Component):
+    """(pure_t, self_contained): pure-T components whose every referenced
+    location is bound in their own heap get a content digest; anything
+    else (FT instructions, wrappers embedding runtime locations) is
+    lowered under a per-object memo instead, so runtime-unique wrappers
+    never pollute the shared store."""
+    bound = {loc for loc, _ in comp.heap}
+    refs: set = set()
+
+    def walk_operand(u) -> bool:
+        cls = u.__class__
+        if cls is WLoc:
+            refs.add(u.loc)
+            return True
+        if cls is Pack or cls is Fold or cls is TyApp:
+            return walk_operand(u.body)
+        return cls in (WInt, WUnit, RegOp)
+
+    protect_cls = _ft_classes()[1]
+
+    def walk_seq(iseq) -> bool:
+        for i in iseq.instrs:
+            if not isinstance(i, _PURE_INSTRS):
+                # protect is type-level only: it renames the protected
+                # tail, embeds no runtime state, and lowers to a fixed
+                # descriptor -- safe to content-address.  Import is not
+                # (it carries an F payload evaluated at runtime).
+                if protect_cls is not None and isinstance(i, protect_cls):
+                    continue
+                return False
+            u = getattr(i, "u", None)
+            if u is not None and not walk_operand(u):
+                return False
+        t = iseq.term
+        if isinstance(t, (Jmp, Call)):
+            return walk_operand(t.u)
+        return isinstance(t, (Ret, Halt))
+
+    if not walk_seq(comp.instrs):
+        return False, False
+    for _, h in comp.heap:
+        if isinstance(h, HCode):
+            if not walk_seq(h.instrs):
+                return False, False
+        elif isinstance(h, HTuple):
+            for w in h.words:
+                if not walk_operand(w):
+                    return False, False
+        else:
+            return False, False
+    return True, refs <= bound
+
+
+def _preinst_program(comp: Component) -> dict:
+    """The lowered FlatProgram for a component.
+
+    Memo pipeline, cheapest first: per-object identity -> structural
+    equality (boundary wrappers are rebuilt by substitution every
+    crossing, so identical structure rarely means identical object) ->
+    the digest-keyed in-memory LRU -> the on-disk ArtifactStore.  The
+    fingerprint/disk tier is reserved for real artifacts (at least one
+    heap code block, pure T, self-contained): the hot FT boundary path
+    loads hundreds of tiny one-shot entry snippets per run, and
+    digesting those would cost more than lowering them.
+    """
+    key = id(comp)
+    hit = _COMP_MEMO.get(key)
+    if hit is not None and hit[0] is comp:
+        return hit[1]
+    has_code = any(isinstance(h, HCode) for _, h in comp.heap)
+    if not has_code:
+        # Boundary wrappers: a handful of instructions around an F
+        # payload, loaded once each.  Hashing them for the structural
+        # memo would walk the payload; straight lowering is cheaper.
+        prog = _lower_component(comp)
+        _COMP_MEMO.put(key, (comp, prog))
+        return prog
+    prog = _STRUCT_MEMO.get(comp)
+    if prog is None:
+        pure, contained = _scan_component(comp)
+        if pure and contained:
+            from repro.link.fingerprint import stable_fingerprint
+            digest = stable_fingerprint(
+                ("funtal.tal.preinst", PREINST_VERSION, comp))
+            prog = _PREINST_LRU.get(digest)
+            if prog is None:
+                prog = _preinst_from_store(digest, comp)
+            _PREINST_LRU.put(digest, prog)
+        else:
+            prog = _lower_component(comp)
+        _STRUCT_MEMO.put(comp, prog)
+    _COMP_MEMO.put(key, (comp, prog))
+    return prog
+
+
+def _preinst_from_store(digest: str, comp: Component) -> dict:
+    try:
+        from repro.link.store import ArtifactStore
+        store = ArtifactStore()
+        found = store.get(digest, kind="preinst")
+    except Exception:
+        store, found = None, None
+    if found is not None:
+        prog = found[1]
+        if isinstance(prog, dict) and prog.get("version") == PREINST_VERSION:
+            if OBS.enabled:
+                OBS.metrics.inc("tal.fast.preinst.hit")
+            return prog
+    prog = _lower_component(comp)
+    if store is not None:
+        try:
+            store.put(digest, prog, meta={"kind": "tal-preinst"},
+                      kind="preinst")
+        except Exception:
+            pass
+    return prog
+
+
+# ---------------------------------------------------------------------------
+# Per-load build: descriptors -> direct-threaded closures
+# ---------------------------------------------------------------------------
+
+class FastBlock:
+    """One preinstantiated block: direct-threaded ops plus metadata for
+    residual materialisation, the omega memo, and the JIT tier."""
+
+    __slots__ = ("ops", "nops", "term", "delta", "src_seq", "src_hcode",
+                 "hot", "jit_spec", "jit_fn", "jit_consts", "_digest")
+
+    def __init__(self, ops, term, delta, src_seq, src_hcode, jit_spec,
+                 jit_consts):
+        self.ops = ops
+        self.nops = len(ops)
+        self.term = term
+        self.delta = delta
+        self.src_seq = src_seq        # renamed InstrSeq (residuals)
+        self.src_hcode = src_hcode    # renamed HCode or None (entry seqs)
+        self.hot = 0
+        self.jit_spec = jit_spec
+        self.jit_fn = None
+        self.jit_consts = jit_consts
+        self._digest = None
+
+    def digest(self) -> Optional[str]:
+        """Stable-per-run profiler digest of the source block (what
+        ``funtal top --promote-threshold`` emits)."""
+        if self._digest is None and self.src_hcode is not None:
+            self._digest = content_hash(self.src_hcode, "t")
+        return self._digest
+
+
+def _unset_read(name: str):
+    raise MachineError(f"read of unset register {name}")
+
+
+def _make_op(d: tuple, ren):
+    """Build the closure for one op descriptor (``ren`` renames heap
+    labels into the current load)."""
+    tag = d[0]
+    if tag == "mv":
+        _, rd, spec = d
+        if spec[0] == "c":
+            w = _resolve_const(ren(spec[1]))
+
+            def op(mem, regs, env, _rd=rd, _w=w):
+                regs[_rd] = _w
+            return op
+        if spec[0] == "r":
+            _, rs, name = spec
+
+            def op(mem, regs, env, _rd=rd, _rs=rs, _n=name):
+                w = regs[_rs]
+                if w is _UNSET:
+                    _unset_read(_n)
+                regs[_rd] = w
+            return op
+        _, u, ftv = spec
+        u = ren(u)
+
+        def op(mem, regs, env, _rd=rd, _u=u, _f=ftv):
+            regs[_rd] = _resolve_rt(_site_operand(_u, env) if _f else _u,
+                                    regs)
+        return op
+    if tag == "aop":
+        _, name, rd, rs, rs_name, spec = d
+        fn = _AOP_FNS[name]
+        if spec[0] == "c":
+            w = _resolve_const(ren(spec[1]))
+
+            def op(mem, regs, env, _rd=rd, _rs=rs, _n=rs_name, _fn=fn,
+                   _w=w):
+                left = regs[_rs]
+                if left.__class__ is not WInt:
+                    if left is _UNSET:
+                        _unset_read(_n)
+                    raise MachineError(
+                        f"aop source {_n} holds non-int {left}")
+                if _w.__class__ is not WInt:
+                    raise MachineError(f"expected an integer, got {_w}")
+                regs[_rd] = WInt(_fn(left.value, _w.value))
+            return op
+        if spec[0] == "r":
+            _, rb, rb_name = spec
+
+            def op(mem, regs, env, _rd=rd, _rs=rs, _n=rs_name, _fn=fn,
+                   _rb=rb, _bn=rb_name):
+                left = regs[_rs]
+                if left.__class__ is not WInt:
+                    if left is _UNSET:
+                        _unset_read(_n)
+                    raise MachineError(
+                        f"aop source {_n} holds non-int {left}")
+                right = regs[_rb]
+                if right.__class__ is not WInt:
+                    if right is _UNSET:
+                        _unset_read(_bn)
+                    raise MachineError(f"expected an integer, got {right}")
+                regs[_rd] = WInt(_fn(left.value, right.value))
+            return op
+        _, u, ftv = spec
+        u = ren(u)
+
+        def op(mem, regs, env, _rd=rd, _rs=rs, _n=rs_name, _fn=fn, _u=u,
+               _f=ftv):
+            left = regs[_rs]
+            if left.__class__ is not WInt:
+                if left is _UNSET:
+                    _unset_read(_n)
+                raise MachineError(f"aop source {_n} holds non-int {left}")
+            w = _resolve_rt(_site_operand(_u, env) if _f else _u, regs)
+            if w.__class__ is not WInt:
+                raise MachineError(f"expected an integer, got {w}")
+            regs[_rd] = WInt(_fn(left.value, w.value))
+        return op
+    if tag in ("bnz_c", "bnz_g"):
+        return None  # handled by _make_bnz (needs its own pc)
+    if tag == "ld":
+        _, rd, rs, index = d
+
+        def op(mem, regs, env, _rd=rd, _rs=rs, _i=index):
+            ptr = regs[_rs]
+            if ptr.__class__ is not WLoc:
+                if ptr is _UNSET:
+                    _unset_read(REGISTERS[_rs])
+                raise MachineError(f"ld through non-pointer {ptr}")
+            tup = mem.tuple_at(ptr.loc)
+            if not 0 <= _i < len(tup.words):
+                raise MachineError(f"ld index {_i} out of range")
+            regs[_rd] = tup.words[_i]
+        return op
+    if tag == "st":
+        _, rd, index, rs, rs_name = d
+
+        def op(mem, regs, env, _rd=rd, _i=index, _rs=rs, _n=rs_name):
+            ptr = regs[_rd]
+            if ptr.__class__ is not WLoc:
+                if ptr is _UNSET:
+                    _unset_read(REGISTERS[_rd])
+                raise MachineError(f"st through non-pointer {ptr}")
+            w = regs[_rs]
+            if w is _UNSET:
+                _unset_read(_n)
+            mem.store_field(ptr.loc, _i, w)
+        return op
+    if tag == "alloc":
+        _, rd, n, nu = d
+
+        def op(mem, regs, env, _rd=rd, _n=n, _nu=nu):
+            words = mem.pop(_n)
+            regs[_rd] = WLoc(mem.alloc(HTuple(tuple(words)), _nu))
+        return op
+    if tag == "salloc":
+        units = (WUnit(),) * d[1]
+
+        def op(mem, regs, env, _u=units):
+            mem.push(*_u)
+        return op
+    if tag == "sfree":
+        n = d[1]
+
+        def op(mem, regs, env, _n=n):
+            mem.pop(_n)
+        return op
+    if tag == "sld":
+        _, rd, index = d
+
+        def op(mem, regs, env, _rd=rd, _i=index):
+            regs[_rd] = mem.peek(_i)
+        return op
+    if tag == "sst":
+        _, index, rs, rs_name = d
+
+        def op(mem, regs, env, _i=index, _rs=rs, _n=rs_name):
+            w = regs[_rs]
+            if w is _UNSET:
+                _unset_read(_n)
+            mem.poke(_i, w)
+        return op
+    if tag == "unpack":
+        _, alpha, rd, spec = d
+        if spec[0] == "r":
+            _, rs, name = spec
+
+            def op(mem, regs, env, _a=alpha, _rd=rd, _rs=rs, _n=name):
+                w = regs[_rs]
+                if w.__class__ is not Pack:
+                    if w is _UNSET:
+                        _unset_read(_n)
+                    raise MachineError(f"unpack of non-package value {w}")
+                regs[_rd] = w.body
+                return ("bind", (KIND_ALPHA, _a, w.hidden))
+            return op
+        if spec[0] == "c":
+            u = ren(spec[1])
+
+            def op(mem, regs, env, _a=alpha, _rd=rd, _u=u):
+                w = _resolve_const(_u)
+                if w.__class__ is not Pack:
+                    raise MachineError(f"unpack of non-package value {w}")
+                regs[_rd] = w.body
+                return ("bind", (KIND_ALPHA, _a, w.hidden))
+            return op
+        _, u, ftv = spec
+        u = ren(u)
+
+        def op(mem, regs, env, _a=alpha, _rd=rd, _u=u, _f=ftv):
+            w = _resolve_rt(_site_operand(_u, env) if _f else _u, regs)
+            if w.__class__ is not Pack:
+                raise MachineError(f"unpack of non-package value {w}")
+            regs[_rd] = w.body
+            return ("bind", (KIND_ALPHA, _a, w.hidden))
+        return op
+    if tag == "unfold":
+        _, rd, spec = d
+        if spec[0] == "r":
+            _, rs, name = spec
+
+            def op(mem, regs, env, _rd=rd, _rs=rs, _n=name):
+                w = regs[_rs]
+                if w.__class__ is not Fold:
+                    if w is _UNSET:
+                        _unset_read(_n)
+                    raise MachineError(f"unfold of non-fold value {w}")
+                regs[_rd] = w.body
+            return op
+        u = ren(spec[1]) if spec[0] == "c" else ren(spec[1])
+        ftv = spec[2] if spec[0] == "g" else False
+
+        def op(mem, regs, env, _rd=rd, _u=u, _f=ftv):
+            w = _resolve_rt(_site_operand(_u, env) if _f else _u, regs)
+            if w.__class__ is not Fold:
+                raise MachineError(f"unfold of non-fold value {w}")
+            regs[_rd] = w.body
+        return op
+    if tag == "protect":
+        zeta = d[1]
+
+        def op(mem, regs, env, _z=zeta):
+            return ("shadow", (KIND_ZETA, _z, None))
+        return op
+    if tag == "imp":
+        _, instr, ftv = d
+        instr = ren(instr)
+
+        def op(mem, regs, env, _i=instr, _f=ftv):
+            return ("imp", _site_instr(_i, env) if _f else _i)
+        return op
+    if tag == "refop":
+        def op(mem, regs, env):
+            return _REF_REQ
+        return op
+    raise AssertionError(f"unknown op descriptor {tag!r}")
+
+
+_REF_REQ = ("ref",)
+
+
+def _make_bnz(d: tuple, ren, pc: int):
+    """bnz carries its own pc so a failing jump can pin the residual."""
+    if d[0] == "bnz_c":
+        _, rs, rs_name, u = d
+        u_ren = ren(u)
+        try:
+            loc, omegas = _target_of(_resolve_const(u_ren))
+            req = ("enter", loc, omegas, (), pc)
+        except MachineError:
+            loc = omegas = req = None  # taken branch re-raises exactly
+
+        def op(mem, regs, env, _rs=rs, _n=rs_name, _req=req, _u=u_ren):
+            w = regs[_rs]
+            if w.__class__ is not WInt:
+                if w is _UNSET:
+                    _unset_read(_n)
+                raise MachineError(f"bnz scrutinee {_n} holds non-int {w}")
+            if w.value != 0:
+                if _req is None:
+                    _target_of(_resolve_const(_u))  # raises
+                return _req
+            return None
+        return op
+    _, rs, rs_name, u, ftv = d
+    u = ren(u)
+
+    def op(mem, regs, env, _rs=rs, _n=rs_name, _u=u, _f=ftv, _pc=pc):
+        w = regs[_rs]
+        if w.__class__ is not WInt:
+            if w is _UNSET:
+                _unset_read(_n)
+            raise MachineError(f"bnz scrutinee {_n} holds non-int {w}")
+        if w.value != 0:
+            loc, omegas = _target_of(
+                _resolve_rt(_site_operand(_u, env) if _f else _u, regs))
+            return ("enter", loc, omegas, (), _pc)
+        return None
+    return op
+
+
+def _make_term(d: tuple, ren, nops: int):
+    tag = d[0]
+    if tag == "halt":
+        _, r, r_name, t, ftv = d
+
+        def term(mem, regs, env, _r=r, _n=r_name, _t=t, _f=ftv):
+            w = regs[_r]
+            if w is _UNSET:
+                _unset_read(_n)
+            ty, sigma = _site_halt(_t, env) if _f else (_t.ty, _t.sigma)
+            return ("halt", HaltedState(w, ty, sigma, _n))
+        return term
+    if tag == "jmp_c":
+        u_ren = ren(d[1])
+        try:
+            loc, omegas = _target_of(_resolve_const(u_ren))
+            req = ("enter", loc, omegas, (), nops)
+        except MachineError:
+            req = None
+
+        def term(mem, regs, env, _req=req, _u=u_ren):
+            if _req is None:
+                _target_of(_resolve_const(_u))  # raises exactly
+            return _req
+        return term
+    if tag == "jmp_g":
+        _, u, ftv = d
+        u = ren(u)
+
+        def term(mem, regs, env, _u=u, _f=ftv, _pc=nops):
+            loc, omegas = _target_of(
+                _resolve_rt(_site_operand(_u, env) if _f else _u, regs))
+            return ("enter", loc, omegas, (), _pc)
+        return term
+    if tag == "call_c":
+        _, u, sigma, q = d
+        u_ren = ren(u)
+        try:
+            loc, omegas = _target_of(_resolve_const(u_ren))
+            req = ("enter", loc, omegas, (sigma, q), nops)
+        except MachineError:
+            req = None
+
+        def term(mem, regs, env, _req=req, _u=u_ren):
+            if _req is None:
+                _target_of(_resolve_const(_u))
+            return _req
+        return term
+    if tag == "call_g":
+        _, u, u_ftv, t, sq_ftv = d
+        u = ren(u)
+
+        def term(mem, regs, env, _u=u, _f=u_ftv, _t=t, _sf=sq_ftv,
+                 _pc=nops):
+            loc, omegas = _target_of(
+                _resolve_rt(_site_operand(_u, env) if _f else _u, regs))
+            extra = _site_call_extra(_t, env) if _sf else (_t.sigma, _t.q)
+            return ("enter", loc, omegas, extra, _pc)
+        return term
+    if tag == "ret":
+        _, r, r_name, _rr = d
+
+        def term(mem, regs, env, _r=r, _n=r_name):
+            w = regs[_r]
+            if w is _UNSET:
+                _unset_read(_n)
+            loc, omegas = _target_of(w)
+            return ("enter", loc, omegas, (), None)
+        return term
+    if tag == "ref_term":
+        def term(mem, regs, env):
+            return _REF_REQ
+        return term
+    raise AssertionError(f"unknown terminator descriptor {tag!r}")
+
+
+def _build_block(flat: dict, mapping, src_seq: InstrSeq,
+                 src_hcode: Optional[HCode]) -> FastBlock:
+    if mapping:
+        def ren(u):
+            return rename_locs(u, mapping)
+    else:
+        def ren(u):
+            return u
+    nops = len(flat["ops"])
+    ops = []
+    for pc, d in enumerate(flat["ops"]):
+        if d[0] in ("bnz_c", "bnz_g"):
+            ops.append(_make_bnz(d, ren, pc))
+        else:
+            ops.append(_make_op(d, ren))
+    term = _make_term(flat["term"], ren, nops)
+    jit_spec = flat.get("jit")
+    jit_consts = None
+    if jit_spec is not None:
+        try:
+            jit_consts = tuple(_build_const(c, ren, nops)
+                               for c in jit_spec[1])
+        except MachineError:
+            jit_spec = None  # e.g. a const jump to a non-location value
+    fb = FastBlock(tuple(ops), term, tuple(flat["delta"]), src_seq,
+                   src_hcode, jit_spec, jit_consts)
+    if OBS.enabled:
+        OBS.metrics.inc("tal.fast.blocks")
+    return fb
+
+
+# ---------------------------------------------------------------------------
+# Installation (component loads, direct fallback)
+# ---------------------------------------------------------------------------
+
+def install_component(machine, comp: Component, mapping: Dict[Loc, Loc],
+                      entry: InstrSeq) -> None:
+    """Install the component's preinstantiated block table into the
+    machine under this load's renaming (called from ``load_component``).
+
+    Heap-less components (the boundary wrappers FT crossings load by the
+    hundreds) install nothing: their entry runs exactly once, so the
+    driver executes it by the reference rules and switches to the fast
+    tier at its first block transfer -- lowering it could never pay for
+    itself."""
+    if not any(isinstance(h, HCode) for _, h in comp.heap):
+        return
+    prog = _preinst_program(comp)
+    mem = machine.memory
+    heap = comp.heap
+    for idx, flat in prog["blocks"]:
+        rloc = mapping[heap[idx][0]]
+        h_ren = mem.code_at(rloc)
+        machine._fast_blocks[rloc] = _build_block(
+            flat, mapping, h_ren.instrs, h_ren)
+    fb = _build_block(prog["entry"], mapping, entry, None)
+    entries = machine._fast_entries
+    if len(entries) > 1024:
+        entries.clear()
+    entries[id(entry)] = (entry, fb)
+
+
+def _install_hcode(machine, h: HCode, loc: Loc) -> FastBlock:
+    """Direct-mode lowering for a block reached outside a component
+    install (restored snapshots, exotic loads)."""
+    key = id(h)
+    hit = _HCODE_MEMO.get(key)
+    if hit is not None and hit[0] is h:
+        flat = hit[1]
+    else:
+        flat = _lower_seq(h.instrs, h.delta)
+        _HCODE_MEMO.put(key, (h, flat))
+    fb = _build_block(flat, None, h.instrs, h)
+    machine._fast_blocks[loc] = fb
+    return fb
+
+
+def _block_for_state(machine, iseq: InstrSeq) -> Optional[FastBlock]:
+    """The installed entry block for ``iseq``, if this exact object was
+    installed (cold states run on the reference walker instead)."""
+    ent = machine._fast_entries.get(id(iseq))
+    if ent is not None and ent[0] is iseq:
+        return ent[1]
+    return None
+
+
+def _make_env(delta: tuple, omegas: tuple) -> tuple:
+    entries = []
+    for b, omega in zip(delta, omegas):
+        expected = _KIND_EXPECT[b.kind]
+        if not isinstance(omega, expected):
+            raise TypeError(
+                f"instantiating {b.kind} {b.name} requires a "
+                f"{expected.__name__}, got {omega}")
+        entries.append((b.kind, b.name, omega))
+    return tuple(entries)
+
+
+def _close_flat(flat: dict) -> dict:
+    """Reclassify a specialized block's descriptors knowing its env
+    starts empty.
+
+    Generic lowering calls an operand const only when it has no free
+    type variables, because a bind could substitute into it at run time.
+    In a specialized block nothing binds before the first ``unpack`` /
+    ``protect``, so up to that point register-free operands are fixed
+    even when they mention protected (never-substituted) variables --
+    promoting them to the const forms precomputes jump targets and makes
+    the block JIT-eligible."""
+    ops = list(flat["ops"])
+    term = flat["term"]
+    bound = False
+    for i, d in enumerate(ops):
+        tag = d[0]
+        if tag in ("unpack", "protect"):
+            bound = True
+            break
+        if tag == "bnz_g":
+            _, rs, rs_name, u, _ftv = d
+            if not _has_regop(u):
+                ops[i] = ("bnz_c", rs, rs_name, u)
+        elif tag in ("mv", "unfold"):
+            spec = d[-1]
+            if spec[0] == "g" and not _has_regop(spec[1]):
+                ops[i] = d[:-1] + (("c", spec[1]),)
+        elif tag == "aop":
+            spec = d[5]
+            if spec[0] == "g" and not _has_regop(spec[1]):
+                ops[i] = d[:5] + (("c", spec[1]),)
+    if not bound:
+        ttag = term[0]
+        if ttag == "jmp_g" and not _has_regop(term[1]):
+            term = ("jmp_c", term[1])
+        elif ttag == "call_g" and not _has_regop(term[1]):
+            t = term[3]
+            term = ("call_c", term[1], t.sigma, t.q)
+        elif ttag == "halt" and term[4]:
+            term = term[:4] + (False,)
+    out = {"delta": flat["delta"], "ops": tuple(ops), "term": term}
+    out["jit"] = _jit_source(out["ops"], term)
+    return out
+
+
+def _specialize(fb: FastBlock, env: tuple) -> Optional[FastBlock]:
+    """Bake ``env`` into a closed copy of the block: one substitution and
+    re-lowering, after which every re-entry with the same omega list runs
+    const-folded descriptors (JIT-eligible, with identity-stable jump
+    requests).  Returns ``None`` when anything refuses to specialize --
+    the caller falls back to the env-lazy generic block."""
+    try:
+        seq2 = subst_instr_seq(fb.src_seq, _env_subst(env))
+        flat = _close_flat(_lower_seq(seq2, ()))
+        return _build_block(flat, None, seq2, fb.src_hcode)
+    except Exception:
+        return None
+
+
+def _materialize(fb: FastBlock, env: tuple, pc: int) -> InstrSeq:
+    """The reference-engine InstrSeq state equivalent to (fb, env, pc):
+    what snapshots carry, so checkpoints stay engine-portable."""
+    seq = fb.src_seq
+    if pc:
+        seq = InstrSeq(seq.instrs[pc:], seq.term)
+    s = _env_subst(env)
+    if s.is_empty():
+        return seq
+    return subst_instr_seq(seq, s)
+
+
+def _spill(regs: list, mregs: dict) -> None:
+    for i in range(_NREGS):
+        w = regs[i]
+        if w is not _UNSET:
+            mregs[REGISTERS[i]] = w
+
+
+# ---------------------------------------------------------------------------
+# Reference fallback walker
+# ---------------------------------------------------------------------------
+
+def _walk_ref(machine, state: InstrSeq, ft: bool):
+    """Execute ``state`` by the per-step reference rules until the next
+    control transfer: ``("halt", hs)`` or ``("enter", loc, omegas, extra,
+    residual_term_seq)``.  Registers must be spilled and the budget
+    synced before calling."""
+    mem = machine.memory
+    budget = machine.budget
+    obs_on = OBS.enabled
+    while True:
+        try:
+            budget.consume_fuel()
+        except FuelExhausted:
+            machine._fast_residual = state
+            if ft:
+                machine._suspension.append(("t", state))
+            raise
+        machine.steps += 1
+        if obs_on:
+            OBS.metrics.inc("t.machine.steps")
+        try:
+            if state.instrs:
+                head, rest = state.instrs[0], state.rest
+                if head.__class__ is Bnz:
+                    scrut = mem.get_reg(head.r)
+                    if not isinstance(scrut, WInt):
+                        raise MachineError(
+                            f"bnz scrutinee {head.r} holds non-int {scrut}")
+                    if scrut.value != 0:
+                        loc, omegas = machine.resolve_code_target(head.u)
+                        machine.emit("bnz", loc.name, detail="taken")
+                        return ("enter", loc, omegas, (), state)
+                    state = rest
+                else:
+                    state = machine.exec_instruction(head, rest)
+            else:
+                t = state.term
+                if t.__class__ is Halt:
+                    word = mem.get_reg(t.r)
+                    hs = HaltedState(word, t.ty, t.sigma, t.r)
+                    machine.emit("halt", None, detail=f"{t.r} -> {word}")
+                    return ("halt", hs)
+                if t.__class__ is Jmp:
+                    loc, omegas = machine.resolve_code_target(t.u)
+                    machine.emit("jmp", loc.name)
+                    return ("enter", loc, omegas, (), state)
+                if t.__class__ is Call:
+                    loc, omegas = machine.resolve_code_target(t.u)
+                    machine.emit("call", loc.name)
+                    return ("enter", loc, omegas, (t.sigma, t.q), state)
+                if t.__class__ is Ret:
+                    loc, omegas = machine.resolve_code_target(RegOp(t.r))
+                    machine.emit("ret", loc.name,
+                                 detail=f"result in {t.rr}")
+                    return ("enter", loc, omegas, (), state)
+                raise MachineError(
+                    f"unknown terminator {type(t).__name__}")
+        except BaseException:
+            machine._fast_residual = state
+            raise
+
+
+# ---------------------------------------------------------------------------
+# The driver
+# ---------------------------------------------------------------------------
+
+def _run_fast(machine, state, ft: bool) -> HaltedState:
+    machine._fast_residual = state
+    if isinstance(state, HaltedState):
+        return state
+    mem = machine.memory
+    budget = machine.budget
+    can_import = hasattr(machine, "_finish_import")
+    mregs = mem.regs
+    regs = [mregs.get(r, _UNSET) for r in REGISTERS]
+    base = budget.fuel_remaining
+    fuel = base
+    counters = [0, 0]  # instantiations, unpacks
+    FB = [0, 0]        # JIT trap sync: [fuel, pc]
+    enter_memo: dict = {}  # id(req) -> (req, block, env); identity-guarded
+
+    def flush():
+        nonlocal base
+        consumed = base - fuel
+        if consumed:
+            budget.consume_fuel(consumed)
+            machine.steps += consumed
+        base = fuel
+        if OBS.enabled:
+            metrics = OBS.metrics
+            if consumed:
+                metrics.inc("t.machine.steps", consumed)
+            if counters[0]:
+                metrics.inc("t.subst.instantiate", counters[0])
+            if counters[1]:
+                metrics.inc("t.subst.unpack", counters[1])
+        counters[0] = counters[1] = 0
+
+    def fail(fb_, env_, pc_):
+        _spill(regs, mregs)
+        flush()
+        machine._fast_residual = _materialize(fb_, env_, pc_)
+
+    def exhaust(fb_, env_, pc_):
+        residual = _materialize(fb_, env_, pc_)
+        _spill(regs, mregs)
+        flush()
+        machine._fast_residual = residual
+        if ft:
+            machine._suspension.append(("t", residual))
+        budget.consume_fuel()  # trips exactly like the reference engine
+        raise AssertionError("unreachable: fuel accounting out of sync")
+
+    def enter(loc, omegas, extra):
+        fb2 = machine._fast_blocks.get(loc)
+        if fb2 is None:
+            fb2 = _install_hcode(machine, mem.code_at(loc), loc)
+        all_om = omegas + extra
+        delta = fb2.delta
+        if len(all_om) > len(delta):
+            raise MachineError(
+                f"block {loc} instantiated with {len(all_om)} "
+                f"arguments but abstracts {len(delta)}")
+        counters[0] += 1
+        if len(all_om) < len(delta):
+            inst = instantiate_code_block(fb2.src_hcode, all_om)
+            raise MachineError(
+                f"jump to block {loc} with uninstantiated binders "
+                f"{[str(b) for b in inst.delta]}")
+        if all_om:
+            key = (id(fb2), all_om)
+            hit = _ENV_CACHE.get(key)
+            if hit is not None and hit[0] is fb2:
+                orig = fb2
+                fb2, env2 = hit[1], hit[2]
+                if fb2 is orig and env2:
+                    # Second entry with the same omegas: the pair is warm
+                    # enough to pay for baking the env into a closed,
+                    # JIT-eligible copy.  Once-entered blocks (the common
+                    # case outside loops) never reach here.
+                    spec = _specialize(fb2, env2)
+                    if spec is not None:
+                        _ENV_CACHE.put(key, (orig, spec, ()))
+                        fb2, env2 = spec, ()
+            else:
+                env2 = _make_env(delta, all_om)
+                _ENV_CACHE.put(key, (fb2, fb2, env2))
+        else:
+            env2 = ()
+        if fb2.jit_fn is None and fb2.jit_spec is not None:
+            fb2.hot += 1
+            promoted = _PROMOTED
+            if (fb2.hot >= _jit_threshold()
+                    or (promoted and fb2.digest() in promoted)):
+                _promote(fb2)
+        return fb2, env2
+
+    env: tuple = ()
+    pc = 0
+    fb = _block_for_state(machine, state)
+    if fb is None:
+        # Cold entry (boundary wrapper, restored snapshot): run it by the
+        # reference rules; the first block transfer lands in the fast tier.
+        try:
+            out = _walk_ref(machine, state, ft)
+        finally:
+            regs = [mregs.get(r, _UNSET) for r in REGISTERS]
+            base = budget.fuel_remaining
+            fuel = base
+        if out[0] == "halt":
+            machine._fast_residual = out[1]
+            return out[1]
+        try:
+            fb, env = enter(out[1], out[2], out[3])
+        except BaseException:
+            flush()
+            machine._fast_residual = out[4]
+            raise
+    while True:
+        ops = fb.ops
+        nops = fb.nops
+        req = None
+        jf = fb.jit_fn
+        if jf is not None and pc == 0:
+            FB[0], FB[1] = fuel, 0
+            try:
+                pc, fuel, req = jf(mem, regs, fuel, fb.jit_consts, FB)
+            except BaseException:
+                fuel = FB[0]
+                fail(fb, env, FB[1])
+                raise
+        if req is None:
+            while pc < nops:
+                if fuel == 0:
+                    exhaust(fb, env, pc)
+                fuel -= 1
+                try:
+                    r = ops[pc](mem, regs, env)
+                except BaseException:
+                    fail(fb, env, pc)
+                    raise
+                if r is None:
+                    pc += 1
+                    continue
+                tag = r[0]
+                if tag == "bind":
+                    counters[1] += 1
+                    env = env + (r[1],)
+                    pc += 1
+                elif tag == "shadow":
+                    env = env + (r[1],)
+                    pc += 1
+                else:  # "enter" (taken bnz) or "ref" (delegate)
+                    req = r
+                    break
+            else:
+                if fuel == 0:
+                    exhaust(fb, env, nops)
+                fuel -= 1
+                try:
+                    req = fb.term(mem, regs, env)
+                except BaseException:
+                    fail(fb, env, nops)
+                    raise
+        tag = req[0]
+        if tag == "enter":
+            # Hot path: a block's const jump request is one stable tuple,
+            # so an identity memo skips re-hashing the omega types.
+            hit = enter_memo.get(id(req))
+            if hit is not None and hit[0] is req:
+                fb, env = hit[1], hit[2]
+                counters[0] += 1
+                if fb.jit_fn is None and fb.jit_spec is not None:
+                    fb.hot += 1
+                    promoted = _PROMOTED
+                    if (fb.hot >= _jit_threshold()
+                            or (promoted and fb.digest() in promoted)):
+                        _promote(fb)
+                pc = 0
+                continue
+            try:
+                fb, env = enter(req[1], req[2], req[3])
+                pc = 0
+            except BaseException:
+                src = req[4]
+                fail(fb, env, src if isinstance(src, int) else nops)
+                raise
+            if len(enter_memo) > 4096:
+                enter_memo.clear()
+            enter_memo[id(req)] = (req, fb, env)
+            continue
+        if tag == "halt":
+            hs = req[1]
+            _spill(regs, mregs)
+            flush()
+            machine._fast_residual = hs
+            return hs
+        if tag == "imp" and can_import:
+            # Native boundary crossing: spill + settle fuel, evaluate the
+            # F payload under the shared budget, write the converted word
+            # through the machine's register file, reload.  The rest of
+            # the block keeps running fast -- no residual materialised.
+            i_s = req[1]
+            _spill(regs, mregs)
+            flush()
+            try:
+                if OBS.enabled:
+                    OBS.metrics.inc("ft.boundary.t_to_f")
+                with OBS.span("ft.import", "f", ty=i_s.ty):
+                    machine.emit("boundary", None,
+                                 detail=f"TF[{i_s.ty}] enter")
+                    try:
+                        value = machine.eval_fexpr(i_s.expr)
+                    except FuelExhausted:
+                        machine._suspension.append(
+                            ("import", i_s.rd, i_s.ty,
+                             _materialize(fb, env, pc + 1)))
+                        raise
+                    machine._finish_import(i_s.rd, i_s.ty, value)
+            except BaseException:
+                machine._fast_residual = _materialize(fb, env, pc)
+                raise
+            finally:
+                regs = [mregs.get(r, _UNSET) for r in REGISTERS]
+                base = budget.fuel_remaining
+                fuel = base
+            pc += 1
+            continue
+        # tag == "ref" (or an import on a machine without the FT boundary
+        # protocol): hand the rest of this block to the reference rules
+        fuel += 1  # the delegated instruction pays its own fuel
+        residual = _materialize(fb, env, pc)
+        _spill(regs, mregs)
+        flush()
+        try:
+            out = _walk_ref(machine, residual, ft)
+        finally:
+            regs = [mregs.get(r, _UNSET) for r in REGISTERS]
+            base = budget.fuel_remaining
+            fuel = base
+        if out[0] == "halt":
+            machine._fast_residual = out[1]
+            return out[1]
+        try:
+            fb, env = enter(out[1], out[2], out[3])
+            pc = 0
+        except BaseException:
+            flush()
+            machine._fast_residual = out[4]
+            raise
+
+
+def fast_drive(machine, state) -> HaltedState:
+    """Fast-tier replacement for :meth:`TalMachine._drive`."""
+    budget = machine.budget
+    with OBS.span("t.run_seq", "t"):
+        try:
+            return _run_fast(machine, state, ft=False)
+        except RecursionError:
+            raise budget.depth_error() from None
+        finally:
+            machine._state = machine._fast_residual
+
+
+def fast_run_t(machine, state) -> HaltedState:
+    """Fast-tier replacement for :meth:`FTMachine.run_t` (suspension
+    records are appended at the exact reference points)."""
+    return _run_fast(machine, state, ft=True)
+
+
+# ---------------------------------------------------------------------------
+# The template JIT
+# ---------------------------------------------------------------------------
+
+_JITABLE = {"mv", "aop", "bnz_c", "ld", "st", "alloc", "salloc", "sfree",
+            "sld", "sst", "unfold"}
+
+_JIT_GLOBALS = {
+    "WInt": WInt, "WLoc": WLoc, "TyApp": TyApp, "Fold": Fold,
+    "HTuple": HTuple, "HaltedState": HaltedState, "_U": _UNSET,
+    "__builtins__": {"len": len, "tuple": tuple},
+}
+
+
+def _jit_source(ops: tuple, term: tuple) -> Optional[tuple]:
+    """Render a block's descriptors into one fused Python function (the
+    template JIT).  Returns ``(src, const_specs)`` or ``None`` when any
+    op needs the environment, binds a type variable, or delegates.
+
+    The generated function is the happy path only: any check failure
+    returns a deopt ``(pc, fuel, None)`` and the direct-threaded
+    interpreter re-executes from ``pc`` for exact errors and accounting.
+    Calls into :class:`Memory` that can raise are preceded by a
+    fuel/pc sync through the ``FB`` box.
+    """
+    consts: List[tuple] = []
+    lines: List[str] = ["def _jit(mem, regs, fuel, C, FB):"]
+
+    def const(spec) -> str:
+        consts.append(spec)
+        return f"C[{len(consts) - 1}]"
+
+    def emit(s: str) -> None:
+        lines.append("    " + s)
+
+    for pc, d in enumerate(ops):
+        tag = d[0]
+        if tag not in _JITABLE:
+            return None
+        emit(f"if fuel == 0: return ({pc}, fuel, None)")
+        deopt = f"return ({pc}, fuel, None)"
+        if tag == "mv":
+            _, rd, spec = d
+            if spec[0] == "c":
+                emit("fuel -= 1")
+                emit(f"regs[{rd}] = {const(('word', spec[1]))}")
+            elif spec[0] == "r":
+                emit(f"w = regs[{spec[1]}]")
+                emit(f"if w is _U: {deopt}")
+                emit("fuel -= 1")
+                emit(f"regs[{rd}] = w")
+            else:
+                return None
+        elif tag == "aop":
+            _, name, rd, rs, _rs_name, spec = d
+            pyop = _AOPS[name]
+            emit(f"w = regs[{rs}]")
+            emit(f"if w.__class__ is not WInt: {deopt}")
+            if spec[0] == "c":
+                if spec[1].__class__ is not WInt:
+                    return None
+                emit("fuel -= 1")
+                emit(f"regs[{rd}] = WInt(w.value {pyop} {spec[1].value})")
+            elif spec[0] == "r":
+                emit(f"v = regs[{spec[1]}]")
+                emit(f"if v.__class__ is not WInt: {deopt}")
+                emit("fuel -= 1")
+                emit(f"regs[{rd}] = WInt(w.value {pyop} v.value)")
+            else:
+                return None
+        elif tag == "bnz_c":
+            _, rs, _name, u = d
+            emit(f"w = regs[{rs}]")
+            emit(f"if w.__class__ is not WInt: {deopt}")
+            emit("fuel -= 1")
+            emit(f"if w.value != 0: return (-1, fuel, "
+                 f"{const(('enter', u, None, pc))})")
+        elif tag == "ld":
+            _, rd, rs, index = d
+            emit(f"w = regs[{rs}]")
+            emit(f"if w.__class__ is not WLoc: {deopt}")
+            emit("fuel -= 1")
+            emit(f"FB[0] = fuel; FB[1] = {pc}")
+            emit("t = mem.tuple_at(w.loc).words")
+            emit(f"if not 0 <= {index} < len(t): "
+                 f"return ({pc}, fuel + 1, None)")
+            emit(f"regs[{rd}] = t[{index}]")
+        elif tag == "st":
+            _, rd, index, rs, _name = d
+            emit(f"w = regs[{rd}]")
+            emit(f"if w.__class__ is not WLoc: {deopt}")
+            emit(f"v = regs[{rs}]")
+            emit(f"if v is _U: {deopt}")
+            emit("fuel -= 1")
+            emit(f"FB[0] = fuel; FB[1] = {pc}")
+            emit(f"mem.store_field(w.loc, {index}, v)")
+        elif tag == "alloc":
+            _, rd, n, nu = d
+            emit("fuel -= 1")
+            emit(f"FB[0] = fuel; FB[1] = {pc}")
+            emit(f"ws = mem.pop({n})")
+            emit(f"regs[{rd}] = WLoc(mem.alloc(HTuple(tuple(ws)), "
+                 f"{const(('nu', nu))}))")
+        elif tag == "salloc":
+            emit("fuel -= 1")
+            emit(f"FB[0] = fuel; FB[1] = {pc}")
+            emit(f"mem.push(*{const(('units', d[1]))})")
+        elif tag == "sfree":
+            emit("fuel -= 1")
+            emit(f"FB[0] = fuel; FB[1] = {pc}")
+            emit(f"mem.pop({d[1]})")
+        elif tag == "sld":
+            _, rd, index = d
+            emit("fuel -= 1")
+            emit(f"FB[0] = fuel; FB[1] = {pc}")
+            emit(f"regs[{rd}] = mem.peek({index})")
+        elif tag == "sst":
+            _, index, rs, _name = d
+            emit(f"v = regs[{rs}]")
+            emit(f"if v is _U: {deopt}")
+            emit("fuel -= 1")
+            emit(f"FB[0] = fuel; FB[1] = {pc}")
+            emit(f"mem.poke({index}, v)")
+        elif tag == "unfold":
+            _, rd, spec = d
+            if spec[0] != "r":
+                return None
+            emit(f"w = regs[{spec[1]}]")
+            emit(f"if w.__class__ is not Fold: {deopt}")
+            emit("fuel -= 1")
+            emit(f"regs[{rd}] = w.body")
+    nops = len(ops)
+    tag = term[0]
+    emit(f"if fuel == 0: return ({nops}, fuel, None)")
+    deopt = f"return ({nops}, fuel, None)"
+    if tag == "halt":
+        _, r, r_name, t, ftv = term
+        if ftv:
+            return None
+        emit(f"w = regs[{r}]")
+        emit(f"if w is _U: {deopt}")
+        emit("fuel -= 1")
+        emit(f"return (-1, fuel, ('halt', HaltedState(w, "
+             f"{const(('ty', t.ty))}, {const(('ty', t.sigma))}, "
+             f"{r_name!r})))")
+    elif tag == "jmp_c":
+        emit("fuel -= 1")
+        emit(f"return (-1, fuel, {const(('enter', term[1], None, nops))})")
+    elif tag == "call_c":
+        _, u, sigma, q = term
+        emit("fuel -= 1")
+        emit(f"return (-1, fuel, {const(('enter', u, (sigma, q), nops))})")
+    elif tag == "ret":
+        _, r, _r_name, _rr = term
+        emit(f"w = regs[{r}]")
+        emit("om = ()")
+        emit("while w.__class__ is TyApp:")
+        emit("    om = tuple(w.insts) + om; w = w.body")
+        emit(f"if w.__class__ is not WLoc: {deopt}")
+        emit("fuel -= 1")
+        emit("return (-1, fuel, ('enter', w.loc, om, (), None))")
+    else:
+        return None
+    return ("\n".join(lines) + "\n", tuple(consts))
+
+
+def _build_const(spec: tuple, ren, nops: int):
+    kind = spec[0]
+    if kind == "word":
+        return _resolve_const(ren(spec[1]))
+    if kind == "units":
+        return (WUnit(),) * spec[1]
+    if kind == "nu":
+        return spec[1]
+    if kind == "ty":
+        return spec[1]
+    if kind == "enter":
+        _, u, extra, pc = spec
+        loc, omegas = _target_of(_resolve_const(ren(u)))
+        return ("enter", loc, omegas, extra if extra else (), pc)
+    raise AssertionError(f"unknown const spec {kind!r}")
+
+
+def _promote(fb: FastBlock) -> None:
+    src = fb.jit_spec[0]
+    fn = _JIT_FNS.get(src)
+    if fn is None:
+        namespace: dict = {}
+        exec(compile(src, "<tal-template-jit>", "exec"),
+             dict(_JIT_GLOBALS), namespace)
+        fn = namespace["_jit"]
+        _JIT_FNS[src] = fn
+    fb.jit_fn = fn
+    if OBS.enabled:
+        OBS.metrics.inc("tal.fast.jit.promoted")

@@ -26,6 +26,7 @@ FT's extra instructions are handled by the subclass hook
 from __future__ import annotations
 
 import itertools
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple, Union
@@ -48,8 +49,25 @@ from repro.tal.subst import Subst, subst_instr_seq, subst_ty
 
 __all__ = [
     "TraceEvent", "HaltedState", "TalMachine", "rename_locs",
-    "register_loc_renamer", "run_component",
+    "register_loc_renamer", "run_component", "TAL_ENGINES",
+    "resolve_tal_engine",
 ]
+
+#: The selectable T execution engines: the reference stepper and the
+#: direct-threaded fast tier (:mod:`repro.tal.fast`).
+TAL_ENGINES = ("ref", "fast")
+
+
+def resolve_tal_engine(name: Optional[str]) -> str:
+    """Validate a ``--tal-engine`` choice; ``None`` falls back to the
+    ``FUNTAL_TAL_ENGINE`` environment variable, then to ``ref``."""
+    if name is None:
+        name = os.environ.get("FUNTAL_TAL_ENGINE") or "ref"
+    if name not in TAL_ENGINES:
+        raise ValueError(
+            f"unknown tal engine {name!r} (expected one of "
+            f"{', '.join(TAL_ENGINES)})")
+    return name
 
 
 # ---------------------------------------------------------------------------
@@ -172,7 +190,8 @@ class TalMachine:
 
     def __init__(self, memory: Optional[Memory] = None,
                  trace: bool = False, max_events: Optional[int] = None,
-                 budget: Optional[Budget] = None):
+                 budget: Optional[Budget] = None,
+                 tal_engine: Optional[str] = None):
         self.budget = budget if budget is not None else Budget()
         self.memory = memory if memory is not None else Memory()
         if self.memory.budget is None:
@@ -183,6 +202,12 @@ class TalMachine:
         self._truncated = False
         self.steps = 0
         self._state: Optional[MachineState] = None
+        self.tal_engine = resolve_tal_engine(tal_engine)
+        # Fast-tier installation state (fresh per machine, never
+        # snapshotted: a restored machine re-lowers blocks on demand).
+        self._fast_blocks: Dict[Loc, object] = {}
+        self._fast_entries: Dict[int, tuple] = {}
+        self._fast_residual: Optional[MachineState] = None
 
     # -- tracing ------------------------------------------------------
 
@@ -222,6 +247,9 @@ class TalMachine:
         for loc, h in comp.heap:
             self.memory.bind(mapping[loc], rename_locs(h, mapping), BOX)
         instrs = rename_locs(comp.instrs, mapping)
+        if self.tal_engine == "fast":
+            from repro.tal import fast
+            fast.install_component(self, comp, mapping, instrs)
         if OBS.enabled:
             OBS.metrics.inc("t.machine.components_loaded")
         self.emit("enter", None,
@@ -440,6 +468,10 @@ class TalMachine:
         return self._drive(self._state)
 
     def _drive(self, state: MachineState) -> HaltedState:
+        if self.tal_engine == "fast":
+            from repro.tal import fast
+            if not fast.instrumented(self):
+                return fast.fast_drive(self, state)
         budget = self.budget
         prof = PROFILER if PROFILER.enabled else None
         prof_base = prof.enter_engine() if prof is not None else 0
@@ -472,6 +504,7 @@ class TalMachine:
             "state": self._state,
             "budget": self.budget,
             "steps": self.steps,
+            "tal_engine": self.tal_engine,
         }
 
     def snapshot(self) -> MachineSnapshot:
@@ -485,6 +518,12 @@ class TalMachine:
     def _restore_resumable(self, state: dict) -> None:
         self.steps = state.get("steps", 0)
         self._state = state.get("state")
+        # Snapshots are engine-portable: honour the recorded engine but
+        # tolerate snapshots from before the fast tier existed.
+        try:
+            self.tal_engine = resolve_tal_engine(state.get("tal_engine"))
+        except ValueError:
+            self.tal_engine = "ref"
 
     @classmethod
     def restore(cls, snapshot: MachineSnapshot, trace: bool = False,
@@ -505,9 +544,11 @@ class TalMachine:
 def run_component(comp: Component, fuel: Optional[int] = None,
                   trace: bool = False,
                   max_events: Optional[int] = None,
-                  budget: Optional[Budget] = None
+                  budget: Optional[Budget] = None,
+                  tal_engine: Optional[str] = None
                   ) -> Tuple[HaltedState, TalMachine]:
     """Run a closed T component in a fresh memory; returns the halt state
     and the machine (for its memory and trace)."""
-    machine = TalMachine(trace=trace, max_events=max_events, budget=budget)
+    machine = TalMachine(trace=trace, max_events=max_events, budget=budget,
+                         tal_engine=tal_engine)
     return machine.run_component(comp, fuel), machine

@@ -1,0 +1,410 @@
+"""Differential lockstep harness: the fast T tier against the reference
+``TalMachine``.
+
+``repro.tal.fast`` erases types, resolves labels, and JIT-fuses hot
+blocks -- none of which is allowed to be observable.  Its correctness
+claim mirrors the CEK-vs-substitution claim enforced by
+``test_engine_differential.py``: identical values, identical fuel/heap
+budget verdicts, identical trap messages, identical suspension points --
+on every paper example, random well-typed T programs, erased programs,
+budget-exhaustion splits, and cross-engine snapshot resume.
+
+Also covered: the digest-keyed preinstantiation cache through the link
+store, the profiler->JIT promotion hand-off, and the serving layer's
+treatment of ``tal_engine`` as a non-semantic option.
+"""
+
+import re
+
+import pytest
+
+from repro import obs
+from repro.errors import FuelExhausted, MachineError
+from repro.f.syntax import App, IntE
+from repro.ft.machine import FTMachine
+from repro.papers_examples import example_entries
+from repro.papers_examples import fig3_call_to_call
+from repro.papers_examples.fig17_factorial import (
+    build_count_t, build_fact_t,
+)
+from repro.resilience.budget import Budget
+from repro.resilience.checkpoint import MachineSnapshot
+from repro.tal import fast
+from repro.tal.erasure import erase_types
+from repro.tal.machine import (
+    TAL_ENGINES, TalMachine, resolve_tal_engine, run_component,
+)
+from repro.tal.subst import clear_subst_caches
+from repro.tal.syntax import (
+    Aop, Balloc, Bnz, Component, Halt, HCode, Jmp, Ld, Loc, Mv, NIL_STACK,
+    QEnd, RegFileTy, RegOp, Salloc, Sld, St, TInt, WInt, WLoc, WUnit, seq,
+)
+from tests.strategies import random_t_program
+
+LOC_COUNTER = re.compile(r"%\d+")
+
+
+@pytest.fixture(autouse=True)
+def clean_caches():
+    clear_subst_caches()
+    fast.clear_fast_caches()
+    fast.set_jit_threshold(None)
+    obs.disable()
+    obs.reset()
+    yield
+    clear_subst_caches()
+    fast.clear_fast_caches()
+    fast.set_jit_threshold(None)
+    obs.disable()
+    obs.reset()
+
+
+def _blocked(comp: Component) -> Component:
+    """Move a straight-line component's body into a heap code block so
+    the fast tier executes it natively (heap-less components run on the
+    reference walker by design)."""
+    loc = Loc("lmain")
+    block = HCode((), RegFileTy.of(), NIL_STACK,
+                  QEnd(TInt(), NIL_STACK), comp.instrs)
+    return Component(seq(Jmp(WLoc(loc))), comp.heap + ((loc, block),))
+
+
+def _observe_t(comp: Component, tal_engine: str, fuel=None):
+    halted, machine = run_component(comp, fuel=fuel, tal_engine=tal_engine)
+    return {"word": str(halted.word), "ty": str(halted.ty),
+            "spent": machine.budget.spent()}
+
+
+def _assert_t_lockstep(comp: Component, fuel=None):
+    ref = _observe_t(comp, "ref", fuel=fuel)
+    fast_out = _observe_t(comp, "fast", fuel=fuel)
+    assert ref == fast_out
+    return ref
+
+
+def _observe_ft(build, tal_engine, fuel=None):
+    # Budgets are stateful: build a fresh one per machine so the two
+    # engines' spends don't accumulate into each other.
+    budget = Budget(fuel=fuel) if fuel else None
+    machine = FTMachine(tal_engine=tal_engine, budget=budget)
+    value = machine.evaluate(build())
+    return {"value": str(value), "spent": machine.budget.spent()}
+
+
+def _assert_ft_lockstep(build, fuel=None):
+    ref = _observe_ft(build, "ref", fuel=fuel)
+    fast_out = _observe_ft(build, "fast", fuel=fuel)
+    assert ref == fast_out
+    return ref
+
+
+class TestEngineSelection:
+    def test_registry(self):
+        assert TAL_ENGINES == ("ref", "fast")
+        assert resolve_tal_engine(None) == "ref"
+        assert resolve_tal_engine("fast") == "fast"
+
+    def test_env_var_default(self, monkeypatch):
+        monkeypatch.setenv("FUNTAL_TAL_ENGINE", "fast")
+        assert resolve_tal_engine(None) == "fast"
+        assert TalMachine().tal_engine == "fast"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_tal_engine("llvm")
+        with pytest.raises(ValueError):
+            FTMachine(tal_engine="llvm")
+
+    def test_machine_default_is_ref(self):
+        assert TalMachine().tal_engine == "ref"
+        assert FTMachine().tal_engine == "ref"
+        assert FTMachine(tal_engine="fast").tal_engine == "fast"
+
+
+class TestExamplesLockstep:
+    """Every paper example through the FT machine: same value and
+    budget spend on both T engines."""
+
+    @pytest.mark.parametrize("name", sorted(example_entries()))
+    def test_example(self, name):
+        _, build = example_entries()[name]
+        _assert_ft_lockstep(build)
+
+    def test_fact_t(self):
+        out = _assert_ft_lockstep(lambda: App(build_fact_t(), (IntE(6),)))
+        assert out["value"] == "720"
+
+    def test_count_loop(self):
+        out = _assert_ft_lockstep(
+            lambda: App(build_count_t(), (IntE(400),)),
+            fuel=1_000_000)
+        assert out["value"] == "400"
+
+
+class TestRandomProgramsLockstep:
+    """Seeded random well-typed T programs agree on word, halt type, and
+    fuel -- both as bare components (reference-walker path) and hoisted
+    into heap blocks (native fast path)."""
+
+    @pytest.mark.parametrize("seed", range(100))
+    def test_random_component(self, seed):
+        comp = random_t_program(seed, length=14)
+        _assert_t_lockstep(comp)
+
+    @pytest.mark.parametrize("seed", range(100))
+    def test_random_component_blocked(self, seed):
+        comp = _blocked(random_t_program(seed, length=14))
+        _assert_t_lockstep(comp)
+
+
+class TestErasureLockstep:
+    """Type erasure composed with the fast tier: erased and annotated
+    programs take the same fast-tier path to the same answer."""
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_erased_random_blocked(self, seed):
+        comp = _blocked(random_t_program(seed, length=12))
+        plain = _observe_t(comp, "fast")
+        erased = _observe_t(erase_types(comp), "fast")
+        assert erased["word"] == plain["word"]
+        assert erased["spent"] == plain["spent"]
+
+    def test_erased_fig3(self):
+        comp = fig3_call_to_call.build()
+        for variant in (comp, erase_types(comp)):
+            out = _assert_t_lockstep(variant)
+            assert out["word"] == "2"
+
+
+class TestTrapParity:
+    """Ill-behaved programs trap with the same error text (modulo the
+    ``%N`` freshness counter in location names) on both engines."""
+
+    def _trap(self, comp: Component, tal_engine: str) -> str:
+        with pytest.raises(MachineError) as err:
+            run_component(comp, tal_engine=tal_engine)
+        return LOC_COUNTER.sub("%N", str(err.value))
+
+    TRAPS = {
+        "unset-register-aop": seq(
+            Aop("add", "r1", "r2", WInt(1)),
+            Halt(TInt(), NIL_STACK, "r1")),
+        "unset-register-halt": seq(Halt(TInt(), NIL_STACK, "r1")),
+        "aop-on-unit": seq(
+            Mv("r2", WUnit()),
+            Aop("add", "r1", "r2", WInt(1)),
+            Halt(TInt(), NIL_STACK, "r1")),
+        "bnz-on-unit": seq(
+            Mv("r2", WUnit()),
+            Bnz("r2", WInt(3)),
+            Mv("r1", WInt(0)),
+            Halt(TInt(), NIL_STACK, "r1")),
+        "jmp-to-int": seq(Mv("r1", WInt(7)), Jmp(RegOp("r1"))),
+        "jmp-to-unbound-loc": seq(Jmp(WLoc(Loc("lnowhere")))),
+        "ld-from-int": seq(
+            Mv("r2", WInt(5)),
+            Ld("r1", "r2", 0),
+            Halt(TInt(), NIL_STACK, "r1")),
+        "ld-out-of-range": seq(
+            Salloc(1),
+            Balloc("r2", 1),
+            Ld("r1", "r2", 4),
+            Halt(TInt(), NIL_STACK, "r1")),
+        "st-to-immutable": seq(
+            Salloc(1),
+            Balloc("r2", 1),
+            Mv("r3", WInt(1)),
+            St("r2", 0, "r3"),
+            Mv("r1", WInt(0)),
+            Halt(TInt(), NIL_STACK, "r1")),
+        "sld-on-empty-stack": seq(
+            Sld("r1", 0),
+            Halt(TInt(), NIL_STACK, "r1")),
+    }
+
+    @pytest.mark.parametrize("name", sorted(TRAPS))
+    def test_trap_message_parity(self, name):
+        comp = Component(self.TRAPS[name])
+        assert self._trap(comp, "ref") == self._trap(comp, "fast"), name
+
+    @pytest.mark.parametrize("name", sorted(TRAPS))
+    def test_trap_message_parity_blocked(self, name):
+        comp = _blocked(Component(self.TRAPS[name]))
+        assert self._trap(comp, "ref") == self._trap(comp, "fast"), name
+
+
+class TestBudgetVerdictLockstep:
+    """Exhaustion and suspension are engine-invariant: for every fuel
+    prefix, both engines stop at the same point and resume to the same
+    answer."""
+
+    BUILDS = {
+        "fig17-fact-t": lambda: App(build_fact_t(), (IntE(5),)),
+        "count-loop": lambda: App(build_count_t(), (IntE(40),)),
+    }
+
+    @pytest.mark.parametrize("name", sorted(BUILDS))
+    def test_exhaustion_at_every_prefix_matches(self, name):
+        build = self.BUILDS[name]
+        ref = _observe_ft(build, "ref")
+        total = ref["spent"]["fuel_used"]
+        for k in range(1, total):
+            outcomes = {}
+            for engine in TAL_ENGINES:
+                machine = FTMachine(budget=Budget(fuel=k),
+                                    tal_engine=engine)
+                with pytest.raises(FuelExhausted):
+                    machine.evaluate(build())
+                assert machine.suspended
+                outcomes[engine] = machine.budget.fuel_used
+            assert outcomes["ref"] == outcomes["fast"], (name, k)
+
+    @pytest.mark.parametrize("name", sorted(BUILDS))
+    def test_cross_engine_snapshot_resume(self, name):
+        """Suspend under one T engine, finish under the other: snapshots
+        carry plain residual instruction sequences, so the T tier is
+        swappable mid-run (ref checkpoint -> fast resume and back)."""
+        build = self.BUILDS[name]
+        ref = _observe_ft(build, "ref")
+        total = ref["spent"]["fuel_used"]
+        for k in (1, total // 3, total // 2, total - 1):
+            if not 0 < k < total:
+                continue
+            for first, second in (("ref", "fast"), ("fast", "ref")):
+                machine = FTMachine(budget=Budget(fuel=k),
+                                    tal_engine=first)
+                with pytest.raises(FuelExhausted):
+                    machine.evaluate(build())
+                wire = machine.snapshot().to_wire()
+                revived = FTMachine.restore(MachineSnapshot.from_wire(wire))
+                revived.tal_engine = second
+                outcome = revived.resume(fuel=total - k)
+                assert str(outcome) == ref["value"], (name, k, first)
+                assert revived.budget.fuel_used == total - k
+
+
+class TestJitLockstep:
+    """With the promotion threshold forced to 1 every eligible block is
+    template-JITted immediately; the fused closures must stay in
+    lockstep with the reference stepper."""
+
+    def test_jit_promoted_lockstep(self):
+        fast.set_jit_threshold(1)
+        try:
+            out = _assert_ft_lockstep(
+                lambda: App(build_count_t(), (IntE(300),)),
+                fuel=1_000_000)
+            assert out["value"] == "300"
+            _assert_ft_lockstep(lambda: App(build_fact_t(), (IntE(6),)))
+            for name in sorted(example_entries()):
+                _assert_ft_lockstep(example_entries()[name][1])
+        finally:
+            fast.set_jit_threshold(None)
+
+    def test_jit_actually_promotes(self):
+        obs.enable(record=False)
+        fast.set_jit_threshold(1)
+        try:
+            _observe_ft(lambda: App(build_count_t(), (IntE(100),)),
+                        "fast", fuel=1_000_000)
+        finally:
+            fast.set_jit_threshold(None)
+        counters = obs.OBS.metrics.snapshot()["counters"]
+        assert counters.get("tal.fast.jit.promoted", 0) >= 1
+
+    def test_profiler_promote_hand_off(self):
+        """funtal top --promote-threshold feeds promote_digests: blocks
+        hot in a profiled (reference) run are JITted on first entry in a
+        later fast run, without waiting out the hot counter."""
+        from repro.obs.profile import PROFILER
+
+        build = lambda: App(build_count_t(), (IntE(120),))
+        PROFILER.reset()
+        PROFILER.enable()
+        try:
+            _observe_ft(build, "ref", fuel=1_000_000)
+            snap = PROFILER.snapshot()
+        finally:
+            PROFILER.disable()
+            PROFILER.reset()
+        digests = snap.promote(threshold=50)
+        assert digests, "count loop should be hot"
+        assert all(e["kind"] == "t" for e in snap.entries
+                   if e["key"] in digests)
+        obs.enable(record=False)
+        fast.promote_digests(digests)
+        try:
+            out = _observe_ft(build, "fast", fuel=1_000_000)
+        finally:
+            fast._PROMOTED = None  # drop the seeded set
+        assert out["value"] == "120"
+        counters = obs.OBS.metrics.snapshot()["counters"]
+        assert counters.get("tal.fast.jit.promoted", 0) >= 1
+
+
+class TestPreinstStore:
+    """Preinstantiated block tables are cached by content digest through
+    the link-store: a warm run re-uses the flat program instead of
+    re-lowering (``tal.fast.preinst.hit`` > 0 on the second run)."""
+
+    def test_warm_hit_in_memory(self):
+        obs.enable(record=False)
+        comp = fig3_call_to_call.build()
+        first = _observe_t(comp, "fast")
+        # A structurally equal but distinct component: the digest, not
+        # object identity, is the cache key.
+        second = _observe_t(fig3_call_to_call.build(), "fast")
+        assert first == second
+        counters = obs.OBS.metrics.snapshot()["counters"]
+        assert counters.get("tal.fast.preinst.hit", 0) >= 1
+
+    def test_warm_hit_through_store(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("FUNTAL_STORE", str(tmp_path))
+        obs.enable(record=False)
+        comp = fig3_call_to_call.build()
+        first = _observe_t(comp, "fast")
+        # Drop every in-memory memo: the only warm tier left is the
+        # on-disk ArtifactStore keyed by the artifact digest.
+        fast.clear_fast_caches()
+        second = _observe_t(fig3_call_to_call.build(), "fast")
+        assert first == second
+        counters = obs.OBS.metrics.snapshot()["counters"]
+        assert counters.get("tal.fast.preinst.hit", 0) >= 1
+        assert counters.get("tal.fast.blocks", 0) >= 1
+
+    def test_cache_stats_shape(self):
+        stats = fast.fast_cache_stats()
+        assert set(stats) == {"tal.fast.site", "tal.fast.block",
+                              "tal.fast.preinst"}
+        for entry in stats.values():
+            assert {"size", "hits", "misses"} <= set(entry)
+
+
+class TestServeTalEngineNonSemantic:
+    """``tal_engine`` selects an implementation, not a computation: it
+    must not fragment the content-addressed result cache, and results
+    must match across engines."""
+
+    def test_cache_key_invariant_under_tal_engine(self):
+        from repro.serve.cache import job_cache_key
+        from repro.serve.protocol import Job, JobOptions
+
+        keys = {
+            job_cache_key(Job(id=f"j-{i}", kind="run", example="fig17",
+                              options=JobOptions(tal_engine=eng)))
+            for i, eng in enumerate((None, "ref", "fast"))
+        }
+        assert len(keys) == 1
+
+    def test_executor_results_match_across_tal_engines(self):
+        from repro.serve.executor import execute_job
+        from repro.serve.protocol import Job, JobOptions
+
+        outs = {}
+        for eng in TAL_ENGINES:
+            result = execute_job(
+                Job(id=f"te-{eng}", kind="run", example="fig17",
+                    options=JobOptions(tal_engine=eng)))
+            assert result.status == "ok", result
+            outs[eng] = result.output.get("value")
+        assert outs["ref"] == outs["fast"]
