@@ -1,0 +1,199 @@
+"""Adaptive-tiering benchmarks: the ISSUE acceptance gate.
+
+Writes ``BENCH_tiering.json`` at the repository root:
+
+* ``throughput`` -- one mixed hot/cold corpus (T-dominated countdown
+  loops plus trivial arithmetic) run twice through a worker pool: (a)
+  always-interpreter baseline (tiering off) and (b) steady-state under
+  ``--tiering auto`` after the controller promoted the hot digests.
+  The gate asserts the auto-tiered steady state is **>= 2x** the
+  baseline -- this is per-job work reduction (reference TAL engine vs
+  the promoted fast tier), so it holds regardless of host core count.
+* ``validated_once`` -- each hot digest is validated exactly once
+  fleet-wide: the first promotion pays for typecheck + translation
+  validation + the differential trial and signs a receipt; every later
+  promotion of the same digest is a ``tiering.validate.receipt_hit``
+  with zero validation work performed.
+"""
+
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro import obs
+from repro.f.syntax import App, IntE
+from repro.papers_examples.fig17_factorial import build_count_t
+from repro.serve.executor import execute_job
+from repro.serve.pool import WorkerPool
+from repro.serve.protocol import Job, JobOptions
+from repro.tiering.policy import TieringPolicy, set_active_policy
+from repro.tiering.promote import program_digest
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+_BENCH_PATH = _REPO_ROOT / "BENCH_tiering.json"
+
+_RESULTS = {}
+
+WORKERS = 4
+HOT_NS = (30_000, 30_001)       # two distinct hot digests
+HOT_REPEATS = 4
+COLD_SOURCES = tuple(f"(({i} + {i + 1}) * {i + 2})" for i in range(8))
+
+
+def hot_source(n: int) -> str:
+    """A T-dominated countdown loop (countT n == n): ~3 T steps per
+    iteration, so one run is tens of thousands of fast-tier steps."""
+    return str(App(build_count_t(), (IntE(n),)))
+
+
+def corpus_jobs():
+    jobs = [Job("run", id=f"hot-{n}#{rep}", source=hot_source(n),
+                options=JobOptions(no_cache=True))
+            for rep in range(HOT_REPEATS) for n in HOT_NS]
+    jobs += [Job("run", id=f"cold-{i}", source=src,
+                 options=JobOptions(no_cache=True))
+             for i, src in enumerate(COLD_SOURCES)]
+    return jobs
+
+
+@pytest.fixture(scope="module", autouse=True)
+def write_artifact():
+    yield
+    if _RESULTS:
+        _BENCH_PATH.write_text(
+            json.dumps(_RESULTS, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+
+
+def _wait_promoted(pool, digests, timeout=180.0):
+    controller = pool._tiering.controller
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if all(controller.state(d) == "promoted" for d in digests):
+            return
+        time.sleep(0.05)
+    raise AssertionError("hot digests never promoted: "
+                         f"{ {d: controller.state(d) for d in digests} }")
+
+
+def test_auto_tiered_throughput_vs_interpreter(tmp_path_factory, record):
+    store = str(tmp_path_factory.mktemp("tierstore"))
+    jobs = corpus_jobs()
+    hot_digests = [program_digest(hot_source(n), None) for n in HOT_NS]
+
+    # Phase A: always-interpreter baseline -- no policy, no coordinator.
+    set_active_policy(None)
+    with WorkerPool(WORKERS, cache=None, default_timeout=120.0) as pool:
+        pool.submit(Job("run", source=hot_source(50),
+                        options=JobOptions(no_cache=True))).wait(60.0)
+        start = time.perf_counter()
+        baseline = pool.run_batch(jobs, timeout=600.0)
+        baseline_s = time.perf_counter() - start
+    assert all(r.ok for r in baseline)
+    baseline_values = {r.id: r.output["value"] for r in baseline}
+
+    # Phase B: auto tiering.  The warm-up batch makes the hot digests
+    # cross the threshold and promote in the background; the measured
+    # batch is the steady state.
+    policy = TieringPolicy(mode="auto", promote_threshold=1_000,
+                           store=store)
+    set_active_policy(policy)
+    try:
+        with WorkerPool(WORKERS, cache=None, default_timeout=120.0,
+                        tiering=policy) as pool:
+            warm = pool.run_batch(jobs, timeout=600.0)
+            assert all(r.ok for r in warm)
+            _wait_promoted(pool, hot_digests)
+            start = time.perf_counter()
+            tiered = pool.run_batch(jobs, timeout=600.0)
+            tiered_s = time.perf_counter() - start
+            stats = pool.stats()["tiering"]
+    finally:
+        set_active_policy(None)
+    assert all(r.ok for r in tiered)
+
+    # Zero wrong answers: the tiered corpus reproduces the baseline.
+    for r in tiered:
+        assert r.output["value"] == baseline_values[r.id], r.id
+    # Every hot job was actually served at the promoted fast tier.
+    hot_tiers = [r.output["tier"] for r in tiered
+                 if r.id.startswith("hot-")]
+    assert hot_tiers and all(
+        t["promoted"] and t["tal_engine"] == "fast" for t in hot_tiers)
+
+    speedup = baseline_s / tiered_s if tiered_s else float("inf")
+    _RESULTS["throughput"] = {
+        "jobs": len(jobs),
+        "hot_jobs": len(hot_tiers),
+        "workers": WORKERS,
+        "interpreter_s": round(baseline_s, 4),
+        "tiered_s": round(tiered_s, 4),
+        "jobs_per_s_interpreter": round(len(jobs) / baseline_s, 1),
+        "jobs_per_s_tiered": round(len(jobs) / tiered_s, 1),
+        "speedup": round(speedup, 3),
+        "promoted_digests": stats["states"].get("promoted", 0),
+        "receipts_held": stats["receipts_held"],
+    }
+    record(f"tiering: {len(jobs)}-job mixed corpus interpreter="
+           f"{baseline_s:.3f}s auto-tiered={tiered_s:.3f}s "
+           f"speedup={speedup:.2f}x "
+           f"(promoted={stats['states'].get('promoted', 0)})")
+    # The ISSUE gate: steady-state auto-tiered serve throughput must be
+    # at least 2x the always-interpreter baseline on this corpus.
+    assert speedup >= 2.0, (
+        f"auto-tiered steady state only {speedup:.2f}x the interpreter "
+        f"baseline (gate: >= 2x)")
+
+
+def test_hot_digest_validated_exactly_once(tmp_path, record):
+    store = str(tmp_path)
+    set_active_policy(TieringPolicy(mode="auto", store=store))
+    try:
+        # First fleet member: pays for validation, signs the receipts.
+        first_s = 0.0
+        for n in HOT_NS:
+            start = time.perf_counter()
+            result = execute_job(Job(
+                "promote", id="p", source=hot_source(n),
+                options=JobOptions(store=store)))
+            first_s += time.perf_counter() - start
+            assert result.ok, result.error
+            assert result.output["receipt_cached"] is False
+
+        # Every later member: receipt hit, no validation work.
+        obs.reset()
+        obs.enable(record=False)
+        try:
+            reuse_s = 0.0
+            for n in HOT_NS:
+                start = time.perf_counter()
+                result = execute_job(Job(
+                    "promote", id="p", source=hot_source(n),
+                    options=JobOptions(store=store)))
+                reuse_s += time.perf_counter() - start
+                assert result.ok and result.output["receipt_cached"]
+            counters = obs.OBS.metrics.snapshot()["counters"]
+        finally:
+            obs.disable()
+            obs.reset()
+    finally:
+        set_active_policy(None)
+
+    assert counters["tiering.validate.receipt_hit"] == len(HOT_NS)
+    assert "tiering.validate.performed" not in counters
+
+    _RESULTS["validated_once"] = {
+        "hot_digests": len(HOT_NS),
+        "first_validation_s": round(first_s, 4),
+        "receipt_reuse_s": round(reuse_s, 4),
+        "reuse_speedup": round(first_s / reuse_s, 1) if reuse_s else None,
+        "receipt_hits": counters["tiering.validate.receipt_hit"],
+        "validations_performed": counters.get(
+            "tiering.validate.performed", 0),
+    }
+    record(f"tiering: {len(HOT_NS)} digests validated once in "
+           f"{first_s:.3f}s; fleet-wide reuse {reuse_s:.4f}s "
+           f"({counters['tiering.validate.receipt_hit']} receipt hits, "
+           f"0 revalidations)")

@@ -114,8 +114,12 @@ def is_general_compilable(e: FExpr,
 
 
 def eligible_tier(e: FExpr, gamma: Optional[Dict[str, FType]] = None,
-                  tiers: Tuple[str, ...] = ALL_TIERS) -> Optional[str]:
-    """Pick the cheapest enabled tier that covers ``e`` (or ``None``)."""
+                  tiers: Optional[Tuple[str, ...]] = None) -> Optional[str]:
+    """Pick the cheapest enabled tier that covers ``e`` (or ``None``).
+
+    ``tiers=None`` defers to the active tiering policy (all tiers)."""
+    if tiers is None:
+        tiers = ALL_TIERS
     if TIER_ARITH in tiers and is_arith_compilable(e):
         return TIER_ARITH
     if TIER_GENERAL in tiers and is_general_compilable(e, gamma):
@@ -159,14 +163,21 @@ def _compile_uncached(e: FExpr, tier: str,
                              clos=prog, free=prog.free)
 
 
-def compile_term(e: FExpr, gamma: Optional[Dict[str, FType]] = None, *,
-                 tiers: Tuple[str, ...] = ALL_TIERS,
+def compile_term(e: FExpr, gamma: Optional[Dict[str, FType]] = None,
+                 tiers: Optional[Tuple[str, ...]] = None,
                  optimize: bool = True) -> CompilationResult:
     """Compile ``e`` through the best enabled tier (memoized).
 
-    Raises :class:`~repro.errors.CompileError` when no enabled tier
-    covers ``e``.
+    ``tiers=None`` defers tier selection to the active
+    :class:`repro.tiering.policy.TieringPolicy` (every tier, for the
+    ``compile`` context) -- call sites no longer thread tier tuples by
+    hand.  Raises :class:`~repro.errors.CompileError` when no enabled
+    tier covers ``e``.
     """
+    if tiers is None:
+        from repro.tiering.policy import resolve_tiers
+
+        tiers = resolve_tiers(None, "compile")
     tier = eligible_tier(e, gamma, tiers)
     if tier is None:
         raise CompileError(
@@ -193,12 +204,12 @@ def compile_term(e: FExpr, gamma: Optional[Dict[str, FType]] = None, *,
 
 
 def compile_function(lam: Lam,
-                     gamma: Optional[Dict[str, FType]] = None, *,
-                     tiers: Tuple[str, ...] = ALL_TIERS,
+                     gamma: Optional[Dict[str, FType]] = None,
+                     tiers: Optional[Tuple[str, ...]] = None,
                      optimize: bool = True) -> CompilationResult:
     """Compile a lambda (the JIT's unit of work)."""
     if not isinstance(lam, Lam) or isinstance(lam, StackLam):
         raise CompileError("only plain lambdas can be compiled as "
                            "functions", judgment="compile.eligibility",
                            subject=str(lam))
-    return compile_term(lam, gamma, tiers=tiers, optimize=optimize)
+    return compile_term(lam, gamma, tiers, optimize)

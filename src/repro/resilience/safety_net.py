@@ -34,7 +34,7 @@ from repro.f.syntax import (
 )
 from repro.ft.machine import FTMachine, evaluate_ft
 from repro.ft.syntax import StackLam
-from repro.jit.compiler import JIT_TIERS, compile_function
+from repro.jit.compiler import compile_function
 from repro.compile.pipeline import eligible_tier
 from repro.obs.events import OBS
 from repro.resilience.budget import Budget
@@ -114,17 +114,21 @@ class SafetyNetReport:
 
 def jit_rewrite_guarded(
         e: FExpr, quarantine: Optional[Quarantine] = None,
-        tiers: Tuple[str, ...] = JIT_TIERS
+        tiers: Optional[Tuple[str, ...]] = None
 ) -> Tuple[FExpr, List[Lam], SafetyNetReport]:
     """Like :func:`repro.jit.compiler.jit_rewrite`, but faults degrade.
 
     Quarantined lambdas are skipped (left interpreted); a lambda whose
     *compilation* faults is quarantined on the spot and left interpreted.
-    ``tiers`` selects eligibility exactly as in ``jit_rewrite`` (the
-    default is the historical arithmetic fragment).  Returns the
-    rewritten program, the source lambdas that were compiled into it
-    (for run-time quarantining), and a report.
+    Tier eligibility defers to the active tiering policy when ``tiers``
+    is ``None`` (exactly as in ``jit_rewrite``).  Returns the rewritten
+    program, the source lambdas that were compiled into it (for
+    run-time quarantining), and a report.
     """
+    if tiers is None:
+        from repro.tiering.policy import resolve_tiers
+
+        tiers = resolve_tiers(None, "jit")
     q = quarantine if quarantine is not None else QUARANTINE
     report = SafetyNetReport()
     compiled_sources: List[Lam] = []
@@ -132,13 +136,13 @@ def jit_rewrite_guarded(
 
     def rewrite(e: FExpr) -> FExpr:
         if (isinstance(e, Lam) and not isinstance(e, StackLam)
-                and eligible_tier(e, tiers=tiers) is not None):
+                and eligible_tier(e, None, tiers) is not None):
             if e in q:
                 q.skip(e)
                 report.skipped += 1
                 return Lam(e.params, rewrite(e.body))
             try:
-                compiled = compile_function(e, tiers=tiers)
+                compiled = compile_function(e, tiers)
             except ResourceExhausted:
                 raise
             except Exception as exc:
@@ -181,7 +185,8 @@ def run_guarded(e: FExpr, fuel: Optional[int] = None,
                 heap: Optional[int] = None, depth: Optional[int] = None,
                 trace: bool = False,
                 quarantine: Optional[Quarantine] = None,
-                tiers: Tuple[str, ...] = JIT_TIERS
+                tiers: Optional[Tuple[str, ...]] = None,
+                tal_engine: Optional[str] = None
                 ) -> Tuple[FExpr, FTMachine, SafetyNetReport]:
     """JIT-rewrite ``e`` and run it under the differential guard.
 
@@ -191,22 +196,45 @@ def run_guarded(e: FExpr, fuel: Optional[int] = None,
     interpreter's (authoritative) result -- so the caller's observable
     outcome is identical to never having jitted at all.  Resource
     exhaustion propagates: it is a verdict, not a fault.
+
+    ``tal_engine`` selects the T engine for the *optimistic* run (a
+    promoted digest runs its blocks on the fast tier); the fallback
+    re-run always uses the reference engine, so a fast-tier fault can
+    never decide the answer.
     """
     q = quarantine if quarantine is not None else QUARANTINE
     rewritten, compiled_sources, report = jit_rewrite_guarded(e, q, tiers)
 
-    def interpret() -> Tuple[FExpr, FTMachine]:
+    def interpret(tal: Optional[str] = None) -> Tuple[FExpr, FTMachine]:
         return evaluate_ft(e, fuel=fuel, trace=trace,
-                           budget=Budget.of(fuel, heap, depth))
+                           budget=Budget.of(fuel, heap, depth),
+                           tal_engine=tal)
 
     if not compiled_sources:
-        value, machine = interpret()
-        return value, machine, report
+        try:
+            if tal_engine is not None:
+                probe("jit.run")
+            value, machine = interpret(tal_engine)
+            return value, machine, report
+        except ResourceExhausted:
+            raise
+        except Exception as exc:
+            if tal_engine is None:
+                raise
+            # Fast-tier fault on an un-jitted program: degrade to the
+            # reference engine, which is authoritative.
+            report.fell_back = True
+            report.fault = f"{type(exc).__name__}: {exc}"
+            if OBS.enabled:
+                OBS.metrics.inc("resilience.jit_fallback.run")
+            value, machine = interpret()
+            return value, machine, report
 
     try:
         probe("jit.run")
         value, machine = evaluate_ft(rewritten, fuel=fuel, trace=trace,
-                                     budget=Budget.of(fuel, heap, depth))
+                                     budget=Budget.of(fuel, heap, depth),
+                                     tal_engine=tal_engine)
         return value, machine, report
     except ResourceExhausted:
         raise

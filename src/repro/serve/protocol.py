@@ -21,12 +21,13 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field, fields
-from typing import Any, Dict, List, Optional
+from typing import Any, ClassVar, Dict, List, Optional
 
 from repro.errors import FunTALError
 
 __all__ = [
     "JOB_KINDS", "RESULT_STATUSES", "ProtocolError",
+    "SEMANTIC_OPTIONS", "NON_SEMANTIC_OPTIONS",
     "JobOptions", "Job", "JobResult",
     "encode_line", "decode_line",
 ]
@@ -38,9 +39,12 @@ __all__ = [
 #: remains the historical arithmetic-fragment entry point.  ``link``
 #: builds and links a multi-component manifest (:mod:`repro.link`);
 #: its ``source`` is the manifest JSON, and warm workers reuse the
-#: on-disk artifact store (``options.store``) across jobs.
+#: on-disk artifact store (``options.store``) across jobs.  ``promote``
+#: is background tiering work scheduled by
+#: :mod:`repro.tiering.coordinator`: validate a program's fast tiers
+#: and persist the signed receipt (:mod:`repro.tiering.promote`).
 JOB_KINDS = ("parse", "typecheck", "run", "jit", "compile", "equiv",
-             "resume", "link")
+             "resume", "link", "promote")
 
 #: Every status a result can carry.  ``ok`` is the only cacheable one;
 #: ``rejected`` is produced for malformed requests, for quarantined job
@@ -117,26 +121,18 @@ class JobOptions:
     chaos_rate: float = 0.0             # worker-side FaultPlane rate
     chaos_seed: int = 0                 # worker-side FaultPlane seed
     chaos_seams: Optional[str] = None   # comma-separated seam subset
+    promoted: bool = False              # dispatch-side: the digest holds a
+                                        # verified tier receipt; serve at
+                                        # its best tier
+    tiering: Optional[Dict[str, Any]] = None    # dispatch-side: the receipt
+                                        # payload (t_blocks, jit_threshold,
+                                        # compile_tier) the worker applies
+                                        # before running
 
-    #: Option names that do not affect the *semantic* result and are
-    #: therefore excluded from the content address.  ``engine`` is here
-    #: because the two F steppers are observably step-equivalent (the
-    #: differential suite enforces identical values, step counts, and
-    #: budget verdicts), so results are shareable across engines.
-    #: ``tal_engine`` is non-semantic for the same reason: the fast T
-    #: tier locksteps with the reference machine (identical values, fuel
-    #: verdicts, and trap behaviour), so ref/fast runs share entries.
-    #: ``store`` is operational too: the artifact store is a cache, and
-    #: content addressing makes its hits semantically invisible.
-    #: ``checkpoint_every`` preserves exact slicing (same value, same
-    #: total steps), and ``deadline_ms`` is pure admission control.
-    #: ``degraded`` results never enter the cache (the pool skips the
-    #: put), so the flag staying out of the key cannot poison it.
-    NON_SEMANTIC = ("timeout", "no_cache", "engine", "tal_engine", "store",
-                    "deadline_ms", "checkpoint_every", "degraded",
-                    "inject_crash", "inject_sleep", "inject_hang",
-                    "inject_corrupt", "inject_crash_at",
-                    "chaos_rate", "chaos_seed", "chaos_seams")
+    #: Back-compat alias for the audited module-level constant
+    #: :data:`NON_SEMANTIC_OPTIONS` (defined after the class, which it
+    #: describes).  Prefer the module-level names in new code.
+    NON_SEMANTIC: ClassVar[tuple] = ()   # rebound below
 
     def to_dict(self) -> Dict[str, Any]:
         """Wire dict containing only the non-default entries."""
@@ -160,6 +156,49 @@ class JobOptions:
             raise ProtocolError(
                 f"unknown job option(s): {', '.join(sorted(unknown))}")
         return cls(**data)
+
+
+#: Options that change *what* a job computes: they feed the result-cache
+#: content address (:meth:`JobOptions.semantic_dict`).
+SEMANTIC_OPTIONS = (
+    "fuel", "heap", "depth", "checkpoint", "jit", "result_type", "trace",
+    "optimize", "check", "tier", "validate", "ir", "seed", "type", "right",
+    "run",
+)
+
+#: Options that do not affect the *semantic* result and are therefore
+#: excluded from the content address.  This is the one audited list --
+#: ``test_tiering_lint`` fails when a :class:`JobOptions` field is not
+#: classified in exactly one of the two tuples.  The load-bearing
+#: entries:
+#:
+#: * ``engine`` -- the two F steppers are observably step-equivalent
+#:   (the differential suite enforces identical values, step counts,
+#:   and budget verdicts), so results are shareable across engines.
+#: * ``tal_engine`` -- the fast T tier locksteps with the reference
+#:   machine (identical values, fuel verdicts, and trap behaviour), so
+#:   ref/fast runs share entries.
+#: * ``store`` -- the artifact store is a cache; content addressing
+#:   makes its hits semantically invisible.
+#: * ``checkpoint_every`` -- preserves exact slicing (same value, same
+#:   total steps); ``deadline_ms`` is pure admission control.
+#: * ``degraded`` -- degraded results never enter the cache (the pool
+#:   skips the put), so the flag staying out of the key cannot poison
+#:   it.
+#: * ``promoted``/``tiering`` -- a promoted run must return exactly
+#:   what the interpreted run returns (that is what the receipt
+#:   certifies, and the safety net + quarantine enforce at runtime),
+#:   so promoted and cold results share cache entries by construction.
+NON_SEMANTIC_OPTIONS = (
+    "timeout", "no_cache", "engine", "tal_engine", "store",
+    "deadline_ms", "checkpoint_every", "degraded",
+    "inject_crash", "inject_sleep", "inject_hang",
+    "inject_corrupt", "inject_crash_at",
+    "chaos_rate", "chaos_seed", "chaos_seams",
+    "promoted", "tiering",
+)
+
+JobOptions.NON_SEMANTIC = NON_SEMANTIC_OPTIONS
 
 
 @dataclass

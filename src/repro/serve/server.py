@@ -57,7 +57,8 @@ class ServeServer:
                  max_retries: int = 2,
                  mp_context: Optional[str] = None,
                  supervisor: Optional[SupervisorConfig] = None,
-                 shed_policy: Optional[str] = None):
+                 shed_policy: Optional[str] = None,
+                 tiering=None):
         self.host = host
         self.port = port
         self.cache = ResultCache(cache_size) if cache_size else None
@@ -65,7 +66,7 @@ class ServeServer:
             workers, cache=self.cache, queue_size=queue_size,
             default_timeout=default_timeout, max_retries=max_retries,
             mp_context=mp_context, supervisor=supervisor,
-            shed_policy=shed_policy)
+            shed_policy=shed_policy, tiering=tiering)
         self._ids = itertools.count(1)
         self._server: Optional[asyncio.AbstractServer] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None

@@ -36,7 +36,6 @@ reference interpreter: the fast tier is the batch tier.
 
 from __future__ import annotations
 
-import os
 from typing import Dict, List, Optional, Tuple
 
 from repro.caching import LRUCache
@@ -136,8 +135,12 @@ _JIT_THRESHOLD: Optional[int] = None
 def _promoted() -> set:
     global _PROMOTED
     if _PROMOTED is None:
-        raw = os.environ.get("FUNTAL_TAL_PROMOTE", "")
-        _PROMOTED = {d.strip() for d in raw.split(",") if d.strip()}
+        # Both knobs resolve through the tiering policy, which honours
+        # the historical FUNTAL_TAL_PROMOTE spelling as a deprecated
+        # alias of FUNTAL_TIERING_PROMOTE.
+        from repro.tiering.policy import active_policy
+
+        _PROMOTED = set(active_policy().tal_promote)
     return _PROMOTED
 
 
@@ -151,14 +154,16 @@ def promote_digests(digests) -> None:
 def _jit_threshold() -> int:
     global _JIT_THRESHOLD
     if _JIT_THRESHOLD is None:
-        _JIT_THRESHOLD = int(os.environ.get("FUNTAL_TAL_JIT_THRESHOLD",
-                                            "16"))
+        from repro.tiering.policy import active_policy
+
+        _JIT_THRESHOLD = int(active_policy().tal_jit_threshold)
     return _JIT_THRESHOLD
 
 
 def set_jit_threshold(n: Optional[int]) -> None:
-    """Override (or with ``None`` re-read from the environment) the
-    entry count after which an eligible block is template-JITted."""
+    """Override (or with ``None`` re-read from the tiering policy /
+    environment) the entry count after which an eligible block is
+    template-JITted."""
     global _JIT_THRESHOLD
     _JIT_THRESHOLD = n
 

@@ -1,0 +1,247 @@
+"""Per-digest tiering state machine.
+
+Every program the serve tier runs is identified by a content digest
+(:func:`repro.tiering.promote.program_digest`).  The controller tracks
+one record per digest through::
+
+    cold -> profiling -> promoting -> promoted
+                 ^            |            |
+                 |  (retry)   v            v
+                 +-------- demoted    quarantined
+
+Transitions are driven from the pool's result path
+(:meth:`TieringController.record_steps` decides when accrued
+interpreted steps justify a background promotion) and from promotion
+outcomes.  ``quarantined`` is terminal and reserved for semantic
+trouble -- a refused typecheck or an observed runtime divergence;
+``demoted`` is the hysteresis bucket for operational failures (fault
+injection, resource exhaustion during validation) after
+``policy.demote_after`` strikes.  Everything is in-memory per pool and
+thread-safe; the durable cross-process facts live in the receipt store.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.obs import OBS
+from repro.tiering.policy import TieringPolicy, active_policy
+
+COLD = "cold"
+PROFILING = "profiling"
+PROMOTING = "promoting"
+PROMOTED = "promoted"
+DEMOTED = "demoted"
+QUARANTINED = "quarantined"
+
+STATES = (COLD, PROFILING, PROMOTING, PROMOTED, DEMOTED, QUARANTINED)
+
+#: States a digest can never leave (without an operator reset).
+_TERMINAL = (DEMOTED, QUARANTINED)
+
+
+@dataclass
+class DigestRecord:
+    """Mutable per-digest bookkeeping (guard with the controller lock)."""
+
+    digest: str
+    state: str = COLD
+    steps: int = 0
+    runs: int = 0
+    failures: int = 0
+    reason: str = ""
+    history: List[Dict[str, Any]] = field(default_factory=list)
+
+    def transition(self, state: str, event: str, detail: str = "") -> None:
+        self.state = state
+        self.history.append({
+            "event": event,
+            "state": state,
+            "detail": detail,
+            "at": time.time(),
+        })
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "digest": self.digest,
+            "state": self.state,
+            "steps": self.steps,
+            "runs": self.runs,
+            "failures": self.failures,
+            "reason": self.reason,
+            "history": list(self.history),
+        }
+
+
+class TieringController:
+    """Thread-safe promotion state machine over content digests."""
+
+    def __init__(self, policy: Optional[TieringPolicy] = None) -> None:
+        self.policy = policy if policy is not None else active_policy()
+        self._lock = threading.Lock()
+        self._records: Dict[str, DigestRecord] = {}
+
+    # -- internals -----------------------------------------------------
+
+    def _rec(self, digest: str) -> DigestRecord:
+        rec = self._records.get(digest)
+        if rec is None:
+            rec = self._records[digest] = DigestRecord(digest)
+        return rec
+
+    def _inc(self, name: str) -> None:
+        if OBS.enabled:
+            OBS.metrics.inc(name)
+
+    def _gauge_promoted(self) -> None:
+        if OBS.enabled:
+            count = sum(1 for r in self._records.values()
+                        if r.state == PROMOTED)
+            OBS.metrics.set_gauge("tiering.promoted.count", count)
+
+    # -- the hot path --------------------------------------------------
+
+    def record_steps(self, digest: str, steps: int) -> bool:
+        """Credit an interpreted run; True when promotion should start.
+
+        The caller that receives ``True`` owns scheduling the actual
+        promotion job (and must call :meth:`promotion_aborted` if it
+        cannot -- e.g. the queue is full -- so the digest does not wedge
+        in ``promoting``).
+        """
+        with self._lock:
+            rec = self._rec(digest)
+            rec.runs += 1
+            rec.steps += int(steps)
+            if rec.state == COLD:
+                rec.transition(PROFILING, "first-run")
+            if rec.state != PROFILING or not self.policy.enabled:
+                return False
+            if rec.steps < self.policy.effective_threshold():
+                return False
+            inflight = sum(1 for r in self._records.values()
+                           if r.state == PROMOTING)
+            if inflight >= self.policy.max_inflight_promotions:
+                self._inc("tiering.promote.deferred")
+                return False
+            rec.transition(PROMOTING, "hot",
+                           f"{rec.steps} steps over {rec.runs} runs")
+            self._inc("tiering.promote.scheduled")
+            return True
+
+    # -- promotion outcomes --------------------------------------------
+
+    def promotion_succeeded(self, digest: str,
+                            detail: str = "") -> None:
+        with self._lock:
+            rec = self._rec(digest)
+            if rec.state in _TERMINAL:
+                return
+            rec.transition(PROMOTED, "promoted", detail)
+            self._inc("tiering.promote.completed")
+            self._gauge_promoted()
+
+    def promotion_failed(self, digest: str, reason: str) -> None:
+        """Operational failure (fault, timeout, exhausted validation)."""
+        with self._lock:
+            rec = self._rec(digest)
+            if rec.state in _TERMINAL:
+                return
+            rec.failures += 1
+            rec.reason = reason
+            self._inc("tiering.promote.failed")
+            if rec.failures >= self.policy.demote_after:
+                rec.transition(DEMOTED, "demoted", reason)
+                self._inc("tiering.demoted")
+            else:
+                rec.steps = 0
+                rec.transition(PROFILING, "retry", reason)
+            self._gauge_promoted()
+
+    def promotion_aborted(self, digest: str, reason: str = "") -> None:
+        """Scheduling fell through (queue full / pool closing): no strike."""
+        with self._lock:
+            rec = self._rec(digest)
+            if rec.state != PROMOTING:
+                return
+            rec.transition(PROFILING, "aborted", reason)
+            self._inc("tiering.promote.aborted")
+
+    def divergence(self, digest: str, reason: str) -> None:
+        """Semantic trouble: refuse the digest forever."""
+        with self._lock:
+            rec = self._rec(digest)
+            if rec.state == QUARANTINED:
+                return
+            rec.reason = reason
+            rec.transition(QUARANTINED, "quarantined", reason)
+            self._inc("tiering.quarantined")
+            self._gauge_promoted()
+
+    def demote(self, digest: str, reason: str) -> None:
+        """Operator-forced demotion (e.g. ``funtal tiers`` tooling)."""
+        with self._lock:
+            rec = self._rec(digest)
+            rec.reason = reason
+            rec.transition(DEMOTED, "demoted", reason)
+            self._inc("tiering.demoted")
+            self._gauge_promoted()
+
+    # -- queries -------------------------------------------------------
+
+    def state(self, digest: str) -> str:
+        with self._lock:
+            rec = self._records.get(digest)
+            return rec.state if rec is not None else COLD
+
+    def is_promoted(self, digest: str) -> bool:
+        return self.state(digest) == PROMOTED
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            out = {state: 0 for state in STATES}
+            for rec in self._records.values():
+                out[rec.state] += 1
+            return out
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "policy": self.policy.to_dict(),
+                "digests": {d: r.to_json()
+                            for d, r in sorted(self._records.items())},
+            }
+
+    # -- persistence (``funtal tiers --state``) ------------------------
+
+    def save(self, path: str) -> None:
+        payload = json.dumps(self.snapshot(), indent=2, sort_keys=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(payload + "\n")
+
+    @classmethod
+    def load(cls, path: str,
+             policy: Optional[TieringPolicy] = None) -> "TieringController":
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        if policy is None:
+            pol_fields = dict(payload.get("policy") or {})
+            if "tal_promote" in pol_fields:
+                pol_fields["tal_promote"] = tuple(pol_fields["tal_promote"])
+            policy = TieringPolicy(**pol_fields)
+        ctl = cls(policy)
+        for digest, rec in (payload.get("digests") or {}).items():
+            ctl._records[digest] = DigestRecord(
+                digest=digest,
+                state=rec.get("state", COLD),
+                steps=int(rec.get("steps", 0)),
+                runs=int(rec.get("runs", 0)),
+                failures=int(rec.get("failures", 0)),
+                reason=rec.get("reason", ""),
+                history=list(rec.get("history") or []),
+            )
+        return ctl

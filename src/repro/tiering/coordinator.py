@@ -1,0 +1,167 @@
+"""Pool-side tiering glue: observe results, schedule promotions,
+stamp promoted dispatches.
+
+The coordinator sits between the :class:`~repro.serve.pool.WorkerPool`
+result path and the :class:`~repro.tiering.controller.TieringController`:
+
+* :meth:`observe` is called by the pool as each result finishes.  It
+  credits interpreted steps to the job's digest and, when the
+  controller says a digest crossed the threshold, submits a background
+  ``promote`` job (non-blocking: a full queue aborts the attempt
+  rather than stalling foreground traffic).  A promoted run that came
+  back *degraded* -- the differential safety net fell back to the
+  reference interpreter -- is treated as observed divergence and
+  quarantines the digest.
+* :meth:`dispatch_payload` is called at admission: a promoted digest's
+  receipt payload rides the job's wire options so the worker seeds its
+  fast tier before running.
+
+The coordinator never raises into the pool (the pool wraps calls), and
+never blocks: all controller operations are lock-bounded in-memory
+updates.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import OverloadError
+from repro.obs import OBS
+from repro.tiering.controller import TieringController
+from repro.tiering.policy import TieringPolicy
+from repro.tiering.promote import program_digest
+
+#: Job-id prefix for coordinator-scheduled background work; the
+#: coordinator ignores results carrying it (promotions are observed via
+#: their ticket callback, not the foreground path).
+PROMOTE_ID_PREFIX = "tiering:promote:"
+
+_LAST: Optional["weakref.ReferenceType[TieringCoordinator]"] = None
+
+
+def last_coordinator() -> Optional["TieringCoordinator"]:
+    """Most recently constructed live coordinator (``funtal stats``)."""
+    ref = _LAST
+    return ref() if ref is not None else None
+
+
+class TieringCoordinator:
+    def __init__(self, policy: TieringPolicy,
+                 submit: Callable[[Any], Any]) -> None:
+        global _LAST
+        self.policy = policy
+        self.controller = TieringController(policy)
+        self._submit = submit
+        self._lock = threading.Lock()
+        # digest -> receipt payload, stashed from completed promotions
+        # so admission can stamp it onto the wire without store I/O.
+        self._payloads: Dict[str, Dict[str, Any]] = {}
+        _LAST = weakref.ref(self)
+
+    # -- admission path ------------------------------------------------
+
+    def dispatch_payload(self, job) -> Optional[Dict[str, Any]]:
+        """Receipt payload to ride a promoted job's options, or None."""
+        if not self.policy.enabled or job.kind not in ("run", "resume"):
+            return None
+        if job.id.startswith(PROMOTE_ID_PREFIX) or job.options.degraded:
+            return None
+        digest = program_digest(job.source, job.example)
+        if not self.controller.is_promoted(digest):
+            return None
+        with self._lock:
+            payload = self._payloads.get(digest)
+        if payload is None:
+            return None
+        if OBS.enabled:
+            OBS.metrics.inc("tiering.dispatch.promoted")
+        return payload
+
+    # -- result path ---------------------------------------------------
+
+    def observe(self, job, result, promoted: bool = False) -> None:
+        """Account a finished job; may schedule a background promotion."""
+        if job.kind != "run" or job.id.startswith(PROMOTE_ID_PREFIX):
+            return
+        digest = program_digest(job.source, job.example)
+        if promoted and (result.output or {}).get("degraded"):
+            # The safety net already served the reference answer; the
+            # digest's fast tier is not to be trusted again.
+            detail = ((result.output or {}).get("jit") or {}).get("fault")
+            self._drop_payload(digest)
+            self.controller.divergence(
+                digest, detail or "promoted run degraded to reference")
+            return
+        if result.status != "ok":
+            return
+        steps = (result.output or {}).get("steps")
+        if not steps:
+            return
+        if self.controller.record_steps(digest, int(steps)):
+            self._schedule(job, digest)
+
+    def _drop_payload(self, digest: str) -> None:
+        with self._lock:
+            self._payloads.pop(digest, None)
+
+    def _schedule(self, job, digest: str) -> None:
+        """Submit the background promote job (never blocks)."""
+        from repro.serve.protocol import Job, JobOptions
+
+        options = JobOptions(
+            fuel=job.options.fuel,
+            no_cache=True,
+            store=self.policy.store,
+            # Chaos drills must reach promotion work too, or the drill
+            # proves nothing about the promotion path.
+            chaos_rate=job.options.chaos_rate,
+            chaos_seed=job.options.chaos_seed,
+            chaos_seams=job.options.chaos_seams,
+        )
+        promote = Job(kind="promote", id=f"{PROMOTE_ID_PREFIX}{digest}",
+                      source=job.source, example=job.example,
+                      options=options)
+        try:
+            ticket = self._submit(promote)
+        except OverloadError as err:
+            self.controller.promotion_aborted(digest, str(err))
+            return
+        ticket.add_done_callback(
+            lambda result, d=digest: self._on_promoted(d, result))
+
+    def _on_promoted(self, digest: str, result) -> None:
+        if result.status == "ok":
+            receipt = (result.output or {}).get("receipt") or {}
+            with self._lock:
+                self._payloads[digest] = receipt
+            cached = (result.output or {}).get("receipt_cached")
+            self.controller.promotion_succeeded(
+                digest, "receipt reused" if cached else "receipt earned")
+        elif result.error_type in ("FTTypeError", "CompileError",
+                                   "FunTALError"):
+            # Refused at a semantic gate: typecheck failure, refuted
+            # translation validation, or an observed ref/fast
+            # divergence (promote raises bare FunTALError for those).
+            # Quarantine, do not retry.
+            self.controller.divergence(
+                digest, f"promotion refused: {result.error}")
+        else:
+            self.controller.promotion_failed(
+                digest, result.error or result.status)
+
+    # -- inspection ----------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            payloads = len(self._payloads)
+        return {
+            "mode": self.policy.mode,
+            "threshold": self.policy.effective_threshold(),
+            "states": self.controller.counts(),
+            "receipts_held": payloads,
+        }
+
+    def snapshot(self) -> Dict[str, Any]:
+        return self.controller.snapshot()

@@ -1,0 +1,110 @@
+"""Signed validation receipts: proof-of-equivalence, paid once.
+
+Translation validation costs ~0.56s per artifact against a ~0.2ms
+compile, so the economics only work if the proof is durable.  A
+receipt records *what was validated* (digest, kind, tier, trial fuel,
+seed, the promoted T-block digests) and is persisted in the PR 7
+:class:`~repro.link.store.ArtifactStore` under kind ``receipt`` --
+content-addressed by program digest, so any worker or process sharing
+the store trusts it without re-validating
+(``tiering.validate.receipt_hit`` vs ``tiering.validate.performed``).
+
+Receipts carry an HMAC-SHA256 signature over their canonical JSON.
+This is tamper-*evidence*, not a security boundary: the store lives in
+the operator's own cache directory; the signature exists so a
+truncated write, a stale schema, or a hand-edited file degrades to a
+re-validation (``tiering.validate.receipt_bad``) instead of silently
+serving an unproven tier.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.link.store import ArtifactStore
+from repro.obs import OBS
+
+#: Bump when the receipt payload schema changes; old receipts then
+#: fail verification and are re-earned, never reinterpreted.
+RECEIPT_VERSION = 1
+
+RECEIPT_KIND = "receipt"
+
+_SIG_FIELD = "sig"
+
+
+def _canonical(payload: Dict[str, Any]) -> bytes:
+    body = {k: v for k, v in payload.items() if k != _SIG_FIELD}
+    return json.dumps(body, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def sign_receipt(payload: Dict[str, Any], key: str) -> str:
+    return hmac.new(key.encode("utf-8"), _canonical(payload),
+                    hashlib.sha256).hexdigest()
+
+
+def verify_receipt(payload: Dict[str, Any], key: str) -> bool:
+    sig = payload.get(_SIG_FIELD)
+    if not isinstance(sig, str):
+        return False
+    return hmac.compare_digest(sig, sign_receipt(payload, key))
+
+
+class ReceiptBook:
+    """Receipt persistence over an :class:`ArtifactStore`."""
+
+    def __init__(self, store: ArtifactStore,
+                 key: Optional[str] = None) -> None:
+        if key is None:
+            from repro.tiering.policy import active_policy
+            key = active_policy().key
+        self.store = store
+        self.key = key
+
+    def _inc(self, name: str) -> None:
+        if OBS.enabled:
+            OBS.metrics.inc(name)
+
+    def get(self, digest: str) -> Optional[Dict[str, Any]]:
+        """Verified receipt for ``digest``, or None (miss / bad sig)."""
+        found = self.store.get(digest, kind=RECEIPT_KIND)
+        if found is None:
+            self._inc("tiering.validate.receipt_miss")
+            return None
+        _meta, payload = found
+        if (not isinstance(payload, dict)
+                or payload.get("version") != RECEIPT_VERSION
+                or not verify_receipt(payload, self.key)):
+            # A receipt we cannot trust is worse than none: drop it so
+            # the next promotion re-earns the proof.
+            try:
+                self.store.path(digest, RECEIPT_KIND).unlink()
+            except OSError:
+                pass
+            self._inc("tiering.validate.receipt_bad")
+            return None
+        self._inc("tiering.validate.receipt_hit")
+        return payload
+
+    def put(self, digest: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+        signed = dict(payload)
+        signed["version"] = RECEIPT_VERSION
+        signed[_SIG_FIELD] = sign_receipt(signed, self.key)
+        self.store.put(digest, signed, meta={"digest": digest},
+                       kind=RECEIPT_KIND)
+        self._inc("tiering.receipt.put")
+        return signed
+
+    def digests(self) -> List[str]:
+        """Digests with a receipt file on disk (signature not checked)."""
+        suffix = f".{RECEIPT_KIND}.json"
+        try:
+            names = sorted(p.name for p in self.store.root.iterdir()
+                           if p.name.endswith(suffix))
+        except OSError:
+            return []
+        return [n[:-len(suffix)] for n in names]

@@ -1,0 +1,230 @@
+"""Worker-side tiering tests (in-process, no pool).
+
+Covers the ``promote`` job kind end to end: earning a signed receipt
+(typecheck gate, translation validation, ref-vs-fast differential),
+reusing it (``receipt_cached``), refusing adversarial components, and
+serving promoted ``run`` / ``resume`` jobs with the ``tier`` envelope
+-- including cross-tier snapshot resume in both directions.
+"""
+
+import pytest
+
+from repro import obs
+from repro.adversarial import ADVERSARIES
+from repro.f.syntax import App, IntE
+from repro.obs.events import OBS
+from repro.papers_examples.fig17_factorial import build_count_t
+from repro.serve.executor import execute_job
+from repro.serve.protocol import Job, JobOptions
+from repro.tal import fast
+from repro.tiering.policy import TieringPolicy, set_active_policy
+from repro.tiering.promote import program_digest
+
+
+def count_t_source(n=200):
+    """An inline hot source: a T-dominated countdown loop (countT n == n)."""
+    return str(App(build_count_t(), (IntE(n),)))
+
+
+ARITH_SOURCE = "((lam (x: int). ((x * x) + 1)) (20))"
+
+
+@pytest.fixture(autouse=True)
+def _tiering_sandbox(tmp_path):
+    """Fresh policy + fast-tier promotion state per test."""
+    set_active_policy(TieringPolicy(mode="auto", store=str(tmp_path)))
+    fast._PROMOTED = None
+    fast.set_jit_threshold(None)
+    yield str(tmp_path)
+    set_active_policy(None)
+    fast._PROMOTED = None
+    fast.set_jit_threshold(None)
+
+
+def promote(source, store, **opts):
+    return execute_job(Job("promote", id="p", source=source,
+                           options=JobOptions(store=store, **opts)))
+
+
+class TestPromoteJob:
+    def test_earns_receipt(self, _tiering_sandbox):
+        src = count_t_source()
+        result = promote(src, _tiering_sandbox)
+        assert result.ok, result.error
+        out = result.output
+        assert out["digest"] == program_digest(src, None)
+        assert out["receipt_cached"] is False
+        receipt = out["receipt"]
+        assert receipt["kind"] == "expression"
+        assert receipt["sig"]
+        # The loop's T blocks were harvested under the profiler.
+        assert len(receipt["t_blocks"]) >= 1
+        assert receipt["validated"]["trial_steps"] > 0
+        # A Boundary-bearing lambda is not compile-eligible: no tier.
+        assert receipt["compile_tier"] is None
+
+    def test_receipt_reused_second_time(self, _tiering_sandbox):
+        src = count_t_source()
+        first = promote(src, _tiering_sandbox)
+        assert first.ok and first.output["receipt_cached"] is False
+        obs.reset()
+        obs.enable(record=False)
+        try:
+            second = promote(src, _tiering_sandbox)
+            counters = OBS.metrics.snapshot()["counters"]
+        finally:
+            obs.disable()
+            obs.reset()
+        assert second.ok and second.output["receipt_cached"] is True
+        assert counters["tiering.validate.receipt_hit"] == 1
+        # Validated once: the cached path performs no validation work.
+        assert "tiering.validate.performed" not in counters
+        assert second.output["receipt"]["sig"] == \
+            first.output["receipt"]["sig"]
+
+    def test_compile_eligible_expression_validates(self, _tiering_sandbox):
+        result = promote(ARITH_SOURCE, _tiering_sandbox)
+        assert result.ok, result.error
+        receipt = result.output["receipt"]
+        assert receipt["compile_tier"] is not None
+        assert receipt["artifact"]
+
+    def test_pure_component_promotes(self, _tiering_sandbox):
+        result = promote("(mv r1, 7; halt int, nil {r1}, .)",
+                         _tiering_sandbox)
+        assert result.ok, result.error
+        assert result.output["receipt"]["kind"] == "component"
+
+    @pytest.mark.parametrize("adv", ADVERSARIES,
+                             ids=[a.name for a in ADVERSARIES])
+    def test_adversaries_refused_at_typecheck(self, adv, _tiering_sandbox):
+        """Satellite 5: every adversarial component dies at gate 1 with
+        a structured FTTypeError -- none earns a receipt."""
+        result = promote(adv.source, _tiering_sandbox)
+        assert result.status == "error"
+        assert result.error_type == "FTTypeError"
+        assert adv.rejects_with in result.error
+        # Nothing was persisted for the refused digest.
+        from repro.link.store import ArtifactStore
+        from repro.tiering.receipts import ReceiptBook
+
+        book = ReceiptBook(ArtifactStore(_tiering_sandbox))
+        assert book.get(program_digest(adv.source, None)) is None
+
+
+class TestPromotedRun:
+    def _earn(self, src, store):
+        result = promote(src, store)
+        assert result.ok, result.error
+        return result.output["receipt"]
+
+    def test_promoted_run_same_answer_fast_tier(self, _tiering_sandbox):
+        src = count_t_source(150)
+        baseline = execute_job(Job("run", source=src))
+        assert baseline.ok
+        assert baseline.output["tier"] == {
+            "f_engine": "cek", "compile_tier": None,
+            "tal_engine": "ref", "promoted": False}
+
+        receipt = self._earn(src, _tiering_sandbox)
+        result = execute_job(Job(
+            "run", source=src,
+            options=JobOptions(promoted=True, tiering=receipt)))
+        assert result.ok
+        assert result.output["value"] == baseline.output["value"] == "150"
+        tier = result.output["tier"]
+        assert tier["tal_engine"] == "fast"
+        assert tier["promoted"] is True
+
+    def test_degraded_option_suppresses_promotion(self, _tiering_sandbox):
+        src = count_t_source(50)
+        receipt = self._earn(src, _tiering_sandbox)
+        result = execute_job(Job(
+            "run", source=src,
+            options=JobOptions(promoted=True, tiering=receipt,
+                               degraded=True)))
+        assert result.ok and result.output["value"] == "50"
+        assert result.output["tier"]["promoted"] is False
+        assert result.output["tier"]["tal_engine"] == "ref"
+
+    def test_promoted_compile_receipt_runs_guarded(self, _tiering_sandbox):
+        receipt = self._earn(ARITH_SOURCE, _tiering_sandbox)
+        result = execute_job(Job(
+            "run", source=ARITH_SOURCE,
+            options=JobOptions(promoted=True, tiering=receipt)))
+        assert result.ok and result.output["value"] == "401"
+        assert "jit" in result.output       # guarded-JIT envelope
+        assert result.output["tier"]["promoted"] is True
+
+    def test_explicit_tal_engine_wins_over_receipt(self, _tiering_sandbox):
+        src = count_t_source(40)
+        receipt = self._earn(src, _tiering_sandbox)
+        result = execute_job(Job(
+            "run", source=src,
+            options=JobOptions(promoted=True, tiering=receipt,
+                               tal_engine="ref")))
+        assert result.ok and result.output["value"] == "40"
+        assert result.output["tier"]["tal_engine"] == "ref"
+
+
+class TestCrossTierResume:
+    """Satellite 4: snapshots are tier-portable.  A checkpoint taken
+    before promotion resumes on a promoted worker (and vice versa) with
+    the same answer."""
+
+    def _earn(self, src, store):
+        result = promote(src, store)
+        assert result.ok, result.error
+        return result.output["receipt"]
+
+    def test_pre_promotion_snapshot_resumes_promoted(self,
+                                                     _tiering_sandbox):
+        src = count_t_source(300)
+        suspended = execute_job(Job(
+            "run", source=src,
+            options=JobOptions(fuel=60, checkpoint=True)))
+        assert suspended.status == "suspended"
+
+        receipt = self._earn(src, _tiering_sandbox)
+        final = execute_job(Job(
+            "resume", snapshot=suspended.output["snapshot"],
+            options=JobOptions(fuel=1_000_000, promoted=True,
+                               tiering=receipt)))
+        assert final.ok, final.error
+        assert final.output["value"] == "300"
+        assert final.output["tier"]["tal_engine"] == "fast"
+        assert final.output["tier"]["promoted"] is True
+
+    def test_promoted_snapshot_resumes_unpromoted(self, _tiering_sandbox):
+        src = count_t_source(300)
+        receipt = self._earn(src, _tiering_sandbox)
+        suspended = execute_job(Job(
+            "run", source=src,
+            options=JobOptions(fuel=60, checkpoint=True, promoted=True,
+                               tiering=receipt)))
+        assert suspended.status == "suspended"
+        assert suspended.output["tier"]["tal_engine"] == "fast"
+
+        final = execute_job(Job(
+            "resume", snapshot=suspended.output["snapshot"],
+            options=JobOptions(fuel=1_000_000)))
+        assert final.ok, final.error
+        assert final.output["value"] == "300"
+        assert final.output["tier"]["promoted"] is False
+
+    def test_round_trip_through_both_tiers(self, _tiering_sandbox):
+        src = count_t_source(400)
+        receipt = self._earn(src, _tiering_sandbox)
+        hop1 = execute_job(Job(
+            "run", source=src,
+            options=JobOptions(fuel=60, checkpoint=True)))
+        assert hop1.status == "suspended"
+        hop2 = execute_job(Job(
+            "resume", snapshot=hop1.output["snapshot"],
+            options=JobOptions(fuel=60, checkpoint=True, promoted=True,
+                               tiering=receipt)))
+        assert hop2.status == "suspended"
+        final = execute_job(Job(
+            "resume", snapshot=hop2.output["snapshot"],
+            options=JobOptions(fuel=1_000_000)))
+        assert final.ok and final.output["value"] == "400"

@@ -1,0 +1,134 @@
+"""Grep-gated lints for the tiering refactor (ISSUE acceptance).
+
+Two structural invariants, enforced over the source tree itself so a
+regression cannot land silently:
+
+* tier selection has exactly one owner -- no call outside
+  ``repro.tiering`` passes a ``tiers=`` keyword argument (callers pass
+  positionally after resolving through
+  :func:`repro.tiering.policy.resolve_tiers`, or pass nothing and let
+  the callee resolve);
+* every :class:`~repro.serve.protocol.JobOptions` field is classified
+  in exactly one of the audited ``SEMANTIC_OPTIONS`` /
+  ``NON_SEMANTIC_OPTIONS`` constants, so adding an option without
+  deciding its result-cache behaviour fails a test instead of silently
+  corrupting cache keys.
+"""
+
+import ast
+import dataclasses
+import pathlib
+
+from repro.serve.protocol import (
+    NON_SEMANTIC_OPTIONS, SEMANTIC_OPTIONS, JobOptions,
+)
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def _source_files():
+    for path in sorted(SRC.rglob("*.py")):
+        if "tiering" in path.relative_to(SRC).parts:
+            continue
+        yield path
+
+
+class TestNoTiersThreading:
+    def test_no_tiers_keyword_outside_tiering(self):
+        """The scattered ``tiers=`` threading the tiering subsystem
+        replaced must not grow back."""
+        offenders = []
+        for path in _source_files():
+            tree = ast.parse(path.read_text(encoding="utf-8"),
+                             filename=str(path))
+            for node in ast.walk(tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                for kw in node.keywords:
+                    if kw.arg == "tiers":
+                        offenders.append(
+                            f"{path.relative_to(SRC.parent.parent)}:"
+                            f"{node.lineno}")
+        assert not offenders, (
+            "direct tiers= threading outside repro.tiering "
+            f"(resolve through repro.tiering.policy.resolve_tiers "
+            f"instead): {offenders}")
+
+    def test_no_tiers_parameter_defaults_to_all(self):
+        """Sanity: the refactored entry points still accept ``tiers``
+        positionally (None defers to the policy)."""
+        import inspect
+
+        from repro.compile.pipeline import compile_term
+        from repro.jit.compiler import compile_function, jit_rewrite
+        from repro.resilience.safety_net import run_guarded
+
+        for fn, name in ((compile_term, "tiers"),
+                         (compile_function, "tiers"),
+                         (jit_rewrite, "tiers"),
+                         (run_guarded, "tiers")):
+            param = inspect.signature(fn).parameters[name]
+            assert param.default is None, fn.__name__
+            assert param.kind is not inspect.Parameter.KEYWORD_ONLY, \
+                fn.__name__
+
+
+class TestJobOptionsPartition:
+    def test_every_field_classified_exactly_once(self):
+        """Adding a JobOptions field without classifying it (semantic:
+        part of the result-cache key; non-semantic: execution policy
+        only) must fail here."""
+        names = {f.name for f in dataclasses.fields(JobOptions)}
+        semantic = set(SEMANTIC_OPTIONS)
+        non_semantic = set(NON_SEMANTIC_OPTIONS)
+        assert semantic & non_semantic == set(), \
+            "options classified twice"
+        unclassified = names - semantic - non_semantic
+        assert not unclassified, (
+            f"unclassified JobOptions fields {sorted(unclassified)}: add "
+            "each to SEMANTIC_OPTIONS (cache-key-relevant) or "
+            "NON_SEMANTIC_OPTIONS (execution policy) in "
+            "repro.serve.protocol with a rationale")
+        phantom = (semantic | non_semantic) - names
+        assert not phantom, f"classified but nonexistent: {sorted(phantom)}"
+
+    def test_class_constant_is_the_audited_list(self):
+        assert tuple(JobOptions.NON_SEMANTIC) == NON_SEMANTIC_OPTIONS
+
+    def test_cache_key_ignores_exactly_the_non_semantic(self):
+        """The result-cache key must change with any semantic option
+        and with no non-semantic one."""
+        from repro.serve.cache import job_cache_key
+        from repro.serve.protocol import Job
+
+        base = Job("run", source="(1 + 2)")
+        key = job_cache_key(base)
+
+        probes = {
+            "fuel": 123, "heap": 44, "depth": 45, "checkpoint": True,
+            "jit": True, "result_type": "unit", "trace": True,
+            "optimize": True, "check": True, "tier": "arith",
+            "validate": True, "ir": True, "seed": 9, "type": "int",
+            "right": "(2 + 2)", "run": False,
+        }
+        for name in SEMANTIC_OPTIONS:
+            job = Job("run", source="(1 + 2)")
+            setattr(job.options, name, probes.get(name, "probe"))
+            assert job_cache_key(job) != key, \
+                f"semantic option {name} must change the cache key"
+
+        non_probes = {
+            "timeout": 9.0, "no_cache": True, "engine": "subst",
+            "tal_engine": "fast", "store": "/tmp/x", "deadline_ms": 5,
+            "checkpoint_every": 10, "degraded": True,
+            "inject_crash": True, "inject_sleep": 1.0,
+            "inject_hang": True, "inject_corrupt": True,
+            "inject_crash_at": 2, "chaos_rate": 0.5, "chaos_seed": 3,
+            "chaos_seams": "jit.run", "promoted": True,
+            "tiering": {"digest": "d"},
+        }
+        for name in NON_SEMANTIC_OPTIONS:
+            job = Job("run", source="(1 + 2)")
+            setattr(job.options, name, non_probes.get(name, "probe"))
+            assert job_cache_key(job) == key, \
+                f"non-semantic option {name} must not change the cache key"

@@ -1,0 +1,183 @@
+"""Tests for :mod:`repro.tiering.policy` -- the unified promotion knobs.
+
+Satellite 1 of the tiering ISSUE: ``FUNTAL_TAL_JIT_THRESHOLD``,
+``funtal top --promote-threshold`` and ``FUNTAL_TAL_PROMOTE`` became
+fields of one :class:`TieringPolicy` with documented precedence
+``env < config < cli``; the old environment spellings survive as
+deprecated aliases that warn.
+"""
+
+import dataclasses
+import warnings
+
+import pytest
+
+from repro.compile.pipeline import ALL_TIERS, TIER_ARITH
+from repro.tiering.policy import (
+    TIERING_MODES, TieringPolicy, active_policy, resolve_tiers,
+    set_active_policy,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_active_policy():
+    yield
+    set_active_policy(None)
+
+
+class TestPolicyBasics:
+    def test_default_is_off(self):
+        policy = TieringPolicy()
+        assert policy.mode == "off"
+        assert not policy.enabled
+
+    def test_modes_enumerated(self):
+        assert TIERING_MODES == ("off", "auto", "aggressive")
+        for mode in TIERING_MODES:
+            assert TieringPolicy(mode=mode).mode == mode
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            TieringPolicy(mode="turbo")
+
+    @pytest.mark.parametrize("field,value", [
+        ("promote_threshold", 0),
+        ("tal_jit_threshold", 0),
+        ("max_inflight_promotions", 0),
+        ("demote_after", 0),
+    ])
+    def test_bad_thresholds_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            TieringPolicy(**{field: value})
+
+    def test_frozen(self):
+        policy = TieringPolicy()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            policy.mode = "auto"
+
+    def test_effective_threshold_hysteresis(self):
+        assert TieringPolicy(
+            mode="auto", promote_threshold=1000).effective_threshold() \
+            == 1000
+        assert TieringPolicy(
+            mode="aggressive",
+            promote_threshold=1000).effective_threshold() == 100
+        # Never collapses to zero.
+        assert TieringPolicy(
+            mode="aggressive", promote_threshold=5).effective_threshold() \
+            == 1
+
+    def test_jit_tiers_by_mode(self):
+        assert TieringPolicy(mode="off").jit_tiers() == (TIER_ARITH,)
+        assert TieringPolicy(mode="auto").jit_tiers() == (TIER_ARITH,)
+        assert TieringPolicy(mode="aggressive").jit_tiers() == ALL_TIERS
+
+    def test_to_dict_round_trips(self):
+        policy = TieringPolicy(mode="auto", tal_promote=("aa", "bb"))
+        as_dict = policy.to_dict()
+        assert as_dict["tal_promote"] == ["aa", "bb"]
+        as_dict["tal_promote"] = tuple(as_dict["tal_promote"])
+        assert TieringPolicy(**as_dict) == policy
+
+
+class TestEnvResolution:
+    def test_from_env_reads_new_spellings(self):
+        policy = TieringPolicy.from_env({
+            "FUNTAL_TIERING": "auto",
+            "FUNTAL_TIERING_THRESHOLD": "123",
+            "FUNTAL_TIERING_TAL_JIT_THRESHOLD": "7",
+            "FUNTAL_TIERING_PROMOTE": "aa, bb",
+            "FUNTAL_TIERING_STORE": "/tmp/s",
+        })
+        assert policy.mode == "auto"
+        assert policy.promote_threshold == 123
+        assert policy.tal_jit_threshold == 7
+        assert policy.tal_promote == ("aa", "bb")
+        assert policy.store == "/tmp/s"
+
+    def test_env_fields_audited(self):
+        # Every env var maps to a real policy field.
+        names = {f.name for f in dataclasses.fields(TieringPolicy)}
+        for var, (target, parse) in TieringPolicy.ENV_FIELDS.items():
+            assert var.startswith("FUNTAL_TIERING")
+            assert target in names
+            assert callable(parse)
+        for old, new in TieringPolicy.DEPRECATED_ENV.items():
+            assert new in TieringPolicy.ENV_FIELDS
+
+    def test_deprecated_aliases_warn_and_apply(self):
+        with pytest.warns(DeprecationWarning, match="FUNTAL_TAL_PROMOTE"):
+            policy = TieringPolicy.from_env({
+                "FUNTAL_TAL_PROMOTE": "cc",
+            })
+        assert policy.tal_promote == ("cc",)
+        with pytest.warns(DeprecationWarning,
+                          match="FUNTAL_TAL_JIT_THRESHOLD"):
+            policy = TieringPolicy.from_env({
+                "FUNTAL_TAL_JIT_THRESHOLD": "3",
+            })
+        assert policy.tal_jit_threshold == 3
+
+    def test_new_spelling_wins_over_deprecated(self):
+        with pytest.warns(DeprecationWarning):
+            policy = TieringPolicy.from_env({
+                "FUNTAL_TAL_JIT_THRESHOLD": "3",
+                "FUNTAL_TIERING_TAL_JIT_THRESHOLD": "9",
+            })
+        assert policy.tal_jit_threshold == 9
+
+    def test_bad_env_value_is_structured(self):
+        with pytest.raises(ValueError, match="FUNTAL_TIERING_THRESHOLD"):
+            TieringPolicy.from_env({"FUNTAL_TIERING_THRESHOLD": "lots"})
+
+    def test_resolve_precedence_env_config_cli(self):
+        env = {"FUNTAL_TIERING": "auto",
+               "FUNTAL_TIERING_THRESHOLD": "100"}
+        config = {"promote_threshold": 200, "tal_jit_threshold": 5}
+        cli = {"promote_threshold": 300, "mode": None}
+        policy = TieringPolicy.resolve(env, config, cli)
+        assert policy.mode == "auto"            # env (cli None ignored)
+        assert policy.promote_threshold == 300  # cli beats config
+        assert policy.tal_jit_threshold == 5    # config beats env default
+
+    def test_resolve_ignores_none_layers(self):
+        policy = TieringPolicy.resolve({}, None, {"mode": None})
+        assert policy == TieringPolicy()
+
+
+class TestActivePolicy:
+    def test_set_and_clear(self):
+        policy = TieringPolicy(mode="auto")
+        set_active_policy(policy)
+        assert active_policy() is policy
+        set_active_policy(None)
+        assert active_policy().mode in TIERING_MODES
+
+    def test_env_derived_when_unset(self, monkeypatch):
+        set_active_policy(None)
+        monkeypatch.setenv("FUNTAL_TIERING", "aggressive")
+        assert active_policy().mode == "aggressive"
+        monkeypatch.delenv("FUNTAL_TIERING")
+        assert active_policy().mode == "off"
+
+
+class TestResolveTiers:
+    def test_explicit_request_wins(self):
+        set_active_policy(TieringPolicy(mode="off"))
+        assert resolve_tiers("general", "jit") == ("general",)
+        assert resolve_tiers(("arith", "general")) == ("arith", "general")
+
+    def test_jit_context_follows_policy(self):
+        set_active_policy(TieringPolicy(mode="auto"))
+        assert resolve_tiers(None, "jit") == (TIER_ARITH,)
+        set_active_policy(TieringPolicy(mode="aggressive"))
+        assert resolve_tiers(None, "jit") == ALL_TIERS
+
+    def test_compile_and_promote_contexts_get_all_tiers(self):
+        set_active_policy(TieringPolicy(mode="off"))
+        assert resolve_tiers(None, "compile") == ALL_TIERS
+        assert resolve_tiers(None, "promote") == ALL_TIERS
+
+    def test_explicit_policy_argument(self):
+        aggressive = TieringPolicy(mode="aggressive")
+        assert resolve_tiers(None, "jit", aggressive) == ALL_TIERS

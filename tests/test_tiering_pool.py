@@ -1,0 +1,215 @@
+"""Fleet-level tiering drills on a real worker pool.
+
+The headline scenarios (ISSUE acceptance):
+
+* hot digests promote automatically in the background and later runs
+  are served at the fast tier with the same answers;
+* an injected divergence on a *promoted* run degrades to the reference
+  answer (zero wrong answers) and quarantines the digest;
+* an injected fault in promotion work itself demotes the digest --
+  foreground traffic keeps its answers throughout;
+* the adversarial corpus never promotes: the ones the machine runs
+  safely are quarantined at the promotion typecheck gate, the rest die
+  as structured errors before ever accruing steps.
+"""
+
+import time
+
+import pytest
+
+from repro.adversarial import ADVERSARIES
+from repro.f.syntax import App, IntE
+from repro.papers_examples.fig17_factorial import build_count_t
+from repro.serve.pool import WorkerPool
+from repro.serve.protocol import Job, JobOptions
+from repro.tiering.controller import (
+    DEMOTED, PROFILING, PROMOTED, QUARANTINED,
+)
+from repro.tiering.policy import TieringPolicy, set_active_policy
+from repro.tiering.promote import program_digest
+
+
+def count_t_source(n=300):
+    return str(App(build_count_t(), (IntE(n),)))
+
+
+@pytest.fixture
+def tier_pool(tmp_path):
+    """A 2-worker pool under an auto policy with a tiny threshold, so
+    one hot run is enough to schedule promotion."""
+    policy = TieringPolicy(mode="auto", promote_threshold=100,
+                           store=str(tmp_path), demote_after=1)
+    set_active_policy(policy)      # workers fork with the policy active
+    try:
+        with WorkerPool(2, cache=None, default_timeout=60.0,
+                        max_retries=2, tiering=policy) as pool:
+            yield pool
+    finally:
+        set_active_policy(None)
+
+
+def coordinator(pool):
+    return pool._tiering
+
+
+def wait_state(pool, digest, *states, timeout=30.0):
+    controller = coordinator(pool).controller
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        state = controller.state(digest)
+        if state in states:
+            return state
+        time.sleep(0.02)
+    raise AssertionError(
+        f"digest {digest} stuck in {controller.state(digest)!r}, "
+        f"wanted one of {states}")
+
+
+def run_job(source, **opts):
+    return Job("run", source=source, options=JobOptions(**opts))
+
+
+class TestAutoPromotion:
+    def test_hot_digest_promotes_and_serves_fast(self, tier_pool):
+        src = count_t_source(300)
+        digest = program_digest(src, None)
+
+        cold = tier_pool.submit(run_job(src)).wait(60.0)
+        assert cold.ok and cold.output["value"] == "300"
+        assert cold.output["tier"]["promoted"] is False
+        assert cold.output["tier"]["tal_engine"] == "ref"
+
+        wait_state(tier_pool, digest, PROMOTED)
+
+        hot = tier_pool.submit(run_job(src)).wait(60.0)
+        assert hot.ok and hot.output["value"] == "300"
+        assert hot.output["tier"]["promoted"] is True
+        assert hot.output["tier"]["tal_engine"] == "fast"
+
+        stats = tier_pool.stats()["tiering"]
+        assert stats["mode"] == "auto"
+        assert stats["states"][PROMOTED] >= 1
+        assert stats["receipts_held"] >= 1
+
+    def test_cold_digest_stays_interpreted(self, tier_pool):
+        result = tier_pool.submit(run_job("(2 + 3)")).wait(60.0)
+        assert result.ok and result.output["value"] == "5"
+        digest = program_digest("(2 + 3)", None)
+        assert coordinator(tier_pool).controller.state(digest) \
+            == PROFILING
+        again = tier_pool.submit(run_job("(2 + 3)")).wait(60.0)
+        assert again.output["tier"]["promoted"] is False
+
+    def test_receipt_survives_for_a_second_fleet(self, tmp_path,
+                                                 tier_pool):
+        """Validated once, fleet-wide: a second pool sharing the store
+        reuses the receipt instead of re-validating."""
+        src = count_t_source(300)
+        digest = program_digest(src, None)
+        tier_pool.submit(run_job(src)).wait(60.0)
+        wait_state(tier_pool, digest, PROMOTED)
+
+        policy = coordinator(tier_pool).policy
+        with WorkerPool(1, cache=None, default_timeout=60.0,
+                        tiering=policy) as second:
+            second.submit(run_job(src)).wait(60.0)
+            wait_state(second, digest, PROMOTED)
+            promoted = second.submit(run_job(src)).wait(60.0)
+        assert promoted.ok and promoted.output["value"] == "300"
+        assert promoted.output["tier"]["promoted"] is True
+
+
+class TestDemotionBackstops:
+    def test_divergence_quarantines_with_zero_wrong_answers(self,
+                                                            tier_pool):
+        """Seeded drill: once promoted, a run whose fast tier faults
+        (chaos at the ``jit.run`` seam) must still answer correctly --
+        the differential safety net serves the reference -- and the
+        digest must end quarantined."""
+        src = count_t_source(300)
+        digest = program_digest(src, None)
+        tier_pool.submit(run_job(src, jit=True)).wait(60.0)
+        wait_state(tier_pool, digest, PROMOTED)
+
+        stormed = tier_pool.submit(run_job(
+            src, jit=True, chaos_rate=1.0, chaos_seed=7,
+            chaos_seams="jit.run")).wait(60.0)
+        assert stormed.ok, stormed.error
+        assert stormed.output["value"] == "300"      # zero wrong answers
+        assert stormed.output.get("degraded") is True
+        assert stormed.output["tier"]["promoted"] is False
+
+        assert wait_state(tier_pool, digest, QUARANTINED) == QUARANTINED
+        # Quarantine sticks: later runs are served unpromoted.
+        after = tier_pool.submit(run_job(src)).wait(60.0)
+        assert after.ok and after.output["value"] == "300"
+        assert after.output["tier"]["promoted"] is False
+
+    def test_forced_promotion_failure_demotes(self, tier_pool):
+        """Seeded drill: a fault injected into the *promotion job*
+        (chaos at the ``jit.compile`` seam, which only the promotion
+        pipeline crosses for this program) demotes the digest; the
+        foreground answer is untouched."""
+        # A source no other test compiles: workers fork with the
+        # parent's memoized COMPILE_CACHE, and a warm cache entry would
+        # let the promotion skip the compile (and its chaos seam).
+        source = "((lam (x: int). ((x * x) + 9)) (20))"
+        digest = program_digest(source, None)
+        controller = coordinator(tier_pool).controller
+        # The program is light; steps accrue across runs until the
+        # controller schedules the (doomed) promotion.
+        for _ in range(40):
+            result = tier_pool.submit(run_job(
+                source, chaos_rate=1.0, chaos_seed=11,
+                chaos_seams="jit.compile")).wait(60.0)
+            assert result.ok and result.output["value"] == "409"
+            if controller.state(digest) != PROFILING:
+                break
+
+        assert wait_state(tier_pool, digest, DEMOTED) == DEMOTED
+        # Demotion sticks and the program still answers correctly.
+        after = tier_pool.submit(run_job(source)).wait(60.0)
+        assert after.ok and after.output["value"] == "409"
+        assert after.output["tier"]["promoted"] is False
+
+
+class TestAdversarialCorpus:
+    def test_adversaries_never_promote(self, tier_pool):
+        """Satellite 5: mix the attack components into the tiering
+        corpus.  None may ever reach ``promoted``; every one that the
+        untyped machine runs safely (and so accrues steps) must be
+        refused at the promotion typecheck gate and quarantined."""
+        controller = coordinator(tier_pool).controller
+        for adv in ADVERSARIES:
+            digest = program_digest(adv.source, None)
+            # Light programs accrue steps across runs (the slowest one
+            # earns ~2 steps a run); keep running until the controller
+            # reacts (or provably never will: trapped runs report
+            # errors and accrue nothing).
+            for _ in range(80):
+                result = tier_pool.submit(Job(
+                    "run", source=adv.source)).wait(60.0)
+                # Safe containment either way: a structured error
+                # (trap) or a bogus halt -- never a crash.
+                assert result.status in ("ok", "error"), result.status
+                if result.status == "error":
+                    assert result.error_type in ("MachineError",
+                                                 "FTTypeError")
+                if result.status == "error" \
+                        or controller.state(digest) not in ("cold",
+                                                            PROFILING):
+                    break
+
+        deadline = time.monotonic() + 30.0
+        for adv in ADVERSARIES:
+            digest = program_digest(adv.source, None)
+            while time.monotonic() < deadline:
+                state = controller.state(digest)
+                if state not in ("promoting",):
+                    break
+                time.sleep(0.02)
+            state = controller.state(digest)
+            assert state != PROMOTED, adv.name
+            if adv.machine_behavior == "halt":
+                # Ran "successfully", went hot, was refused at gate 1.
+                assert state == QUARANTINED, (adv.name, state)
